@@ -1,0 +1,45 @@
+// Ablation: how many Monte-Carlo preemption samples does the liveput
+// optimizer need (§7.3)? Sweeps the trial count and reports plan
+// quality (committed tokens on HA-DP, GPT-2) and optimization time.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "core/liveput_optimizer.h"
+
+using namespace parcae;
+
+int main() {
+  bench::header("Ablation", "Monte-Carlo trial count for the sampler");
+  const ModelProfile model = gpt2_profile();
+  const SpotTrace trace = canonical_segment(TraceSegment::kHighAvailDense);
+
+  TextTable table({"MC trials", "tokens committed (M)", "optimize time (ms)"});
+  for (int trials : {16, 64, 256, 1024}) {
+    ParcaePolicyOptions options;
+    options.mc_trials = trials;
+    const SimulationResult r =
+        bench::run_parcae(model, trace, PredictionMode::kArima, options);
+
+    // Wall-clock of one optimization at this trial count.
+    const ThroughputModel tm(model, {});
+    LiveputOptimizer optimizer(&tm, CostEstimator(model),
+                               LiveputOptimizerOptions{60.0, trials, 17});
+    const std::vector<int> predicted(12, 26);
+    const auto t0 = std::chrono::steady_clock::now();
+    optimizer.optimize(tm.best_config(27), 27, predicted);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    table.row()
+        .add(trials)
+        .add(r.committed_units / 1e6, 1)
+        .add(ms, 2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::paper_note(
+      "design ablation (DESIGN.md): plan quality saturates by ~256 trials "
+      "while cost grows linearly — 256 is the default");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the benchmark harnesses that regenerate the
+// paper's tables and figures. Each bench prints a `paper:` reference
+// line per result so EXPERIMENTS.md can record paper-vs-measured.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/bamboo_policy.h"
+#include "baselines/ondemand_policy.h"
+#include "baselines/varuna_policy.h"
+#include "model/model_profile.h"
+#include "runtime/cluster_sim.h"
+#include "runtime/parcae_policy.h"
+#include "trace/spot_trace.h"
+
+namespace parcae::bench {
+
+inline SimulationOptions sim_options(const ModelProfile& m,
+                                     bool ondemand = false) {
+  SimulationOptions options;
+  options.units_per_sample = m.tokens_per_sample;
+  options.instances_are_ondemand = ondemand;
+  return options;
+}
+
+inline SimulationResult run_parcae(const ModelProfile& m,
+                                   const SpotTrace& trace,
+                                   PredictionMode mode,
+                                   ParcaePolicyOptions options = {}) {
+  options.mode = mode;
+  ParcaePolicy policy(m, options, &trace);
+  return simulate(policy, trace, sim_options(m));
+}
+
+inline SimulationResult run_varuna(const ModelProfile& m,
+                                   const SpotTrace& trace) {
+  VarunaPolicy policy(m);
+  return simulate(policy, trace, sim_options(m));
+}
+
+inline SimulationResult run_bamboo(const ModelProfile& m,
+                                   const SpotTrace& trace) {
+  BambooPolicy policy(m);
+  return simulate(policy, trace, sim_options(m));
+}
+
+inline SimulationResult run_ondemand(const ModelProfile& m,
+                                     double duration_s,
+                                     int instances = 32) {
+  OnDemandPolicy policy(m);
+  return simulate(policy, flat_trace(instances, duration_s),
+                  sim_options(m, /*ondemand=*/true));
+}
+
+inline void header(const char* id, const char* what) {
+  std::printf("==== %s: %s ====\n", id, what);
+}
+
+inline void paper_note(const char* note) { std::printf("paper: %s\n", note); }
+
+}  // namespace parcae::bench

@@ -1,0 +1,75 @@
+// Regenerates Figure 16: convergence preservation. Trains a real
+// model (the laptop-scale stand-in for ResNet-152/CIFAR-100, see
+// DESIGN.md) twice through the SampleManager: undisturbed (on-demand
+// order) and with preemption-induced aborts and reordering (Parcae on
+// spot instances). The loss curves must track each other.
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "nn/dataset.h"
+#include "nn/mlp.h"
+#include "runtime/sample_manager.h"
+
+using namespace parcae;
+
+namespace {
+
+std::vector<float> train_curve(double abort_probability,
+                               std::uint64_t chaos_seed, int epochs) {
+  const std::size_t n = 1024;
+  const auto ds = nn::make_blobs(n, 24, 8, 0.6, 4242);
+  nn::Mlp mlp({24, 64, 8}, std::make_unique<nn::Adam>(0.003f), 7);
+  SampleManager sm(n, 99);
+  Rng chaos(chaos_seed);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  const nn::Matrix eval_x = ds.gather(all);
+  const auto eval_y = ds.gather_labels(all);
+
+  std::vector<float> curve;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    while (!sm.epoch_complete()) {
+      const auto lease = sm.lease(64);
+      if (lease.id == 0) break;
+      if (chaos.bernoulli(abort_probability)) {
+        sm.abort(lease.id);  // preempted: samples return to the pool
+        continue;
+      }
+      mlp.train_batch(ds.gather(lease.samples),
+                      ds.gather_labels(lease.samples));
+      sm.commit(lease.id);
+    }
+    sm.start_next_epoch();
+    curve.push_back(mlp.eval_loss(eval_x, eval_y));
+  }
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Figure 16: convergence preservation ====\n");
+  const int epochs = 40;
+  const auto ondemand = train_curve(0.0, 1, epochs);
+  const auto spot = train_curve(0.35, 2, epochs);  // heavy reordering
+
+  TextTable table({"epoch", "on-demand loss", "Parcae (spot) loss"});
+  for (int e = 0; e < epochs; e += 2)
+    table.row()
+        .add(e)
+        .add(static_cast<double>(ondemand[static_cast<std::size_t>(e)]), 4)
+        .add(static_cast<double>(spot[static_cast<std::size_t>(e)]), 4);
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("final loss: on-demand %.4f, Parcae %.4f (diff %.1f%%)\n",
+              static_cast<double>(ondemand.back()),
+              static_cast<double>(spot.back()),
+              100.0 * std::abs(spot.back() - ondemand.back()) /
+                  ondemand.back());
+  std::printf(
+      "paper: Figure 16 — ResNet-152 on CIFAR-100 reaches the same loss "
+      "(0.058) after 110 epochs on spot and on-demand; sample reordering "
+      "preserves convergence\n");
+  return 0;
+}

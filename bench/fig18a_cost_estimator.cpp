@@ -1,0 +1,50 @@
+// Regenerates Figure 18a: accuracy of the migration cost estimator —
+// estimated vs "actual" migration time for every migration executed
+// during simulated runs of all five models (the simulator draws the
+// actual stall around the estimate with the measured jitter). The
+// paper's dashed lines mark a +/-15% relative difference.
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace parcae;
+
+int main() {
+  bench::header("Figure 18a", "cost estimator accuracy");
+
+  TextTable table({"model", "migrations", "mean est (s)", "mean actual (s)",
+                   "correlation", "within +/-15%"});
+  for (const ModelProfile& model : model_zoo()) {
+    std::vector<double> est, actual;
+    for (const SpotTrace& trace : all_canonical_segments()) {
+      ParcaePolicyOptions options;
+      options.cost_noise_stddev = 0.07;
+      ParcaePolicy policy(model, options);
+      simulate(policy, trace, bench::sim_options(model));
+      for (const auto& entry : policy.migration_log()) {
+        if (entry.estimated_s <= 0.0) continue;
+        est.push_back(entry.estimated_s);
+        actual.push_back(entry.actual_s);
+      }
+    }
+    int within = 0;
+    for (std::size_t i = 0; i < est.size(); ++i)
+      if (std::abs(actual[i] - est[i]) <= 0.15 * est[i]) ++within;
+    table.row()
+        .add(model.name)
+        .add(est.size())
+        .add(mean(est), 1)
+        .add(mean(actual), 1)
+        .add(pearson(est, actual), 3)
+        .add(format_double(est.empty() ? 0.0
+                                       : 100.0 * within /
+                                             static_cast<double>(est.size()),
+                           0) +
+             "%");
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  bench::paper_note(
+      "Figure 18a: estimated vs real reconfiguration times cluster inside "
+      "the +/-15% band for all five models");
+  return 0;
+}

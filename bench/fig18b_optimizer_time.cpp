@@ -1,0 +1,77 @@
+// Regenerates Figure 18b: wall-clock time of one liveput optimization
+// (look-ahead 12, GPT-2) on each trace segment, measured with
+// google-benchmark. The paper reports < 0.3 s per run — fast enough
+// to re-optimize every minute.
+#include <benchmark/benchmark.h>
+
+#include "core/liveput_optimizer.h"
+#include "migration/cost_model.h"
+#include "model/model_profile.h"
+#include "parallel/throughput_model.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+namespace {
+
+void optimize_on_segment(benchmark::State& state, TraceSegment segment) {
+  const ModelProfile model = gpt2_profile();
+  const ThroughputModel tm(model, {});
+  LiveputOptimizer optimizer(&tm, CostEstimator(model),
+                             LiveputOptimizerOptions{60.0, 256, 17});
+  const SpotTrace trace = canonical_segment(segment);
+  const std::vector<int> series = trace.availability_series();
+  const ParallelConfig current = tm.best_config(series.front());
+
+  // Rotate the forecast origin so the cache is exercised realistically
+  // (the scheduler re-optimizes every interval with fresh forecasts).
+  std::size_t origin = 0;
+  for (auto _ : state) {
+    std::vector<int> predicted;
+    for (int h = 1; h <= 12; ++h)
+      predicted.push_back(
+          series[(origin + static_cast<std::size_t>(h)) % series.size()]);
+    origin = (origin + 1) % series.size();
+    const LiveputPlan plan =
+        optimizer.optimize(current, series[origin], predicted);
+    benchmark::DoNotOptimize(plan.expected_samples);
+  }
+  state.SetLabel("paper: < 0.3 s per optimization (Figure 18b)");
+}
+
+void BM_LiveputOptimize_HA_DP(benchmark::State& state) {
+  optimize_on_segment(state, TraceSegment::kHighAvailDense);
+}
+void BM_LiveputOptimize_HA_SP(benchmark::State& state) {
+  optimize_on_segment(state, TraceSegment::kHighAvailSparse);
+}
+void BM_LiveputOptimize_LA_DP(benchmark::State& state) {
+  optimize_on_segment(state, TraceSegment::kLowAvailDense);
+}
+void BM_LiveputOptimize_LA_SP(benchmark::State& state) {
+  optimize_on_segment(state, TraceSegment::kLowAvailSparse);
+}
+
+BENCHMARK(BM_LiveputOptimize_HA_DP)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LiveputOptimize_HA_SP)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LiveputOptimize_LA_DP)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LiveputOptimize_LA_SP)->Unit(benchmark::kMillisecond);
+
+// The whole-policy decision step (predict + optimize + plan) must also
+// stay far below the 60 s interval.
+void BM_FullSchedulerStep(benchmark::State& state) {
+  const ModelProfile model = gpt2_profile();
+  const ThroughputModel tm(model, {});
+  LiveputOptimizer optimizer(&tm, CostEstimator(model),
+                             LiveputOptimizerOptions{60.0, 256, 17});
+  const std::vector<int> predicted(12, 26);
+  for (auto _ : state) {
+    const ParallelConfig next = optimizer.advise({3, 9}, 27, predicted);
+    benchmark::DoNotOptimize(next);
+  }
+}
+BENCHMARK(BM_FullSchedulerStep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace parcae
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+// One-shot summary: runs the full evaluation matrix (5 models x 4
+// traces x 5 systems) and writes a Markdown report next to the text
+// output — the whole §10.2 comparison as a single artifact.
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/experiment.h"
+#include "bench/bench_util.h"
+#include "common/table.h"
+
+using namespace parcae;
+
+int main() {
+  bench::header("Summary", "full evaluation matrix");
+  const auto cells = run_matrix({});
+  const auto summary = summarize(cells);
+
+  TextTable table({"system", "cells", "no progress", "Parcae speedup",
+                   "avg effective GPU-h %"});
+  for (const auto& s : summary)
+    table.row()
+        .add(s.system)
+        .add(s.cells)
+        .add(s.cells_no_progress)
+        .add(format_double(s.parcae_speedup_geomean, 2) + "x")
+        .add(100.0 * s.avg_effective_share, 0);
+  std::printf("%s\n", table.to_string().c_str());
+
+  const std::string markdown = matrix_to_markdown(cells, summary);
+  std::ofstream out("summary_report.md");
+  out << markdown;
+  std::printf("full matrix written to summary_report.md (%zu cells)\n",
+              cells.size());
+  bench::paper_note(
+      "aggregates §10.2: Parcae dominates every baseline in geometric "
+      "mean and is the only system with zero no-progress cells");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Availability forecasting demo: feed a spot trace to the predictors
+// Parcae evaluates (§5) and watch the guarded ARIMA track it.
+//
+//   ./availability_forecast [trace]   (HA-DP | HA-SP | LA-DP | LA-SP)
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "predict/arima.h"
+#include "predict/evaluation.h"
+#include "predict/guards.h"
+#include "predict/predictor.h"
+#include "trace/spot_trace.h"
+
+using namespace parcae;
+
+int main(int argc, char** argv) {
+  SpotTrace trace = canonical_segment(TraceSegment::kHighAvailDense);
+  if (argc > 1) {
+    for (const SpotTrace& t : all_canonical_segments())
+      if (t.name() == argv[1]) trace = t;
+  }
+  const auto series = trace.availability_series_d();
+  std::printf("forecasting trace %s (%zu intervals)\n\n",
+              trace.name().c_str(), series.size());
+
+  // Rolling-origin accuracy of every predictor.
+  std::vector<std::unique_ptr<AvailabilityPredictor>> predictors;
+  predictors.push_back(make_parcae_predictor(32.0));
+  predictors.push_back(std::make_unique<NaivePredictor>());
+  predictors.push_back(std::make_unique<MovingAveragePredictor>(8));
+  predictors.push_back(std::make_unique<ExponentialSmoothingPredictor>(0.4));
+  predictors.push_back(std::make_unique<HoltPredictor>());
+  predictors.push_back(std::make_unique<LinearTrendPredictor>());
+
+  TextTable table({"predictor", "normalized L1 (H=12, I=12)", "mean |err|"});
+  for (const auto& p : predictors) {
+    const auto eval = evaluate_predictor(*p, series, 12, 12);
+    table.row().add(p->name()).add(eval.normalized_l1, 4).add(eval.l1, 2);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // A single live forecast from the middle of the trace.
+  const int origin = static_cast<int>(series.size()) / 2;
+  const std::span<const double> history(series.data() + origin - 12, 12);
+  auto arima = make_parcae_predictor(32.0);
+  const auto forecast = arima->forecast(history, 12);
+  std::printf("forecast from minute %d (history ", origin);
+  for (double h : history) std::printf("%.0f ", h);
+  std::printf("):\n  horizon:  ");
+  for (int h = 1; h <= 12; ++h) std::printf("%5d", h);
+  std::printf("\n  forecast: ");
+  for (double f : forecast) std::printf("%5.1f", f);
+  std::printf("\n  actual:   ");
+  for (int h = 1; h <= 12; ++h) {
+    const std::size_t idx = std::min(series.size() - 1,
+                                     static_cast<std::size_t>(origin + h));
+    std::printf("%5.0f", series[idx]);
+  }
+  std::printf("\n");
+  return 0;
+}

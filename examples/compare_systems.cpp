@@ -1,0 +1,116 @@
+// Compare all spot-training systems on a chosen model and trace.
+//
+//   ./compare_systems [model] [trace]
+//     model: ResNet-152 | VGG-19 | BERT-Large | GPT-2 | GPT-3
+//     trace: HA-DP | HA-SP | LA-DP | LA-SP
+//
+// Prints the end-to-end summary plus a per-interval timeline of what
+// Parcae decided (configuration, migrations, throughput).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/bamboo_policy.h"
+#include "baselines/elastic_dp_policy.h"
+#include "baselines/ondemand_policy.h"
+#include "baselines/varuna_policy.h"
+#include "common/table.h"
+#include "model/model_profile.h"
+#include "runtime/cluster_sim.h"
+#include "runtime/parcae_policy.h"
+#include "trace/spot_trace.h"
+
+using namespace parcae;
+
+namespace {
+
+SpotTrace trace_by_name(const std::string& name) {
+  for (const SpotTrace& t : all_canonical_segments())
+    if (t.name() == name) return t;
+  std::fprintf(stderr, "unknown trace '%s', using LA-DP\n", name.c_str());
+  return canonical_segment(TraceSegment::kLowAvailDense);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ModelProfile model = gpt2_profile();
+  if (argc > 1) {
+    try {
+      model = model_by_name(argv[1]);
+    } catch (const std::out_of_range&) {
+      std::fprintf(stderr, "unknown model '%s', using GPT-2\n", argv[1]);
+    }
+  }
+  const SpotTrace trace =
+      trace_by_name(argc > 2 ? argv[2] : "LA-DP");
+
+  std::printf("comparing systems: %s on %s (avg %.2f instances)\n\n",
+              model.name.c_str(), trace.name().c_str(),
+              trace.stats().avg_instances);
+
+  SimulationOptions sim;
+  sim.units_per_sample = model.tokens_per_sample;
+
+  TextTable table({"system", model.sample_unit + "s committed",
+                   model.sample_unit + "/s", "USD", "USD per 1M " +
+                   model.sample_unit + "s", "GPU-h effective %"});
+  SimulationResult parcae_result;
+  auto report = [&](const SimulationResult& r) {
+    table.row()
+        .add(r.policy)
+        .add(format_si(r.committed_units, 1))
+        .add(format_si(r.avg_unit_throughput, 1))
+        .add(r.total_cost_usd, 2)
+        .add(std::isfinite(r.cost_per_unit) ? format_double(
+                 r.cost_per_unit * 1e6, 3)
+                                            : "-")
+        .add(100.0 * r.gpu_hours.effective / r.gpu_hours.total(), 0);
+  };
+
+  {
+    ParcaePolicy policy(model, {});
+    parcae_result = simulate(policy, trace, sim);
+    report(parcae_result);
+  }
+  {
+    ParcaePolicyOptions o;
+    o.mode = PredictionMode::kOracle;
+    ParcaePolicy policy(model, o, &trace);
+    report(simulate(policy, trace, sim));
+  }
+  {
+    ParcaePolicyOptions o;
+    o.mode = PredictionMode::kReactive;
+    ParcaePolicy policy(model, o);
+    report(simulate(policy, trace, sim));
+  }
+  {
+    VarunaPolicy policy(model);
+    report(simulate(policy, trace, sim));
+  }
+  {
+    BambooPolicy policy(model);
+    report(simulate(policy, trace, sim));
+  }
+  {
+    ElasticDpPolicy policy(model);
+    report(simulate(policy, trace, sim));
+  }
+  {
+    OnDemandPolicy policy(model);
+    SimulationOptions od = sim;
+    od.instances_are_ondemand = true;
+    report(simulate(policy, flat_trace(32, trace.duration_s()), od));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("Parcae timeline (interval: availability, config, events):\n");
+  for (std::size_t i = 0; i < parcae_result.timeline.size(); ++i) {
+    const auto& rec = parcae_result.timeline[i];
+    if (rec.note.empty() && i % 10 != 0) continue;  // only changes + ticks
+    std::printf("  t=%2zu min  N=%2d  %-6s %s\n", i, rec.available,
+                rec.config.to_string().c_str(), rec.note.c_str());
+  }
+  return 0;
+}

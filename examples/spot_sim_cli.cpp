@@ -1,0 +1,163 @@
+// Full simulation CLI: run any system on any model and trace with
+// tunable policy options.
+//
+//   spot_sim_cli [key=value ...]
+//
+// keys:
+//   model=GPT-2|GPT-3|BERT-Large|ResNet-152|VGG-19
+//   trace=HA-DP|HA-SP|LA-DP|LA-SP|full-day|<file.csv>
+//   system=parcae|ideal|reactive|varuna|bamboo|oobleck|checkfreq|
+//          hybrid|elastic|ondemand
+//   lookahead=<int>        history=<int>      reoptimize=<int>
+//   mc_trials=<int>        hysteresis=<float> seed=<int>
+//   timeline=0|1
+//
+// Example:
+//   spot_sim_cli model=GPT-3 trace=LA-SP system=varuna
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "baselines/bamboo_policy.h"
+#include "baselines/checkfreq_policy.h"
+#include "baselines/elastic_dp_policy.h"
+#include "baselines/hybrid_policy.h"
+#include "baselines/ondemand_policy.h"
+#include "baselines/oobleck_policy.h"
+#include "baselines/varuna_policy.h"
+#include "common/table.h"
+#include "runtime/parcae_policy.h"
+#include "trace/trace_io.h"
+
+using namespace parcae;
+
+namespace {
+
+std::map<std::string, std::string> parse_args(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    args[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  return args;
+}
+
+std::string get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+
+  ModelProfile model;
+  try {
+    model = model_by_name(get(args, "model", "GPT-2"));
+  } catch (const std::out_of_range&) {
+    std::fprintf(stderr, "unknown model\n");
+    return 1;
+  }
+
+  const std::string trace_name = get(args, "trace", "HA-DP");
+  SpotTrace trace;
+  bool found = false;
+  for (const SpotTrace& t : all_canonical_segments())
+    if (t.name() == trace_name) {
+      trace = t;
+      found = true;
+    }
+  if (!found && trace_name == "full-day") {
+    trace = full_day_trace();
+    found = true;
+  }
+  if (!found) {
+    std::string error;
+    auto loaded = load_trace(trace_name, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot resolve trace '%s': %s\n",
+                   trace_name.c_str(), error.c_str());
+      return 1;
+    }
+    trace = *loaded;
+  }
+
+  ParcaePolicyOptions popt;
+  popt.lookahead = std::stoi(get(args, "lookahead", "12"));
+  popt.history = std::stoi(get(args, "history", "12"));
+  popt.reoptimize_every = std::stoi(get(args, "reoptimize", "1"));
+  popt.mc_trials = std::stoi(get(args, "mc_trials", "256"));
+  popt.depth_change_hysteresis = std::stod(get(args, "hysteresis", "0.15"));
+  popt.seed = std::stoull(get(args, "seed", "123"));
+
+  const std::string system = get(args, "system", "parcae");
+  std::unique_ptr<SpotTrainingPolicy> policy;
+  SimulationOptions sim;
+  sim.units_per_sample = model.tokens_per_sample;
+  sim.record_timeline = get(args, "timeline", "1") == "1";
+
+  if (system == "parcae") {
+    policy = std::make_unique<ParcaePolicy>(model, popt);
+  } else if (system == "ideal") {
+    popt.mode = PredictionMode::kOracle;
+    policy = std::make_unique<ParcaePolicy>(model, popt, &trace);
+  } else if (system == "reactive") {
+    popt.mode = PredictionMode::kReactive;
+    policy = std::make_unique<ParcaePolicy>(model, popt);
+  } else if (system == "varuna") {
+    policy = std::make_unique<VarunaPolicy>(model);
+  } else if (system == "bamboo") {
+    policy = std::make_unique<BambooPolicy>(model);
+  } else if (system == "oobleck") {
+    policy = std::make_unique<OobleckPolicy>(model);
+  } else if (system == "checkfreq") {
+    policy = std::make_unique<CheckFreqPolicy>(model);
+  } else if (system == "hybrid") {
+    policy = std::make_unique<HybridSpotPolicy>(model);
+  } else if (system == "elastic") {
+    policy = std::make_unique<ElasticDpPolicy>(model);
+  } else if (system == "ondemand") {
+    policy = std::make_unique<OnDemandPolicy>(model);
+    sim.instances_are_ondemand = true;
+    trace = flat_trace(32, trace.duration_s());
+  } else {
+    std::fprintf(stderr, "unknown system '%s'\n", system.c_str());
+    return 1;
+  }
+
+  const SimulationResult r = simulate(*policy, trace, sim);
+
+  std::printf("system:           %s\n", r.policy.c_str());
+  std::printf("model:            %s\n", model.name.c_str());
+  std::printf("trace:            %s (%.0f min, avg %.2f instances)\n",
+              r.trace.c_str(), r.duration_s / 60.0,
+              trace.stats().avg_instances);
+  std::printf("committed:        %s %ss (%s/s)\n",
+              format_si(r.committed_units, 2).c_str(),
+              model.sample_unit.c_str(),
+              format_si(r.avg_unit_throughput, 2).c_str());
+  std::printf("cost:             $%.2f total, %.4f USD per 1M %ss\n",
+              r.total_cost_usd, r.cost_per_unit * 1e6,
+              model.sample_unit.c_str());
+  std::printf(
+      "GPU hours:        %.1f effective, %.1f redundant, %.1f handling, "
+      "%.1f lost, %.1f unutilized\n",
+      r.gpu_hours.effective, r.gpu_hours.redundant, r.gpu_hours.handling,
+      r.gpu_hours.lost, r.gpu_hours.unutilized);
+
+  if (sim.record_timeline) {
+    std::printf("\ntimeline (intervals with events):\n");
+    for (std::size_t i = 0; i < r.timeline.size(); ++i) {
+      const auto& rec = r.timeline[i];
+      if (rec.note.empty()) continue;
+      std::printf("  t=%3zu min  N=%2d  %-6s %s\n", i, rec.available,
+                  rec.config.valid() ? rec.config.to_string().c_str() : "-",
+                  rec.note.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Command-line trace utility.
+//
+//   trace_tool stats  <file.csv | HA-DP|HA-SP|LA-DP|LA-SP|full-day>
+//   trace_tool export <segment> <file.csv>
+//   trace_tool gen    synthetic <events> <avg> <file.csv> [seed]
+//   trace_tool gen    market <bid> <file.csv> [seed]
+//   trace_tool plot   <file.csv | segment>
+//
+// `plot` prints a terminal sparkline of the availability series.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "trace/spot_market.h"
+#include "trace/spot_trace.h"
+#include "trace/trace_analysis.h"
+#include "trace/trace_io.h"
+
+using namespace parcae;
+
+namespace {
+
+std::optional<SpotTrace> resolve(const std::string& what) {
+  for (const SpotTrace& t : all_canonical_segments())
+    if (t.name() == what) return t;
+  if (what == "full-day") return full_day_trace();
+  std::string error;
+  auto trace = load_trace(what, &error);
+  if (!trace) std::fprintf(stderr, "cannot load '%s': %s\n", what.c_str(),
+                           error.c_str());
+  return trace;
+}
+
+void print_stats(const SpotTrace& trace) {
+  const TraceStats s = trace.stats();
+  std::printf("name:                %s\n", trace.name().c_str());
+  std::printf("duration:            %.1f min\n", s.duration_s / 60.0);
+  std::printf("capacity:            %d\n", trace.capacity());
+  std::printf("avg instances:       %.2f\n", s.avg_instances);
+  std::printf("min/max instances:   %d / %d\n", s.min_instances,
+              s.max_instances);
+  std::printf("preemption events:   %d (%d instances)\n", s.preemption_events,
+              s.preempted_instances);
+  std::printf("allocation events:   %d (%d instances)\n", s.allocation_events,
+              s.allocated_instances);
+  const TraceAnalysis a = analyze_trace(trace);
+  const TraceRegime regime = classify_trace(trace);
+  std::printf("regime:              %s availability, %s preemptions\n",
+              regime.high_availability ? "High" : "Low",
+              regime.dense_preemptions ? "Dense" : "Sparse");
+  std::printf("stability:           %.0f%% stable intervals, longest run %d\n",
+              100.0 * a.stable_interval_fraction, a.longest_stable_run);
+  std::printf("autocorr (lag 1):    %.2f\n", a.availability_autocorr_lag1);
+  if (a.preemption_interarrival_mean_s > 0.0)
+    std::printf("preempt interarrival: %.0f s mean (CV %.2f)\n",
+                a.preemption_interarrival_mean_s,
+                a.preemption_interarrival_cv);
+  std::printf("preempted inst/hour: %.1f\n", a.preempted_instances_per_hour);
+}
+
+void plot(const SpotTrace& trace) {
+  static const char* kBars[] = {" ", "_", ".", "-", "=", "+", "*", "#"};
+  const auto series = trace.availability_series();
+  const int cap = trace.capacity();
+  std::printf("availability (%d..%d over %zu min, capacity %d):\n",
+              trace.stats().min_instances, trace.stats().max_instances,
+              series.size(), cap);
+  for (int n : series) {
+    const int level = cap > 0 ? n * 7 / cap : 0;
+    std::printf("%s", kBars[level < 0 ? 0 : (level > 7 ? 7 : level)]);
+  }
+  std::printf("\n");
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool stats  <file|segment>\n"
+               "  trace_tool export <segment> <file.csv>\n"
+               "  trace_tool gen synthetic <events> <avg> <file.csv> [seed]\n"
+               "  trace_tool gen market <bid> <file.csv> [seed]\n"
+               "  trace_tool plot <file|segment>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+
+  if (command == "stats" || command == "plot") {
+    const auto trace = resolve(argv[2]);
+    if (!trace) return 1;
+    if (command == "stats")
+      print_stats(*trace);
+    else
+      plot(*trace);
+    return 0;
+  }
+  if (command == "export") {
+    if (argc < 4) return usage();
+    const auto trace = resolve(argv[2]);
+    if (!trace) return 1;
+    if (!save_trace(argv[3], *trace)) {
+      std::fprintf(stderr, "cannot write %s\n", argv[3]);
+      return 1;
+    }
+    std::printf("wrote %s\n", argv[3]);
+    return 0;
+  }
+  if (command == "gen") {
+    if (argc < 5) return usage();
+    const std::string kind = argv[2];
+    SpotTrace trace;
+    if (kind == "synthetic") {
+      if (argc < 6) return usage();
+      Rng rng(argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 1);
+      SyntheticTraceOptions options;
+      options.preemption_events = std::atoi(argv[3]);
+      options.target_availability = std::atof(argv[4]);
+      trace = synthesize_trace(options, rng);
+      if (!save_trace(argv[5], trace)) return 1;
+      print_stats(trace);
+      std::printf("wrote %s\n", argv[5]);
+      return 0;
+    }
+    if (kind == "market") {
+      Rng rng(argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1);
+      SpotMarketOptions options;
+      options.bid = std::atof(argv[3]);
+      const SpotMarketResult result = simulate_spot_market(options, rng);
+      trace = result.trace;
+      if (!save_trace(argv[4], trace)) return 1;
+      print_stats(trace);
+      std::printf("mean paid price: $%.3f/h\nwrote %s\n",
+                  result.mean_paid_price, argv[4]);
+      return 0;
+    }
+    return usage();
+  }
+  return usage();
+}

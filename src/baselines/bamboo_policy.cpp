@@ -1,0 +1,74 @@
+#include "baselines/bamboo_policy.h"
+
+#include <algorithm>
+
+namespace parcae {
+
+int bamboo_table5_depth(const ModelProfile& model) {
+  if (model.name == "ResNet-152") return 4;
+  if (model.name == "VGG-19") return 4;
+  if (model.name == "BERT-Large") return 8;
+  if (model.name == "GPT-2") return 16;
+  if (model.name == "GPT-3") return 23;
+  // Unknown model: twice the memory-model minimum as a heuristic.
+  return 8;
+}
+
+BambooPolicy::BambooPolicy(ModelProfile model, BambooOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      throughput_(model_,
+                  [&] {
+                    auto t = options.throughput;
+                    t.redundant_compute_fraction =
+                        options.redundant_compute_fraction;
+                    return t;
+                  }()),
+      depth_(options.fixed_depth > 0 ? options.fixed_depth
+                                     : bamboo_table5_depth(model_)) {}
+
+void BambooPolicy::reset() { current_ = kIdleConfig; }
+
+IntervalDecision BambooPolicy::on_interval(int interval_index,
+                                           const AvailabilityEvent& event,
+                                           double interval_s) {
+  (void)interval_index;
+  IntervalDecision decision;
+  const double T = interval_s;
+
+  const int max_pipelines =
+      std::max(1, model_.mini_batch / model_.micro_batch);
+  const int d = std::min(event.available / depth_, max_pipelines);
+  ParallelConfig target = d >= 1 ? ParallelConfig{d, depth_} : kIdleConfig;
+  // The fixed depth must itself be memory-feasible (it is for the
+  // Table-5 depths; a user-supplied shallower depth may not be).
+  if (target.valid() && !throughput_.feasible(target)) target = kIdleConfig;
+
+  double stall = 0.0;
+  if (event.preempted > 0 && current_.valid())
+    stall += options_.recovery_stall_s;
+  if ((event.allocated > 0 || target != current_) && target.valid())
+    stall += options_.join_stall_s;
+
+  decision.config = target;
+  double samples = 0.0;
+  double tput = 0.0;
+  if (target.valid()) {
+    tput = throughput_.throughput(target);
+    samples = tput * std::max(0.0, T - stall);
+    // Redundant share of the compute actually performed.
+    const double r = options_.redundant_compute_fraction;
+    decision.gpu_s_redundant = static_cast<double>(target.instances()) *
+                               std::max(0.0, T - stall) * r / (1.0 + r);
+  } else {
+    decision.note = "suspended (fewer than P instances)";
+  }
+
+  decision.stall_s = std::min(stall, T);
+  decision.throughput = tput;
+  decision.samples_committed = samples;
+  current_ = target;
+  return decision;
+}
+
+}  // namespace parcae

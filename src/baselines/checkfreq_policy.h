@@ -1,0 +1,39 @@
+// CheckFreq-style baseline (§1, [32]): Varuna's checkpointing replaced
+// by fine-grained, pipelined checkpointing — snapshots are taken every
+// few iterations and the copy overlaps training almost entirely. The
+// paper's point (§5.2 of its intro discussion) is that even this
+// "best-case checkpointing" remains reactive: preemptions still roll
+// back (a little) and every availability change still forces a full
+// reconfiguration with a storage round-trip.
+#pragma once
+
+#include "baselines/varuna_policy.h"
+
+namespace parcae {
+
+// Implemented as a configuration of the checkpoint-based policy: very
+// short checkpoint period, near-total save overlap, and a warm
+// restore cache that halves the reload time.
+class CheckFreqPolicy final : public SpotTrainingPolicy {
+ public:
+  explicit CheckFreqPolicy(ModelProfile model);
+
+  std::string name() const override { return "CheckFreq"; }
+  void reset() override { inner_.reset(); }
+  IntervalDecision on_interval(int interval_index,
+                               const AvailabilityEvent& event,
+                               double interval_s) override {
+    IntervalDecision d = inner_.on_interval(interval_index, event,
+                                            interval_s);
+    return d;
+  }
+  double support_cost_usd_per_hour() const override {
+    return inner_.support_cost_usd_per_hour();
+  }
+
+ private:
+  static VarunaOptions checkfreq_options();
+  VarunaPolicy inner_;
+};
+
+}  // namespace parcae

@@ -1,0 +1,49 @@
+#include "baselines/elastic_dp_policy.h"
+
+#include <algorithm>
+
+namespace parcae {
+
+ElasticDpPolicy::ElasticDpPolicy(ModelProfile model, ElasticDpOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      throughput_(model_, options.throughput) {}
+
+void ElasticDpPolicy::reset() { current_ = kIdleConfig; }
+
+IntervalDecision ElasticDpPolicy::on_interval(int interval_index,
+                                              const AvailabilityEvent& event,
+                                              double interval_s) {
+  (void)interval_index;
+  IntervalDecision decision;
+  const double T = interval_s;
+  if (!model_fits()) {
+    decision.note = "model does not fit a single GPU";
+    return decision;
+  }
+  const int max_pipelines =
+      std::max(1, model_.mini_batch / model_.micro_batch);
+  const int d = std::min(event.available, max_pipelines);
+  const ParallelConfig target = d >= 1 ? ParallelConfig{d, 1} : kIdleConfig;
+
+  double stall = 0.0;
+  double lost = 0.0;
+  const double tput = target.valid() ? throughput_.throughput(target) : 0.0;
+  if (target != current_ && target.valid()) {
+    stall += options_.regroup_stall_s;
+    if (event.preempted > 0 && current_.valid()) {
+      // In-flight iteration is abandoned on a shrink.
+      lost = static_cast<double>(model_.mini_batch);
+    }
+  }
+
+  decision.config = target;
+  decision.stall_s = std::min(stall, T);
+  decision.throughput = tput;
+  decision.samples_committed = tput * std::max(0.0, T - stall);
+  decision.samples_lost = lost;
+  current_ = target;
+  return decision;
+}
+
+}  // namespace parcae

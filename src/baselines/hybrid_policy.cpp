@@ -1,0 +1,54 @@
+#include "baselines/hybrid_policy.h"
+
+#include <algorithm>
+
+#include "runtime/pricing.h"
+
+namespace parcae {
+
+HybridSpotPolicy::HybridSpotPolicy(ModelProfile model, HybridOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      throughput_(model_, options.throughput),
+      core_depth_(options.core_depth > 0
+                      ? options.core_depth
+                      : std::max(1, throughput_.min_pipeline_depth())) {}
+
+void HybridSpotPolicy::reset() { current_ = kIdleConfig; }
+
+double HybridSpotPolicy::support_cost_usd_per_hour() const {
+  return core_depth_ * Pricing{}.ondemand_gpu_usd_per_hour;
+}
+
+IntervalDecision HybridSpotPolicy::on_interval(int interval_index,
+                                               const AvailabilityEvent& event,
+                                               double interval_s) {
+  (void)interval_index;
+  IntervalDecision decision;
+  const double T = interval_s;
+  // One on-demand pipeline is always there; spot instances contribute
+  // whole extra pipelines of the same depth.
+  const int max_pipelines =
+      std::max(1, model_.mini_batch / model_.micro_batch);
+  const int spot_pipelines =
+      std::min(event.available / core_depth_, max_pipelines - 1);
+  const ParallelConfig target{1 + spot_pipelines, core_depth_};
+
+  double stall = 0.0;
+  if (current_.valid() && target.dp != current_.dp) {
+    // Spot pipelines joined or left: process-group rebuild; the core
+    // pipeline keeps the model state so nothing is ever lost.
+    stall += options_.regroup_stall_s;
+    decision.note = "regroup -> " + target.to_string();
+  }
+
+  decision.config = target;
+  decision.throughput = throughput_.throughput(target);
+  decision.samples_committed =
+      decision.throughput * std::max(0.0, T - stall);
+  decision.stall_s = std::min(stall, T);
+  current_ = target;
+  return decision;
+}
+
+}  // namespace parcae

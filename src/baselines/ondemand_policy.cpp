@@ -1,0 +1,25 @@
+#include "baselines/ondemand_policy.h"
+
+namespace parcae {
+
+SpotTrace flat_trace(int instances, double duration_s,
+                     const std::string& name) {
+  return SpotTrace(name, instances, instances, duration_s, {});
+}
+
+OnDemandPolicy::OnDemandPolicy(ModelProfile model,
+                               ThroughputModelOptions options)
+    : model_(std::move(model)), throughput_(model_, options) {}
+
+IntervalDecision OnDemandPolicy::on_interval(int interval_index,
+                                             const AvailabilityEvent& event,
+                                             double interval_s) {
+  (void)interval_index;
+  IntervalDecision decision;
+  decision.config = throughput_.best_config(event.available);
+  decision.throughput = throughput_.throughput(decision.config);
+  decision.samples_committed = decision.throughput * interval_s;
+  return decision;
+}
+
+}  // namespace parcae

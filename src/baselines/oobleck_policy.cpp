@@ -1,0 +1,108 @@
+#include "baselines/oobleck_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parcae {
+
+OobleckPolicy::OobleckPolicy(ModelProfile model, OobleckOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      throughput_(model_, options.throughput),
+      estimator_(model_) {
+  // Precompute templates: every memory-feasible depth (or the
+  // user-specified subset).
+  const int min_depth = std::max(1, throughput_.min_pipeline_depth());
+  if (options_.template_depths.empty()) {
+    for (int p = min_depth;
+         p <= std::min(32, model_.partition_units); ++p)
+      templates_.push_back(p);
+  } else {
+    for (int p : options_.template_depths)
+      if (p >= min_depth && p <= model_.partition_units)
+        templates_.push_back(p);
+  }
+}
+
+void OobleckPolicy::reset() {
+  current_ = kIdleConfig;
+  pending_stall_s_ = 0.0;
+  unsaved_samples_ = 0.0;
+  train_since_save_s_ = 0.0;
+}
+
+ParallelConfig OobleckPolicy::best_instantiation(int available) const {
+  ParallelConfig best = kIdleConfig;
+  double best_tput = 0.0;
+  const int max_pipelines =
+      std::max(1, model_.mini_batch / model_.micro_batch);
+  for (int p : templates_) {
+    const int d = std::min(available / p, max_pipelines);
+    if (d < 1) continue;
+    const ParallelConfig c{d, p};
+    const double tput = throughput_.throughput(c);
+    if (tput > best_tput) {
+      best_tput = tput;
+      best = c;
+    }
+  }
+  return best;
+}
+
+IntervalDecision OobleckPolicy::on_interval(int interval_index,
+                                            const AvailabilityEvent& event,
+                                            double interval_s) {
+  (void)interval_index;
+  IntervalDecision decision;
+  const double T = interval_s;
+  const ParallelConfig target = best_instantiation(event.available);
+
+  // With a single pipeline, no replica holds the preempted stage's
+  // lineage: fall back to the periodic remote checkpoint (reload and
+  // lose the unsaved window).
+  if (event.preempted > 0 && current_.valid() && current_.dp <= 1) {
+    pending_stall_s_ += model_.parameters *
+                        options_.checkpoint_bytes_per_param /
+                        options_.storage_bandwidth_bytes_per_s;
+    decision.samples_lost = unsaved_samples_;
+    unsaved_samples_ = 0.0;
+    train_since_save_s_ = 0.0;
+    decision.note = "single-pipeline state lost: checkpoint reload";
+  } else if (target.valid()) {
+    if (current_.valid() && target.pp != current_.pp) {
+      // Re-instantiating a different template re-shards the model —
+      // planned ahead, but the bytes still move.
+      pending_stall_s_ +=
+          estimator_.pipeline_migration(current_, target).total();
+      decision.note = "template switch -> " + target.to_string();
+    } else if (event.preempted > 0 || target != current_) {
+      pending_stall_s_ += options_.recovery_stall_s;
+    }
+  }
+  double stall = std::min(pending_stall_s_, T);
+  pending_stall_s_ -= stall;
+
+  decision.config = target;
+  if (target.valid()) {
+    decision.throughput = throughput_.throughput(target);
+    decision.samples_committed =
+        decision.throughput * std::max(0.0, T - stall);
+    // Periodic checkpoint bookkeeping (only matters at D=1).
+    const double train_s = std::max(0.0, T - stall);
+    train_since_save_s_ += train_s;
+    unsaved_samples_ += decision.samples_committed;
+    if (train_since_save_s_ >= options_.checkpoint_period_s) {
+      const double leftover =
+          std::fmod(train_since_save_s_, options_.checkpoint_period_s);
+      unsaved_samples_ = decision.throughput * leftover;
+      train_since_save_s_ = leftover;
+    }
+  } else {
+    decision.note = "no template fits the available instances";
+  }
+  decision.stall_s = std::min(stall, T);
+  current_ = target;
+  return decision;
+}
+
+}  // namespace parcae

@@ -1,0 +1,69 @@
+// Oobleck-style baseline (related work, §11): resilient training via
+// *precomputed pipeline templates*.
+//
+// At job start, Oobleck precomputes a set of pipeline templates (one
+// per feasible pipeline depth); on a failure it re-instantiates
+// pipelines from the templates instead of re-planning, which makes
+// recovery fast (template switch) but still *reactive*: it always
+// picks the template maximizing instantaneous throughput and pays the
+// instantiation cost whenever the template changes. Checkpoints are
+// not needed (like Parcae it keeps redundant state lineage across
+// pipeline replicas; a full template switch only reshuffles shards).
+#pragma once
+
+#include <vector>
+
+#include "migration/cost_model.h"
+#include "model/model_profile.h"
+#include "parallel/throughput_model.h"
+#include "runtime/cluster_sim.h"
+
+namespace parcae {
+
+struct OobleckOptions {
+  // Same-template recovery (borrow a replica / drop a pipeline):
+  // planned ahead, peer-to-peer, no checkpoint round-trip.
+  double recovery_stall_s = 8.0;
+  // Lineage only survives while another pipeline replica holds the
+  // stage. Running a single pipeline, a preemption destroys state and
+  // falls back to the periodic remote checkpoint.
+  double checkpoint_period_s = 300.0;
+  double storage_bandwidth_bytes_per_s = 600e6;
+  double checkpoint_bytes_per_param = 14.0;
+  // Templates precomputed at job start: one per depth in this list
+  // that is memory-feasible (empty = all feasible depths).
+  std::vector<int> template_depths;
+  ThroughputModelOptions throughput{
+      NetworkModel{}, MemorySpec::parcae(), 0.5, 0.0, 1};
+};
+
+class OobleckPolicy final : public SpotTrainingPolicy {
+ public:
+  explicit OobleckPolicy(ModelProfile model, OobleckOptions options = {});
+
+  std::string name() const override { return "Oobleck"; }
+  void reset() override;
+  IntervalDecision on_interval(int interval_index,
+                               const AvailabilityEvent& event,
+                               double interval_s) override;
+  // Coordinator node + checkpoint storage.
+  double support_cost_usd_per_hour() const override { return 0.68 + 0.1; }
+
+  const std::vector<int>& templates() const { return templates_; }
+
+ private:
+  // Best (throughput-max) instantiation of any template for N nodes.
+  ParallelConfig best_instantiation(int available) const;
+
+  ModelProfile model_;
+  OobleckOptions options_;
+  ThroughputModel throughput_;
+  CostEstimator estimator_;
+  std::vector<int> templates_;
+  ParallelConfig current_ = kIdleConfig;
+  double pending_stall_s_ = 0.0;
+  double unsaved_samples_ = 0.0;
+  double train_since_save_s_ = 0.0;
+};
+
+}  // namespace parcae

@@ -1,0 +1,108 @@
+#include "baselines/varuna_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/pricing.h"
+
+namespace parcae {
+
+VarunaPolicy::VarunaPolicy(ModelProfile model, VarunaOptions options)
+    : model_(std::move(model)),
+      options_(options),
+      throughput_(model_, options.throughput) {}
+
+void VarunaPolicy::reset() {
+  current_ = kIdleConfig;
+  unsaved_samples_ = 0.0;
+  train_since_save_s_ = 0.0;
+  pending_stall_s_ = 0.0;
+}
+
+double VarunaPolicy::checkpoint_save_time_s() const {
+  return model_.parameters * options_.checkpoint_bytes_per_param /
+         options_.storage_bandwidth_bytes_per_s;
+}
+
+double VarunaPolicy::support_cost_usd_per_hour() const {
+  return Pricing{}.cloud_storage_usd_per_hour;
+}
+
+IntervalDecision VarunaPolicy::on_interval(int interval_index,
+                                           const AvailabilityEvent& event,
+                                           double interval_s) {
+  IntervalDecision decision;
+  const double T = interval_s;
+
+  const bool availability_changed =
+      event.preempted > 0 || event.allocated > 0 || interval_index == 0;
+
+  if (event.preempted > 0 && current_.valid()) {
+    // Roll back to the last completed checkpoint: everything trained
+    // since is lost; the restart reloads the checkpoint from storage.
+    decision.samples_lost = unsaved_samples_;
+    unsaved_samples_ = 0.0;
+    train_since_save_s_ = 0.0;
+  }
+
+  if (availability_changed) {
+    // Job morphing to the throughput-optimal configuration.
+    const ParallelConfig target = throughput_.best_config(event.available);
+    if (target != current_ || event.preempted > 0) {
+      if (target.valid()) {
+        pending_stall_s_ += checkpoint_save_time_s()  // reload = same volume
+                            + options_.reconfigure_fixed_s;
+      }
+      current_ = target;
+    }
+  }
+
+  // Consume as much of the outstanding stall as fits this interval.
+  double stall = std::min(pending_stall_s_, T);
+  pending_stall_s_ -= stall;
+
+  decision.config = current_;
+  double samples = 0.0;
+  double tput = 0.0;
+  if (current_.valid()) {
+    tput = throughput_.throughput(current_);
+    double train_s = std::max(0.0, T - stall);
+    // Periodic checkpointing: each save stalls training for the
+    // unoverlapped fraction of the save time.
+    const double save_time = checkpoint_save_time_s();
+    const double period = options_.checkpoint_period_s;
+    double saves = 0.0;
+    if (period > 0.0 && train_s > 0.0) {
+      double progressed = train_since_save_s_ + train_s;
+      while (progressed >= period) {
+        progressed -= period;
+        saves += 1.0;
+      }
+    }
+    const double save_stall = saves * save_time * options_.save_stall_fraction;
+    train_s = std::max(0.0, train_s - save_stall);
+    stall += save_stall;
+    samples = tput * train_s;
+
+    // Update checkpoint bookkeeping: a completed save persists all
+    // samples up to its point in time.
+    train_since_save_s_ += train_s;
+    unsaved_samples_ += samples;
+    if (saves > 0.0 && period > 0.0) {
+      const double leftover = std::fmod(train_since_save_s_, period);
+      train_since_save_s_ = leftover;
+      unsaved_samples_ = tput * leftover;
+    }
+  }
+
+  decision.stall_s = std::min(stall, T);
+  decision.throughput = tput;
+  decision.samples_committed = samples;
+  if (availability_changed && current_.valid())
+    decision.note = "morph -> " + current_.to_string();
+  else if (!current_.valid())
+    decision.note = "suspended (no feasible pipeline)";
+  return decision;
+}
+
+}  // namespace parcae

@@ -1,0 +1,64 @@
+// Varuna-style baseline (checkpoint-based, throughput-optimized,
+// reactive) following the paper's characterization (§1, §2.2, §10.2):
+//   - periodically saves full training state to cloud storage
+//     (partially overlapped with training),
+//   - on any availability change, "job morphing" reconfigures to the
+//     throughput-optimal (D, P) for the new instance count,
+//   - a preemption rolls training back to the last completed
+//     checkpoint (losing the progress since) and restarts by loading
+//     the checkpoint from storage,
+//   - its memory stack keeps full Adam states on the GPU, giving the
+//     deepest minimum pipeline depth of the three systems.
+#pragma once
+
+#include "model/model_profile.h"
+#include "parallel/throughput_model.h"
+#include "runtime/cluster_sim.h"
+
+namespace parcae {
+
+struct VarunaOptions {
+  double checkpoint_period_s = 300.0;  // training time between saves
+  // S3-class aggregate bandwidth; shard loads are partially parallel
+  // across instances, so the effective rate exceeds one connection.
+  double storage_bandwidth_bytes_per_s = 600e6;
+  // Fraction of a save not hidden behind training.
+  double save_stall_fraction = 0.25;
+  // Fixed reconfiguration cost on top of the checkpoint load
+  // (process respawn, rendezvous, model rebuild).
+  double reconfigure_fixed_s = 35.0;
+  // Bytes of training state checkpointed per parameter (fp16 weights
+  // + fp32 master + Adam moments).
+  double checkpoint_bytes_per_param = 14.0;
+  ThroughputModelOptions throughput{
+      NetworkModel{}, MemorySpec::varuna(), 0.5, 0.0, 1};
+};
+
+class VarunaPolicy final : public SpotTrainingPolicy {
+ public:
+  explicit VarunaPolicy(ModelProfile model, VarunaOptions options = {});
+
+  std::string name() const override { return "Varuna"; }
+  void reset() override;
+  IntervalDecision on_interval(int interval_index,
+                               const AvailabilityEvent& event,
+                               double interval_s) override;
+  double support_cost_usd_per_hour() const override;
+
+  const ThroughputModel& throughput_model() const { return throughput_; }
+  double checkpoint_save_time_s() const;
+
+ private:
+  ModelProfile model_;
+  VarunaOptions options_;
+  ThroughputModel throughput_;
+
+  ParallelConfig current_ = kIdleConfig;
+  double unsaved_samples_ = 0.0;
+  double train_since_save_s_ = 0.0;
+  // Stall that did not fit in the interval it was incurred (large
+  // checkpoint reloads span several intervals for big models).
+  double pending_stall_s_ = 0.0;
+};
+
+}  // namespace parcae

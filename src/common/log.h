@@ -1,0 +1,47 @@
+// Minimal leveled logger. The cluster simulator logs migrations,
+// preemptions, and configuration changes through this so examples can
+// show a narrated run while benches keep quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace parcae {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global log level; defaults to kWarn so tests and benches stay quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define PARCAE_LOG(level)                                 \
+  if (static_cast<int>(level) < static_cast<int>(::parcae::log_level())) \
+    ;                                                     \
+  else                                                    \
+    ::parcae::detail::LogLine(level)
+
+#define PARCAE_DEBUG PARCAE_LOG(::parcae::LogLevel::kDebug)
+#define PARCAE_INFO PARCAE_LOG(::parcae::LogLevel::kInfo)
+#define PARCAE_WARN PARCAE_LOG(::parcae::LogLevel::kWarn)
+#define PARCAE_ERROR PARCAE_LOG(::parcae::LogLevel::kError)
+
+}  // namespace parcae

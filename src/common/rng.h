@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generation for Parcae.
+//
+// All stochastic components of the system (Monte-Carlo preemption
+// sampling, trace synthesis, the NN training library) draw from Rng so
+// that every experiment is reproducible bit-for-bit from a seed.
+// The generator is xoshiro256**, seeded via SplitMix64.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace parcae {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  // Uniform on [0, 1).
+  double uniform();
+
+  // Uniform on [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer on [0, n). Precondition: n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  // Uniform integer on [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Standard normal via Box-Muller (cached second variate).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Bernoulli trial with success probability p.
+  bool bernoulli(double p);
+
+  // Poisson-distributed count (Knuth for small lambda, normal
+  // approximation above 64).
+  std::uint64_t poisson(double lambda);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> xs) {
+    for (std::size_t i = xs.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(xs[i - 1], xs[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& xs) {
+    shuffle(std::span<T>(xs));
+  }
+
+  // k distinct indices drawn uniformly from [0, n), in random order.
+  // Precondition: k <= n. Uses partial Fisher-Yates, O(n) space.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  // Derive an independent child generator (for parallel components
+  // that must not share a stream).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace parcae

@@ -1,0 +1,171 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parcae {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ += delta * static_cast<double>(other.n_) / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::span<const double> xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double l1_distance(std::span<const double> pred,
+                   std::span<const double> truth) {
+  assert(pred.size() == truth.size());
+  if (pred.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    s += std::abs(pred[i] - truth[i]);
+  return s / static_cast<double>(pred.size());
+}
+
+double normalized_l1(std::span<const double> pred,
+                     std::span<const double> truth) {
+  double denom = 0.0;
+  for (double t : truth) denom += std::abs(t);
+  if (denom == 0.0) return 0.0;
+  denom /= static_cast<double>(truth.size());
+  return l1_distance(pred, truth) / denom;
+}
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  LinearFit fit;
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) {
+    fit.intercept = ys.empty() ? 0.0 : ys[0];
+    return fit;
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  (void)n;
+  fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  assert(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> least_squares(const std::vector<double>& x_row_major,
+                                  std::size_t rows, std::size_t cols,
+                                  const std::vector<double>& y) {
+  assert(x_row_major.size() == rows * cols);
+  assert(y.size() == rows);
+  // Form the normal equations A = X'X (cols x cols), b = X'y.
+  std::vector<double> a(cols * cols, 0.0);
+  std::vector<double> b(cols, 0.0);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* xr = &x_row_major[r * cols];
+    for (std::size_t i = 0; i < cols; ++i) {
+      b[i] += xr[i] * y[r];
+      for (std::size_t j = i; j < cols; ++j) a[i * cols + j] += xr[i] * xr[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols; ++i)
+    for (std::size_t j = 0; j < i; ++j) a[i * cols + j] = a[j * cols + i];
+
+  // Gaussian elimination with partial pivoting; small ridge for
+  // numerical robustness on nearly collinear designs.
+  for (std::size_t i = 0; i < cols; ++i) a[i * cols + i] += 1e-9;
+  std::vector<std::size_t> piv(cols);
+  for (std::size_t i = 0; i < cols; ++i) piv[i] = i;
+  for (std::size_t col = 0; col < cols; ++col) {
+    std::size_t best = col;
+    for (std::size_t r = col + 1; r < cols; ++r)
+      if (std::abs(a[r * cols + col]) > std::abs(a[best * cols + col]))
+        best = r;
+    if (std::abs(a[best * cols + col]) < 1e-12) return {};
+    if (best != col) {
+      for (std::size_t j = 0; j < cols; ++j)
+        std::swap(a[best * cols + j], a[col * cols + j]);
+      std::swap(b[best], b[col]);
+    }
+    const double pivot = a[col * cols + col];
+    for (std::size_t r = col + 1; r < cols; ++r) {
+      const double factor = a[r * cols + col] / pivot;
+      if (factor == 0.0) continue;
+      for (std::size_t j = col; j < cols; ++j)
+        a[r * cols + j] -= factor * a[col * cols + j];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> beta(cols, 0.0);
+  for (std::size_t i = cols; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < cols; ++j) s -= a[i * cols + j] * beta[j];
+    beta[i] = s / a[i * cols + i];
+  }
+  return beta;
+}
+
+}  // namespace parcae

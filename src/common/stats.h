@@ -1,0 +1,67 @@
+// Small statistics helpers shared across Parcae modules: running
+// moments (Welford), percentiles, and the trace-forecast error metrics
+// used by the availability-predictor evaluation (Figure 5a).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace parcae {
+
+// Numerically stable running mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Linear-interpolated percentile, q in [0,1]. Copies and sorts.
+double percentile(std::span<const double> xs, double q);
+
+double mean(std::span<const double> xs);
+
+// Mean absolute error between prediction and truth (same length).
+double l1_distance(std::span<const double> pred, std::span<const double> truth);
+
+// The paper's Figure-5a metric: L1 distance normalized by the mean
+// magnitude of the ground truth, so traces of different availability
+// levels are comparable. Returns 0 when truth is identically zero.
+double normalized_l1(std::span<const double> pred,
+                     std::span<const double> truth);
+
+// Simple ordinary least squares fit y ~ a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+// Solve the normal equations (X'X) beta = X'y for dense column-major
+// design matrices via Gaussian elimination with partial pivoting.
+// X has `rows` rows and `cols` columns laid out row-major.
+// Returns empty vector if the system is singular.
+std::vector<double> least_squares(const std::vector<double>& x_row_major,
+                                  std::size_t rows, std::size_t cols,
+                                  const std::vector<double>& y);
+
+}  // namespace parcae

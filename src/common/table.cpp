@@ -1,0 +1,117 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace parcae {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string format_si(double v, int precision) {
+  const char* suffix = "";
+  double scaled = v;
+  const double av = std::abs(v);
+  if (av >= 1e9) {
+    scaled = v / 1e9;
+    suffix = "G";
+  } else if (av >= 1e6) {
+    scaled = v / 1e6;
+    suffix = "M";
+  } else if (av >= 1e3) {
+    scaled = v / 1e3;
+    suffix = "k";
+  }
+  return format_double(scaled, precision) + suffix;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::add(const std::string& cell) {
+  rows_.back().push_back(cell);
+  return *this;
+}
+
+TextTable& TextTable::add(const char* cell) { return add(std::string(cell)); }
+
+TextTable& TextTable::add(double value, int precision) {
+  return add(format_double(value, precision));
+}
+
+TextTable& TextTable::add(long long value) {
+  return add(std::to_string(value));
+}
+
+TextTable& TextTable::add(int value) { return add(std::to_string(value)); }
+
+TextTable& TextTable::add(std::size_t value) {
+  return add(std::to_string(value));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << c << std::string(width[i] - c.size(), ' ');
+      if (i + 1 < width.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w;
+  total += 2 * (width.empty() ? 0 : width.size() - 1);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << csv_escape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace parcae

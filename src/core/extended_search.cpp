@@ -1,0 +1,153 @@
+#include "core/extended_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/memory_model.h"
+
+namespace parcae {
+namespace {
+
+// Per-instance view of a TP-sharded model: parameters and activations
+// divide across the T shards of each stage.
+ModelProfile shard_profile(const ModelProfile& model, int tp) {
+  ModelProfile shard = model;
+  shard.parameters /= tp;
+  shard.boundary_activation_bytes /= tp;
+  shard.unit_activation_bytes /= tp;
+  return shard;
+}
+
+}  // namespace
+
+ExtendedThroughputModel::ExtendedThroughputModel(
+    ModelProfile model, ThroughputModelOptions options,
+    ExtendedSearchOptions extended)
+    : model_(std::move(model)), options_(options), extended_(extended) {}
+
+int ExtendedThroughputModel::min_pipeline_depth(int tp) const {
+  const MemoryModel memory(shard_profile(model_, tp), options_.memory);
+  return memory.min_feasible_depth();
+}
+
+bool ExtendedThroughputModel::feasible(TensorParallelConfig config) const {
+  if (!config.valid()) return false;
+  if (config.pp > model_.partition_units) return false;
+  const int min_depth = min_pipeline_depth(config.tp);
+  if (min_depth < 0 || config.pp < min_depth) return false;
+  if (config.dp * model_.micro_batch > model_.mini_batch) return false;
+  return true;
+}
+
+double ExtendedThroughputModel::throughput(TensorParallelConfig config) const {
+  if (!feasible(config)) return 0.0;
+  const double micro = model_.micro_batch;
+  const double m = std::ceil(static_cast<double>(model_.mini_batch) /
+                             (config.dp * micro));
+  // Compute per stage-shard: split P ways then T ways (imperfectly).
+  const double tp_eff =
+      config.tp > 1
+          ? std::pow(extended_.tp_compute_efficiency,
+                     std::log2(static_cast<double>(config.tp)))
+          : 1.0;
+  const double t_stage =
+      model_.train_flops_per_sample() * micro /
+      (static_cast<double>(config.pp) * config.tp * tp_eff *
+       model_.effective_flops);
+
+  // Megatron tax: two activation all-reduces across the T shards per
+  // partition unit per microbatch (forward + backward).
+  double t_tp = 0.0;
+  if (config.tp > 1) {
+    const double units_per_stage =
+        static_cast<double>(model_.partition_units) / config.pp;
+    t_tp = units_per_stage * 2.0 *
+           options_.network.ring_allreduce_time(
+               model_.boundary_activation_bytes * micro, config.tp);
+  }
+
+  double t_p2p = 0.0;
+  if (config.pp > 1) {
+    t_p2p = 2.0 * options_.network.p2p_time(
+                      model_.boundary_activation_bytes * micro / config.tp);
+  }
+
+  const double pipeline_time =
+      (m + static_cast<double>(config.pp) - 1.0) * (t_stage + t_tp + t_p2p);
+  const double shard_bytes =
+      model_.weight_bytes() / (config.pp * config.tp);
+  const double t_allreduce =
+      options_.network.ring_allreduce_time(shard_bytes, config.dp) *
+      (1.0 - options_.allreduce_overlap);
+  const double iteration = pipeline_time + t_allreduce;
+  return iteration > 0.0 ? model_.mini_batch / iteration : 0.0;
+}
+
+std::vector<TensorParallelConfig> ExtendedThroughputModel::enumerate_configs(
+    int instances) const {
+  std::vector<TensorParallelConfig> out;
+  for (int tp : extended_.tp_degrees) {
+    if (tp > instances) continue;
+    const int min_depth = min_pipeline_depth(tp);
+    if (min_depth < 0) continue;
+    const int budget = instances / tp;
+    const int max_p = std::min(budget, model_.partition_units);
+    for (int p = min_depth; p <= max_p; ++p)
+      for (int d = 1; d * p <= budget; ++d) {
+        const TensorParallelConfig c{d, p, tp};
+        if (feasible(c)) out.push_back(c);
+      }
+  }
+  return out;
+}
+
+TensorParallelConfig ExtendedThroughputModel::best_config(
+    int instances) const {
+  TensorParallelConfig best;
+  double best_tput = 0.0;
+  for (const auto& c : enumerate_configs(instances)) {
+    const double tput = throughput(c);
+    if (tput > best_tput) {
+      best_tput = tput;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double ExtendedThroughputModel::liveput(TensorParallelConfig config, int idle,
+                                        int preemptions, int trials,
+                                        std::uint64_t seed) const {
+  if (!config.valid()) return 0.0;
+  if (preemptions <= 0) return throughput(config);
+  Rng rng(seed ^ (static_cast<std::uint64_t>(config.instances()) << 20));
+  const int cells = config.dp * config.pp;
+  const int total = cells * config.tp + idle;
+  const int k = std::clamp(preemptions, 0, total);
+  double expected = 0.0;
+  std::vector<int> alive_per_stage(static_cast<std::size_t>(config.pp));
+  std::vector<bool> cell_dead(static_cast<std::size_t>(cells));
+  for (int t = 0; t < trials; ++t) {
+    std::fill(cell_dead.begin(), cell_dead.end(), false);
+    // Instance index layout: [0, cells*tp) shard instances (cell =
+    // idx / tp), then idle spares.
+    for (std::size_t victim : rng.sample_without_replacement(
+             static_cast<std::size_t>(total), static_cast<std::size_t>(k))) {
+      if (victim < static_cast<std::size_t>(cells) *
+                       static_cast<std::size_t>(config.tp))
+        cell_dead[victim / static_cast<std::size_t>(config.tp)] = true;
+    }
+    std::fill(alive_per_stage.begin(), alive_per_stage.end(), config.dp);
+    for (int cell = 0; cell < cells; ++cell)
+      if (cell_dead[static_cast<std::size_t>(cell)])
+        --alive_per_stage[static_cast<std::size_t>(cell % config.pp)];
+    const int d_alive =
+        *std::min_element(alive_per_stage.begin(), alive_per_stage.end());
+    if (d_alive >= 1)
+      expected +=
+          throughput(TensorParallelConfig{d_alive, config.pp, config.tp});
+  }
+  return expected / trials;
+}
+
+}  // namespace parcae

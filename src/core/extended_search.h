@@ -1,0 +1,80 @@
+// Extended (tensor-parallel) search space — the paper's stated future
+// work (§2.1: "leaves the exploration of more fine-grained model
+// parallelism as our future work"; §7.2: "possible to extend to a
+// larger search space (e.g., Alpa)").
+//
+// A 3D configuration (D, P, T) runs D data-parallel pipelines of P
+// stages, each stage sharded Megatron-style across T instances: per
+// stage-shard compute drops by T, but every partition unit pays two
+// activation all-reduces across the T shards per microbatch (forward
+// and backward). Memory per instance also drops by T, unlocking deep
+// models on fewer, smaller devices. Liveput extends naturally: a
+// preemption now kills one shard, taking the whole (stage, pipeline)
+// cell with it, which makes high-T configurations *more* fragile —
+// the same robustness/throughput trade-off as pipeline depth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "migration/preemption.h"
+#include "parallel/throughput_model.h"
+
+namespace parcae {
+
+struct TensorParallelConfig {
+  int dp = 0;
+  int pp = 0;
+  int tp = 1;
+
+  int instances() const { return dp * pp * tp; }
+  bool valid() const { return dp >= 1 && pp >= 1 && tp >= 1; }
+  std::string to_string() const {
+    return std::to_string(dp) + "x" + std::to_string(pp) + "x" +
+           std::to_string(tp);
+  }
+  friend auto operator<=>(const TensorParallelConfig&,
+                          const TensorParallelConfig&) = default;
+};
+
+struct ExtendedSearchOptions {
+  // Candidate tensor-parallel degrees (powers of two, Megatron-style).
+  std::vector<int> tp_degrees{1, 2, 4, 8};
+  // Efficiency of tensor-parallel compute scaling (kernel splitting
+  // is never perfect).
+  double tp_compute_efficiency = 0.92;
+};
+
+class ExtendedThroughputModel {
+ public:
+  ExtendedThroughputModel(ModelProfile model,
+                          ThroughputModelOptions options = {},
+                          ExtendedSearchOptions extended = {});
+
+  // Samples/s; 0 when infeasible.
+  double throughput(TensorParallelConfig config) const;
+  bool feasible(TensorParallelConfig config) const;
+
+  // Memory-feasible minimum pipeline depth at a given TP degree (TP
+  // shards parameters and activations).
+  int min_pipeline_depth(int tp) const;
+
+  // All feasible (D, P, T) with instances() <= n.
+  std::vector<TensorParallelConfig> enumerate_configs(int instances) const;
+  TensorParallelConfig best_config(int instances) const;
+
+  // Expected throughput after k uniform preemptions, with intra-stage
+  // recovery at cell granularity (a cell = T shards; losing any shard
+  // loses the cell). Monte-Carlo with a deterministic seed.
+  double liveput(TensorParallelConfig config, int idle, int preemptions,
+                 int trials = 512, std::uint64_t seed = 29) const;
+
+  const ModelProfile& model() const { return model_; }
+
+ private:
+  ModelProfile model_;
+  ThroughputModelOptions options_;
+  ExtendedSearchOptions extended_;
+};
+
+}  // namespace parcae

@@ -1,0 +1,34 @@
+#include "core/liveput.h"
+
+#include <algorithm>
+
+namespace parcae {
+
+LiveputEstimator::LiveputEstimator(const ThroughputModel* throughput,
+                                   PreemptionSampler* sampler)
+    : throughput_(throughput), sampler_(sampler) {}
+
+double LiveputEstimator::liveput(ParallelConfig config, int idle,
+                                 int preemptions) const {
+  if (!config.valid()) return 0.0;
+  if (preemptions <= 0) return throughput_->throughput(config);
+  const PreemptionSummary& s = sampler_->summarize(config, idle, preemptions);
+  double expected = 0.0;
+  for (int d = 1; d <= config.dp; ++d)
+    expected += s.intra_pipelines_prob[static_cast<std::size_t>(d)] *
+                throughput_->throughput(ParallelConfig{d, config.pp});
+  return expected;
+}
+
+double LiveputEstimator::liveput_with_inter_stage(ParallelConfig config,
+                                                  int idle,
+                                                  int preemptions) const {
+  if (!config.valid()) return 0.0;
+  if (preemptions <= 0) return throughput_->throughput(config);
+  const int alive = config.instances() + idle - preemptions;
+  const int d = std::clamp(alive / config.pp, 0, config.dp);
+  if (d < 1) return 0.0;
+  return throughput_->throughput(ParallelConfig{d, config.pp});
+}
+
+}  // namespace parcae

@@ -1,0 +1,41 @@
+// Liveput (Definition 1, §3): the expected training throughput of a
+// parallel configuration under a distribution of preemption scenarios.
+//
+//   LIVEPUT(D, P, V) = E_{v ~ V}[ THROUGHPUT(D_v, P_v) ]
+//
+// With the paper's uniform preemption-mapping model (§6.1), a scenario
+// with k preemptions kills k uniformly chosen instances; intra-stage
+// migration then recovers D_v = min_s alive(s) complete pipelines at
+// unchanged depth. The estimator composes the Monte-Carlo preemption
+// sampler with the throughput model; with k = 0 liveput equals
+// throughput (§3.2).
+#pragma once
+
+#include "migration/preemption.h"
+#include "parallel/throughput_model.h"
+
+namespace parcae {
+
+class LiveputEstimator {
+ public:
+  LiveputEstimator(const ThroughputModel* throughput,
+                   PreemptionSampler* sampler);
+
+  // Expected throughput (samples/s) of `config` (with `idle` spare
+  // instances also exposed to preemption) after exactly `preemptions`
+  // uniformly mapped preemptions, assuming intra-stage recovery.
+  double liveput(ParallelConfig config, int idle, int preemptions) const;
+
+  // Same, but assuming inter-stage rebalancing is also available:
+  // survivors regroup into floor(alive / P) pipelines.
+  double liveput_with_inter_stage(ParallelConfig config, int idle,
+                                  int preemptions) const;
+
+  const ThroughputModel& throughput_model() const { return *throughput_; }
+
+ private:
+  const ThroughputModel* throughput_;
+  PreemptionSampler* sampler_;
+};
+
+}  // namespace parcae

@@ -1,0 +1,137 @@
+#include "core/liveput_optimizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace parcae {
+
+LiveputOptimizer::LiveputOptimizer(const ThroughputModel* throughput,
+                                   CostEstimator estimator,
+                                   LiveputOptimizerOptions options)
+    : throughput_(throughput),
+      estimator_(std::move(estimator)),
+      options_(options),
+      sampler_(options.seed, options.mc_trials) {}
+
+double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
+                                                 int n_from, ParallelConfig to,
+                                                 int preemptions) {
+  if (!to.valid()) return 0.0;  // suspending costs nothing by itself
+  if (!from.valid()) {
+    // Resuming from suspension: restore the full state from ParcaePS.
+    return estimator_.checkpoint_rollback(to).total();
+  }
+  const int idle = std::max(0, n_from - from.instances());
+  const int k = std::clamp(preemptions, 0, from.instances() + idle);
+
+  if (k == 0 && to == from) return 0.0;
+
+  const PreemptionSummary& s = sampler_.summarize(from, idle, k);
+
+  if (to.pp != from.pp) {
+    // Depth change: pipeline migration; a wiped-out stage forces the
+    // states to come from ParcaePS instead of GPU peers.
+    const double rollback = estimator_.checkpoint_rollback(to).total();
+    const double pipeline = estimator_.pipeline_migration(from, to).total();
+    return s.stage_wipeout_prob * rollback +
+           (1.0 - s.stage_wipeout_prob) * pipeline;
+  }
+
+  // Same depth: mixture over how many pipelines intra-stage migration
+  // alone can recover.
+  const double intra_cost = estimator_.intra_stage(to).total();
+  const double rollback_cost = estimator_.checkpoint_rollback(to).total();
+  // Expected inter-stage moves to assemble to.dp pipelines:
+  // E[sum_s max(0, dp' - a_s)] = P * sum_a P(a) * max(0, dp' - a).
+  double expected_moves = 0.0;
+  for (std::size_t a = 0; a < s.stage_alive_prob.size(); ++a)
+    expected_moves += s.stage_alive_prob[a] *
+                      std::max(0.0, static_cast<double>(to.dp) -
+                                        static_cast<double>(a));
+  expected_moves *= static_cast<double>(from.pp);
+
+  double cost = 0.0;
+  for (std::size_t d = 0; d < s.intra_pipelines_prob.size(); ++d) {
+    const double p = s.intra_pipelines_prob[d];
+    if (p <= 0.0) continue;
+    if (d == 0) {
+      cost += p * rollback_cost;
+    } else if (static_cast<int>(d) >= to.dp) {
+      cost += p * intra_cost;
+    } else {
+      const int moves = std::max(
+          1, static_cast<int>(std::lround(expected_moves)));
+      cost += p * estimator_.inter_stage(to, moves).total();
+    }
+  }
+  return cost;
+}
+
+LiveputPlan LiveputOptimizer::optimize(ParallelConfig current, int n_now,
+                                       const std::vector<int>& predicted) {
+  LiveputPlan plan;
+  const auto I = predicted.size();
+  if (I == 0) return plan;
+  const double T = options_.interval_s;
+
+  // Per-interval configuration spaces (feasible configs + "suspended").
+  std::vector<std::vector<ParallelConfig>> space(I);
+  for (std::size_t i = 0; i < I; ++i) {
+    space[i] = throughput_->enumerate_configs(predicted[i]);
+    space[i].push_back(kIdleConfig);
+  }
+
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  std::vector<std::vector<double>> best(I);
+  std::vector<std::vector<int>> parent(I);
+
+  for (std::size_t i = 0; i < I; ++i) {
+    best[i].assign(space[i].size(), kNegInf);
+    parent[i].assign(space[i].size(), -1);
+    const int n_prev = i == 0 ? n_now : predicted[i - 1];
+    const int n_cur = predicted[i];
+    const int k = std::max(0, n_prev - n_cur);
+    for (std::size_t j = 0; j < space[i].size(); ++j) {
+      const ParallelConfig& cand = space[i][j];
+      const double tput = throughput_->throughput(cand);
+      if (i == 0) {
+        const double mig = expected_migration_cost(current, n_now, cand, k);
+        best[0][j] = tput * std::max(0.0, T - mig);
+        continue;
+      }
+      for (std::size_t jj = 0; jj < space[i - 1].size(); ++jj) {
+        if (best[i - 1][jj] == kNegInf) continue;
+        const double mig =
+            expected_migration_cost(space[i - 1][jj], n_prev, cand, k);
+        const double value =
+            best[i - 1][jj] + tput * std::max(0.0, T - mig);
+        if (value > best[i][j]) {
+          best[i][j] = value;
+          parent[i][j] = static_cast<int>(jj);
+        }
+      }
+    }
+  }
+
+  // argmax over final interval, then backtrack.
+  std::size_t arg = 0;
+  for (std::size_t j = 1; j < space[I - 1].size(); ++j)
+    if (best[I - 1][j] > best[I - 1][arg]) arg = j;
+  plan.expected_samples = std::max(0.0, best[I - 1][arg]);
+  plan.configs.assign(I, kIdleConfig);
+  int cursor = static_cast<int>(arg);
+  for (std::size_t i = I; i-- > 0;) {
+    plan.configs[i] = space[i][static_cast<std::size_t>(cursor)];
+    cursor = i > 0 ? parent[i][static_cast<std::size_t>(cursor)] : -1;
+  }
+  return plan;
+}
+
+ParallelConfig LiveputOptimizer::advise(ParallelConfig current, int n_now,
+                                        const std::vector<int>& predicted) {
+  return optimize(current, n_now, predicted).next();
+}
+
+}  // namespace parcae

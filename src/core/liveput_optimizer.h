@@ -1,0 +1,74 @@
+// Liveput optimizer (§7): dynamic program over look-ahead intervals.
+//
+// Given the predicted availability sequence N_1..N_I, finds the
+// sequence of parallel configurations maximizing the expected number
+// of committed training samples (Equations 3-6):
+//
+//   F(i+1, c') = max_{c : c.instances() <= N_i}
+//                  { F(i, c) + phi(c, N_i -> c', N_{i+1}) }
+//   phi = THROUGHPUT(c') * E_v[ T - T_mig(c -> c' | v) ]
+//
+// The expectation over preemption mappings v comes from the cached
+// Monte-Carlo summaries (PreemptionSampler); migration strategy and
+// cost follow §7.2 (depth change -> pipeline migration; otherwise the
+// cheaper of intra-/inter-stage, with the wipe-out probability charged
+// as a ParcaePS rollback).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "migration/cost_model.h"
+#include "migration/preemption.h"
+#include "parallel/throughput_model.h"
+
+namespace parcae {
+
+struct LiveputOptimizerOptions {
+  double interval_s = 60.0;  // T: prediction/optimization interval
+  int mc_trials = 256;       // Monte-Carlo trials per (D,P,idle,k)
+  std::uint64_t seed = 7;
+};
+
+struct LiveputPlan {
+  // Configurations chosen for each predicted interval (size = I).
+  std::vector<ParallelConfig> configs;
+  // Expected committed samples over the look-ahead window.
+  double expected_samples = 0.0;
+
+  ParallelConfig next() const {
+    return configs.empty() ? kIdleConfig : configs.front();
+  }
+};
+
+class LiveputOptimizer {
+ public:
+  LiveputOptimizer(const ThroughputModel* throughput,
+                   CostEstimator estimator,
+                   LiveputOptimizerOptions options = {});
+
+  // `current`: configuration running now (may be kIdleConfig when
+  // suspended). `n_now`: instances available now. `predicted`: the
+  // availability forecast N_1..N_I (one entry per future interval).
+  LiveputPlan optimize(ParallelConfig current, int n_now,
+                       const std::vector<int>& predicted);
+
+  // Convenience: first step of the optimal plan.
+  ParallelConfig advise(ParallelConfig current, int n_now,
+                        const std::vector<int>& predicted);
+
+  // Expected migration stall for transitioning c -> c' while k of the
+  // N_from instances get preempted (exposed for tests and benches).
+  double expected_migration_cost(ParallelConfig from, int n_from,
+                                 ParallelConfig to, int preemptions);
+
+  const ThroughputModel& throughput_model() const { return *throughput_; }
+
+ private:
+  const ThroughputModel* throughput_;
+  CostEstimator estimator_;
+  LiveputOptimizerOptions options_;
+  PreemptionSampler sampler_;
+};
+
+}  // namespace parcae

@@ -1,0 +1,98 @@
+#include "migration/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parcae {
+
+CostEstimator::CostEstimator(ModelProfile model, CostModelParams params)
+    : model_(std::move(model)), params_(params) {}
+
+double CostEstimator::stage_state_bytes(int pipeline_depth) const {
+  if (pipeline_depth <= 0) return 0.0;
+  return model_.parameters * params_.state_bytes_per_param /
+         static_cast<double>(pipeline_depth);
+}
+
+MigrationCostTerms CostEstimator::base_reconfig(ParallelConfig to) const {
+  MigrationCostTerms t;
+  t.rendezvous_s = params_.rendezvous_base_s +
+                   params_.rendezvous_per_instance_s * to.instances();
+  t.comm_groups_s = params_.comm_group_base_s +
+                    params_.comm_group_per_instance_s * to.instances();
+  return t;
+}
+
+MigrationCostTerms CostEstimator::intra_stage(ParallelConfig to) const {
+  // Only routing changes: no state transfer, no model rebuild.
+  MigrationCostTerms t = base_reconfig(to);
+  t.rendezvous_s *= 0.5;  // existing process group, partial update
+  t.comm_groups_s *= 0.5;
+  return t;
+}
+
+MigrationCostTerms CostEstimator::inter_stage(ParallelConfig to,
+                                              int moves) const {
+  MigrationCostTerms t = base_reconfig(to);
+  if (moves > 0) {
+    const double bytes = stage_state_bytes(to.pp);
+    // Each moving instance pulls a full stage of states; sources can
+    // serve concurrently, but when more targets than pipelines pull
+    // from the same replicas the link is shared.
+    const int concurrent_per_source =
+        (moves + std::max(1, to.dp) - 1) / std::max(1, to.dp);
+    t.state_transfer_s =
+        params_.network.p2p_time(bytes) *
+        NetworkModel::contention_factor(concurrent_per_source);
+    const double gb = bytes / 1e9;
+    t.build_model_s =
+        params_.build_model_base_s + params_.build_model_s_per_gb * gb;
+  }
+  return t;
+}
+
+MigrationCostTerms CostEstimator::pipeline_migration(ParallelConfig from,
+                                                     ParallelConfig to) const {
+  MigrationCostTerms t = base_reconfig(to);
+  const double bytes = stage_state_bytes(to.pp);
+  const double gb = bytes / 1e9;
+  t.build_model_s =
+      params_.build_model_base_s + params_.build_model_s_per_gb * gb;
+  // Every instance re-shards: all-to-all of its new stage's states.
+  // (from is informational: a deeper source pipeline means smaller
+  // individual shards but more peers; the all-to-all volume per rank
+  // is the destination stage size either way.)
+  (void)from;
+  t.state_transfer_s =
+      params_.network.all_to_all_time(bytes, std::max(2, to.instances())) *
+          params_.pipeline_transfer_overhead +
+      params_.pipeline_warmup_s;
+  return t;
+}
+
+MigrationCostTerms CostEstimator::instance_join(ParallelConfig to) const {
+  MigrationCostTerms t;
+  t.start_process_s = params_.start_process_s;
+  t.cuda_init_s = params_.cuda_init_s;
+  t.load_data_s = params_.load_data_s;
+  const double gb = stage_state_bytes(to.pp) / 1e9;
+  t.build_model_s =
+      params_.build_model_base_s + params_.build_model_s_per_gb * gb;
+  t.state_transfer_s = params_.network.p2p_time(stage_state_bytes(to.pp));
+  return t;
+}
+
+MigrationCostTerms CostEstimator::checkpoint_rollback(
+    ParallelConfig to) const {
+  MigrationCostTerms t = base_reconfig(to);
+  const double total_state =
+      model_.parameters * params_.state_bytes_per_param;
+  t.state_transfer_s =
+      params_.ps_fixed_s + total_state / params_.ps_bandwidth_bytes_per_s;
+  const double gb = stage_state_bytes(to.pp) / 1e9;
+  t.build_model_s =
+      params_.build_model_base_s + params_.build_model_s_per_gb * gb;
+  return t;
+}
+
+}  // namespace parcae

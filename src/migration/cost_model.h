@@ -1,0 +1,97 @@
+// Migration cost estimator (§9.4, Appendix A / Table 4).
+//
+// Estimates the stall (T_mig in Equation 4) each migration strategy
+// imposes, from the cost terms the paper profiles:
+//   start process (<1 s), rendezvous (0-10 s), CUDA context init
+//   (0-10 s), data loading (0-10 s), model build (0-10 s), comm-group
+//   update (0-20 s), and model-state transfer (0-60 s, alpha-beta).
+// The transfer term uses the NetworkModel and accounts for link
+// contention when several instances receive state concurrently.
+#pragma once
+
+#include "model/model_profile.h"
+#include "net/network_model.h"
+#include "parallel/parallel_config.h"
+
+namespace parcae {
+
+struct MigrationCostTerms {
+  double start_process_s = 0.0;
+  double rendezvous_s = 0.0;
+  double cuda_init_s = 0.0;
+  double load_data_s = 0.0;
+  double build_model_s = 0.0;
+  double comm_groups_s = 0.0;
+  double state_transfer_s = 0.0;
+
+  double total() const {
+    return start_process_s + rendezvous_s + cuda_init_s + load_data_s +
+           build_model_s + comm_groups_s + state_transfer_s;
+  }
+};
+
+struct CostModelParams {
+  NetworkModel network;
+  // GPU-resident training state per parameter (fp16 weights + grads,
+  // fp32 master + Adam moments) — what inter-stage migration moves.
+  double state_bytes_per_param = 16.0;
+  double start_process_s = 0.8;
+  double rendezvous_base_s = 1.5;
+  double rendezvous_per_instance_s = 0.12;
+  double cuda_init_s = 7.0;
+  double load_data_s = 3.0;
+  double build_model_base_s = 1.0;
+  double build_model_s_per_gb = 0.75;  // of per-stage state
+  double comm_group_base_s = 2.0;
+  double comm_group_per_instance_s = 0.35;
+  // Re-sharding to a different pipeline depth moves misaligned state
+  // shards (gather + scatter rounds, framework (de)serialization);
+  // profiled as a multiple of the raw all-to-all transfer time.
+  double pipeline_transfer_overhead = 8.0;
+  // Re-partitioned pipelines restart cold: optimizer/attention caches,
+  // NCCL warm-up, first-batch compilation.
+  double pipeline_warmup_s = 15.0;
+  // ParcaePS checkpoint pull bandwidth (aggregate, on-demand CPU
+  // instances' NICs).
+  double ps_bandwidth_bytes_per_s = 6e9;
+  double ps_fixed_s = 3.0;
+};
+
+class CostEstimator {
+ public:
+  CostEstimator(ModelProfile model, CostModelParams params = {});
+
+  // Routing-only recovery: update communication groups.
+  MigrationCostTerms intra_stage(ParallelConfig to) const;
+
+  // `moves` instances each receive one stage's states from a peer.
+  // Transfers from distinct sources run concurrently; contention is
+  // charged when several targets pull from the same stage replica.
+  MigrationCostTerms inter_stage(ParallelConfig to, int moves) const;
+
+  // Re-partition to a different pipeline depth: all instances
+  // exchange shards (all-to-all) and rebuild the model.
+  MigrationCostTerms pipeline_migration(ParallelConfig from,
+                                        ParallelConfig to) const;
+
+  // Cold start of newly allocated instances (overlappable with
+  // training; the scheduler charges only the comm-group rebuild).
+  MigrationCostTerms instance_join(ParallelConfig to) const;
+
+  // Full-state restore from ParcaePS after a stage wipe-out (§8).
+  MigrationCostTerms checkpoint_rollback(ParallelConfig to) const;
+
+  const ModelProfile& model() const { return model_; }
+  const CostModelParams& params() const { return params_; }
+
+  // Per-stage GPU state bytes at depth P.
+  double stage_state_bytes(int pipeline_depth) const;
+
+ private:
+  MigrationCostTerms base_reconfig(ParallelConfig to) const;
+
+  ModelProfile model_;
+  CostModelParams params_;
+};
+
+}  // namespace parcae

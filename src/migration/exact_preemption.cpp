@@ -1,0 +1,93 @@
+#include "migration/exact_preemption.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parcae {
+
+double binomial(int n, int k) {
+  if (k < 0 || n < 0 || k > n) return 0.0;
+  if (k == 0 || k == n) return 1.0;
+  // lgamma keeps this exact to double rounding for our tiny sizes.
+  return std::exp(std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                  std::lgamma(n - k + 1.0));
+}
+
+namespace {
+
+// Number of weighted ways to spread `kills` over the P stages with at
+// most `cap` kills per stage: the coefficient-convolution
+//   [x^kills] (sum_{j=0..cap} C(D, j) x^j)^P.
+double ways_with_cap(int stages, int group, int cap, int kills) {
+  if (kills < 0) return 0.0;
+  std::vector<double> poly(static_cast<std::size_t>(kills) + 1, 0.0);
+  poly[0] = 1.0;
+  for (int s = 0; s < stages; ++s) {
+    std::vector<double> next(poly.size(), 0.0);
+    for (std::size_t have = 0; have < poly.size(); ++have) {
+      if (poly[have] == 0.0) continue;
+      for (int j = 0; j <= cap && have + static_cast<std::size_t>(j) <
+                                      next.size();
+           ++j)
+        next[have + static_cast<std::size_t>(j)] +=
+            poly[have] * binomial(group, j);
+    }
+    poly = std::move(next);
+  }
+  return poly[static_cast<std::size_t>(kills)];
+}
+
+}  // namespace
+
+double survival_at_least(ParallelConfig config, int idle, int k, int d) {
+  assert(config.valid());
+  const int D = config.dp;
+  const int P = config.pp;
+  const int total = D * P + idle;
+  k = std::clamp(k, 0, total);
+  if (d <= 0) return 1.0;
+  if (d > D) return 0.0;
+  const int cap = D - d;  // max kills a stage can absorb
+  double numer = 0.0;
+  for (int ki = 0; ki <= std::min(idle, k); ++ki)
+    numer += binomial(idle, ki) * ways_with_cap(P, D, cap, k - ki);
+  const double denom = binomial(total, k);
+  return denom > 0.0 ? numer / denom : 1.0;
+}
+
+std::vector<double> intra_pipelines_pmf(ParallelConfig config, int idle,
+                                        int k) {
+  std::vector<double> pmf(static_cast<std::size_t>(config.dp) + 1, 0.0);
+  for (int d = 0; d <= config.dp; ++d) {
+    const double at_least = survival_at_least(config, idle, k, d);
+    const double above = survival_at_least(config, idle, k, d + 1);
+    pmf[static_cast<std::size_t>(d)] = at_least - above;
+  }
+  return pmf;
+}
+
+double stage_wipeout_probability(ParallelConfig config, int idle, int k) {
+  return 1.0 - survival_at_least(config, idle, k, 1);
+}
+
+double expected_inter_moves(ParallelConfig config, int idle, int k,
+                            int d_target) {
+  assert(config.valid());
+  const int D = config.dp;
+  const int total = config.instances() + idle;
+  k = std::clamp(k, 0, total);
+  // Stages are exchangeable; the kills of one stage are (univariate)
+  // hypergeometric: P(j) = C(D, j) C(total - D, k - j) / C(total, k).
+  const double denom = binomial(total, k);
+  if (denom <= 0.0) return 0.0;
+  double per_stage = 0.0;
+  for (int j = 0; j <= std::min(D, k); ++j) {
+    const double p = binomial(D, j) * binomial(total - D, k - j) / denom;
+    const int alive = D - j;
+    per_stage += p * std::max(0, d_target - alive);
+  }
+  return per_stage * config.pp;
+}
+
+}  // namespace parcae

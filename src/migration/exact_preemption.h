@@ -1,0 +1,43 @@
+// Exact preemption-mapping distributions (closed forms the Monte-Carlo
+// sampler of §7.3 approximates).
+//
+// With k preemptions drawn uniformly without replacement from a D x P
+// grid plus `idle` spares, the per-stage kill counts follow a
+// multivariate hypergeometric distribution with P groups of size D and
+// one group of size `idle`. This module computes, exactly:
+//   - P(every stage keeps >= d replicas)      (survival_at_least)
+//   - P(intra-stage-recoverable pipelines = d) (intra_pipelines_pmf)
+//   - P(some stage is wiped out)               (stage_wipeout_probability)
+//   - E[sum_s max(0, d' - alive_s)]            (expected_inter_moves)
+// Sizes here are tiny (<= 64 instances), so plain double-precision
+// binomials are exact to rounding. The tests validate the MC sampler
+// against these closed forms.
+#pragma once
+
+#include <vector>
+
+#include "parallel/parallel_config.h"
+
+namespace parcae {
+
+// C(n, k) as a double (0 for invalid arguments).
+double binomial(int n, int k);
+
+// P(all stages keep at least `d` alive replicas) after `k` uniform
+// preemptions on config.dp x config.pp + idle instances.
+double survival_at_least(ParallelConfig config, int idle, int k, int d);
+
+// PMF over d = 0..D of min_s alive_s (the pipelines recoverable by
+// intra-stage migration alone).
+std::vector<double> intra_pipelines_pmf(ParallelConfig config, int idle,
+                                        int k);
+
+// P(min_s alive_s == 0).
+double stage_wipeout_probability(ParallelConfig config, int idle, int k);
+
+// E[sum_s max(0, d_target - alive_s)]: expected inter-stage moves to
+// assemble d_target pipelines.
+double expected_inter_moves(ParallelConfig config, int idle, int k,
+                            int d_target);
+
+}  // namespace parcae

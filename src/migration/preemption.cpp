@@ -1,0 +1,91 @@
+#include "migration/preemption.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parcae {
+
+PreemptionDraw sample_preemption(ParallelConfig config, int idle, int k,
+                                 Rng& rng) {
+  assert(config.valid());
+  assert(idle >= 0);
+  const int total = config.instances() + idle;
+  PreemptionDraw draw;
+  draw.alive_per_stage.assign(static_cast<std::size_t>(config.pp), config.dp);
+  draw.idle_alive = idle;
+  const int kills = std::clamp(k, 0, total);
+  // Instance index layout: [0, D*P) are grid cells (stage = i % P),
+  // [D*P, D*P+idle) are spares. Uniform preemption over all of them.
+  const auto victims = rng.sample_without_replacement(
+      static_cast<std::size_t>(total), static_cast<std::size_t>(kills));
+  for (std::size_t v : victims) {
+    if (v < static_cast<std::size_t>(config.instances())) {
+      const auto stage = static_cast<std::size_t>(
+          v % static_cast<std::size_t>(config.pp));
+      --draw.alive_per_stage[stage];
+    } else {
+      --draw.idle_alive;
+    }
+  }
+  draw.min_alive_stage =
+      *std::min_element(draw.alive_per_stage.begin(),
+                        draw.alive_per_stage.end());
+  return draw;
+}
+
+PreemptionSampler::PreemptionSampler(std::uint64_t seed, int trials)
+    : rng_(seed), trials_(trials) {}
+
+const PreemptionSummary& PreemptionSampler::summarize(ParallelConfig config,
+                                                      int idle, int k) {
+  const auto key = std::make_tuple(config.dp, config.pp, idle, k);
+  auto it = cache_.find(key);
+  if (it == cache_.end())
+    it = cache_.emplace(key, compute(config, idle, k)).first;
+  return it->second;
+}
+
+PreemptionSummary PreemptionSampler::compute(ParallelConfig config, int idle,
+                                             int k) {
+  PreemptionSummary s;
+  s.trials = trials_;
+  s.intra_pipelines_prob.assign(static_cast<std::size_t>(config.dp) + 1, 0.0);
+  s.expected_inter_moves.assign(static_cast<std::size_t>(config.dp) + 1, 0.0);
+  s.stage_alive_prob.assign(static_cast<std::size_t>(config.dp) + 1, 0.0);
+  if (k <= 0) {
+    // No preemption: everything survives.
+    s.intra_pipelines_prob[static_cast<std::size_t>(config.dp)] = 1.0;
+    s.stage_alive_prob[static_cast<std::size_t>(config.dp)] = 1.0;
+    s.expected_intra_pipelines = config.dp;
+    s.expected_alive = config.instances() + idle;
+    return s;
+  }
+  for (int t = 0; t < trials_; ++t) {
+    const PreemptionDraw draw = sample_preemption(config, idle, k, rng_);
+    s.intra_pipelines_prob[static_cast<std::size_t>(draw.min_alive_stage)] +=
+        1.0;
+    s.expected_intra_pipelines += draw.min_alive_stage;
+    if (draw.min_alive_stage == 0) s.stage_wipeout_prob += 1.0;
+    int alive = draw.idle_alive;
+    for (int a : draw.alive_per_stage) {
+      alive += a;
+      s.stage_alive_prob[static_cast<std::size_t>(a)] += 1.0;
+    }
+    s.expected_alive += alive;
+    for (int d = 0; d <= config.dp; ++d) {
+      double moves = 0.0;
+      for (int a : draw.alive_per_stage) moves += std::max(0, d - a);
+      s.expected_inter_moves[static_cast<std::size_t>(d)] += moves;
+    }
+  }
+  const auto n = static_cast<double>(trials_);
+  for (auto& p : s.intra_pipelines_prob) p /= n;
+  for (auto& m : s.expected_inter_moves) m /= n;
+  for (auto& p : s.stage_alive_prob) p /= n * static_cast<double>(config.pp);
+  s.expected_intra_pipelines /= n;
+  s.stage_wipeout_prob /= n;
+  s.expected_alive /= n;
+  return s;
+}
+
+}  // namespace parcae

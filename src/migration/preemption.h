@@ -1,0 +1,75 @@
+// Pipeline-aware preemption mapping (§6.1) and the Monte-Carlo
+// preemption sampler (§7.3).
+//
+// The availability predictor only says *how many* instances will be
+// preempted; the impact depends on *where* they sit in the D x P
+// topology. Parcae assumes every instance is equally likely to be
+// preempted and samples preemption vectors v (Definition 1) to
+// estimate, for each (D, P, #idle, #preempted):
+//   - the distribution of pipelines recoverable by intra-stage
+//     migration alone (min over stages of surviving replicas),
+//   - the expected number of inter-stage moves needed to reach a
+//     target number of pipelines,
+//   - the probability that an entire stage is wiped out (the §8
+//     fault-tolerance case that forces a ParcaePS rollback).
+// Summaries are cached so the liveput optimizer's DP inner loop is a
+// table lookup ("this sampling step can be done offline in advance").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "parallel/parallel_config.h"
+
+namespace parcae {
+
+// One sampled preemption outcome on a D x P grid with idle spares.
+struct PreemptionDraw {
+  std::vector<int> alive_per_stage;  // size P, each in [0, D]
+  int idle_alive = 0;                // surviving spare instances
+  int min_alive_stage = 0;           // min over alive_per_stage
+};
+
+// Samples `k` preemptions uniformly over D*P + idle instances.
+PreemptionDraw sample_preemption(ParallelConfig config, int idle, int k,
+                                 Rng& rng);
+
+struct PreemptionSummary {
+  // P(intra-stage-recoverable pipelines == d), d in [0, D].
+  std::vector<double> intra_pipelines_prob;
+  double expected_intra_pipelines = 0.0;
+  // E[sum_s max(0, d' - a_s)] for d' in [0, D]: instances that must
+  // receive another stage's state to reach d' pipelines (index by d').
+  std::vector<double> expected_inter_moves;
+  // P(a random stage has exactly `a` surviving replicas), a in [0, D]
+  // (stages are exchangeable under uniform mapping). Lets callers
+  // compute E[moves] for pipeline counts beyond the current D.
+  std::vector<double> stage_alive_prob;
+  // P(some stage lost all replicas) — requires checkpoint rollback.
+  double stage_wipeout_prob = 0.0;
+  // E[total surviving instances] including spares.
+  double expected_alive = 0.0;
+  int trials = 0;
+};
+
+class PreemptionSampler {
+ public:
+  explicit PreemptionSampler(std::uint64_t seed = 7, int trials = 256);
+
+  // Cached Monte-Carlo summary for (config, idle, k).
+  const PreemptionSummary& summarize(ParallelConfig config, int idle, int k);
+
+  int trials() const { return trials_; }
+
+ private:
+  PreemptionSummary compute(ParallelConfig config, int idle, int k);
+
+  Rng rng_;
+  int trials_;
+  std::map<std::tuple<int, int, int, int>, PreemptionSummary> cache_;
+};
+
+}  // namespace parcae

@@ -1,0 +1,57 @@
+#include "nn/dataset.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace parcae::nn {
+
+Matrix Dataset::gather(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), features.cols());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    assert(indices[i] < features.rows());
+    for (std::size_t j = 0; j < features.cols(); ++j)
+      out(i, j) = features(indices[i], j);
+  }
+  return out;
+}
+
+std::vector<int> Dataset::gather_labels(
+    const std::vector<std::size_t>& indices) const {
+  std::vector<int> out(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) out[i] = labels[indices[i]];
+  return out;
+}
+
+Dataset make_blobs(std::size_t n, std::size_t dims, int classes, double noise,
+                   std::uint64_t seed) {
+  assert(classes >= 2 && dims >= 1);
+  Rng rng(seed);
+  Dataset ds;
+  ds.features = Matrix(n, dims);
+  ds.labels.resize(n);
+  // Class means: random unit directions scaled to radius 2.
+  std::vector<std::vector<double>> means(static_cast<std::size_t>(classes),
+                                         std::vector<double>(dims, 0.0));
+  for (auto& mean : means) {
+    double norm = 0.0;
+    for (auto& v : mean) {
+      v = rng.normal();
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    for (auto& v : mean) v = 2.0 * v / (norm > 0.0 ? norm : 1.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const int c = static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(classes)));
+    ds.labels[i] = c;
+    for (std::size_t j = 0; j < dims; ++j)
+      ds.features(i, j) = static_cast<float>(
+          means[static_cast<std::size_t>(c)][j] + noise * rng.normal());
+  }
+  return ds;
+}
+
+}  // namespace parcae::nn

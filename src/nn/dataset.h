@@ -1,0 +1,30 @@
+// Synthetic classification datasets for the convergence experiment.
+// Deterministic from a seed; a Gaussian-mixture task with enough class
+// overlap that the loss curve has visible structure over many epochs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace parcae::nn {
+
+struct Dataset {
+  Matrix features;          // [n, dims]
+  std::vector<int> labels;  // size n
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t dims() const { return features.cols(); }
+
+  // Rows of `indices` gathered into a batch.
+  Matrix gather(const std::vector<std::size_t>& indices) const;
+  std::vector<int> gather_labels(const std::vector<std::size_t>& indices) const;
+};
+
+// `classes` Gaussian blobs in `dims` dimensions with per-class means on
+// a scaled simplex and unit covariance scaled by `noise`.
+Dataset make_blobs(std::size_t n, std::size_t dims, int classes, double noise,
+                   std::uint64_t seed);
+
+}  // namespace parcae::nn

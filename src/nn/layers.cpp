@@ -1,0 +1,100 @@
+#include "nn/layers.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace parcae::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : w_(in_features, out_features),
+      b_(1, out_features),
+      dw_(in_features, out_features),
+      db_(1, out_features) {
+  // Kaiming-uniform-ish init, deterministic from the provided rng.
+  const double bound = std::sqrt(6.0 / static_cast<double>(in_features));
+  for (auto& v : w_.raw()) v = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+Matrix Linear::forward(const Matrix& x) {
+  assert(x.cols() == w_.rows());
+  cached_input_ = x;
+  Matrix y = matmul(x, w_);
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (std::size_t j = 0; j < y.cols(); ++j) y(i, j) += b_(0, j);
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  assert(grad_out.rows() == cached_input_.rows());
+  dw_.axpy(1.0f, matmul_tn(cached_input_, grad_out));
+  for (std::size_t i = 0; i < grad_out.rows(); ++i)
+    for (std::size_t j = 0; j < grad_out.cols(); ++j)
+      db_(0, j) += grad_out(i, j);
+  return matmul_nt(grad_out, w_);
+}
+
+void Linear::zero_grad() {
+  dw_.fill(0.0f);
+  db_.fill(0.0f);
+}
+
+Matrix Relu::forward(const Matrix& x) {
+  mask_ = Matrix(x.rows(), x.cols());
+  Matrix y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y.raw()[i] > 0.0f) {
+      mask_.raw()[i] = 1.0f;
+    } else {
+      y.raw()[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Matrix Relu::backward(const Matrix& grad_out) const {
+  assert(grad_out.rows() == mask_.rows() && grad_out.cols() == mask_.cols());
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g.raw()[i] *= mask_.raw()[i];
+  return g;
+}
+
+float SoftmaxCrossEntropy::forward(const Matrix& logits,
+                                   const std::vector<int>& labels) {
+  assert(logits.rows() == labels.size());
+  probs_ = logits;
+  labels_ = labels;
+  correct_ = 0;
+  double loss = 0.0;
+  for (std::size_t i = 0; i < probs_.rows(); ++i) {
+    float max_logit = probs_(i, 0);
+    std::size_t argmax = 0;
+    for (std::size_t j = 1; j < probs_.cols(); ++j)
+      if (probs_(i, j) > max_logit) {
+        max_logit = probs_(i, j);
+        argmax = j;
+      }
+    if (static_cast<int>(argmax) == labels[i]) ++correct_;
+    double denom = 0.0;
+    for (std::size_t j = 0; j < probs_.cols(); ++j)
+      denom += std::exp(static_cast<double>(probs_(i, j) - max_logit));
+    for (std::size_t j = 0; j < probs_.cols(); ++j)
+      probs_(i, j) = static_cast<float>(
+          std::exp(static_cast<double>(probs_(i, j) - max_logit)) / denom);
+    loss -= std::log(std::max(
+        1e-12, static_cast<double>(probs_(i, static_cast<std::size_t>(
+                                              labels[i])))));
+  }
+  return static_cast<float>(loss / static_cast<double>(probs_.rows()));
+}
+
+Matrix SoftmaxCrossEntropy::backward() const {
+  Matrix g = probs_;
+  const float scale = 1.0f / static_cast<float>(g.rows());
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    g(i, static_cast<std::size_t>(labels_[i])) -= 1.0f;
+    for (std::size_t j = 0; j < g.cols(); ++j) g(i, j) *= scale;
+  }
+  return g;
+}
+
+}  // namespace parcae::nn

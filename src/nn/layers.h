@@ -1,0 +1,68 @@
+// Layers for the MLP training library: Linear, ReLU, and a fused
+// softmax + cross-entropy loss. Each layer caches its forward inputs
+// and produces parameter gradients on backward.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace parcae::nn {
+
+class Linear {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  // x: [batch, in] -> [batch, out].
+  Matrix forward(const Matrix& x);
+  // grad_out: [batch, out] -> grad wrt x [batch, in]; accumulates
+  // parameter gradients.
+  Matrix backward(const Matrix& grad_out);
+
+  void zero_grad();
+
+  Matrix& weight() { return w_; }
+  Matrix& bias() { return b_; }
+  Matrix& weight_grad() { return dw_; }
+  Matrix& bias_grad() { return db_; }
+  const Matrix& weight() const { return w_; }
+  const Matrix& bias() const { return b_; }
+  const Matrix& weight_grad() const { return dw_; }
+  const Matrix& bias_grad() const { return db_; }
+
+ private:
+  Matrix w_;   // [in, out]
+  Matrix b_;   // [1, out]
+  Matrix dw_;
+  Matrix db_;
+  Matrix cached_input_;
+};
+
+class Relu {
+ public:
+  Matrix forward(const Matrix& x);
+  Matrix backward(const Matrix& grad_out) const;
+
+ private:
+  Matrix mask_;
+};
+
+// Softmax over the last dimension fused with mean cross-entropy
+// against integer labels.
+class SoftmaxCrossEntropy {
+ public:
+  // logits: [batch, classes]; labels: size batch. Returns mean loss.
+  float forward(const Matrix& logits, const std::vector<int>& labels);
+  // Gradient wrt logits of the mean loss.
+  Matrix backward() const;
+  // Correct predictions from the last forward.
+  int correct() const { return correct_; }
+
+ private:
+  Matrix probs_;
+  std::vector<int> labels_;
+  int correct_ = 0;
+};
+
+}  // namespace parcae::nn

@@ -1,0 +1,57 @@
+#include "nn/matrix.h"
+
+#include <cassert>
+
+namespace parcae::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Matrix::axpy(float alpha, const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i)
+    data_[i] += alpha * other.data_[i];
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a(i, k);
+      if (aik == 0.0f) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      float s = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(j, k);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k)
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = a(k, i);
+      if (aki == 0.0f) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
+    }
+  return c;
+}
+
+}  // namespace parcae::nn

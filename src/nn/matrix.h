@@ -1,0 +1,54 @@
+// Minimal dense matrix used by the from-scratch NN training library.
+//
+// This library exists so the convergence-preservation experiment
+// (Figure 16) can train a *real* model through the real SampleManager
+// rather than asserting the reordering property abstractly. It is
+// deliberately small: row-major float storage, the handful of ops an
+// MLP needs, all single-threaded and deterministic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace parcae::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+
+  float& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& raw() { return data_; }
+  const std::vector<float>& raw() const { return data_; }
+
+  void fill(float value);
+
+  // this += alpha * other (same shape).
+  void axpy(float alpha, const Matrix& other);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// c = a * b.
+Matrix matmul(const Matrix& a, const Matrix& b);
+// c = a * b^T.
+Matrix matmul_nt(const Matrix& a, const Matrix& b);
+// c = a^T * b.
+Matrix matmul_tn(const Matrix& a, const Matrix& b);
+
+}  // namespace parcae::nn

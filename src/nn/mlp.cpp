@@ -1,0 +1,118 @@
+#include "nn/mlp.h"
+
+#include <cassert>
+
+namespace parcae::nn {
+
+Mlp::Mlp(std::vector<std::size_t> layer_sizes, std::unique_ptr<Optimizer> opt,
+         std::uint64_t seed)
+    : opt_(std::move(opt)) {
+  assert(layer_sizes.size() >= 2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < layer_sizes.size(); ++i) {
+    linears_.emplace_back(layer_sizes[i], layer_sizes[i + 1], rng);
+    if (i + 2 < layer_sizes.size()) relus_.emplace_back();
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (std::size_t i = 0; i < linears_.size(); ++i) {
+    h = linears_[i].forward(h);
+    if (i < relus_.size()) h = relus_[i].forward(h);
+  }
+  return h;
+}
+
+std::vector<ParamRef> Mlp::params() {
+  std::vector<ParamRef> out;
+  for (auto& l : linears_) {
+    out.push_back({&l.weight(), &l.weight_grad()});
+    out.push_back({&l.bias(), &l.bias_grad()});
+  }
+  return out;
+}
+
+float Mlp::train_batch(const Matrix& x, const std::vector<int>& labels) {
+  for (auto& l : linears_) l.zero_grad();
+  const Matrix logits = forward(x);
+  const float loss = loss_.forward(logits, labels);
+  Matrix grad = loss_.backward();
+  for (std::size_t i = linears_.size(); i-- > 0;) {
+    if (i < relus_.size()) grad = relus_[i].backward(grad);
+    grad = linears_[i].backward(grad);
+  }
+  opt_->step(params());
+  ++step_;
+  return loss;
+}
+
+float Mlp::eval_loss(const Matrix& x, const std::vector<int>& labels) {
+  return loss_.forward(forward(x), labels);
+}
+
+double Mlp::eval_accuracy(const Matrix& x, const std::vector<int>& labels) {
+  loss_.forward(forward(x), labels);
+  return static_cast<double>(loss_.correct()) /
+         static_cast<double>(labels.size());
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : linears_) n += l.weight().size() + l.bias().size();
+  return n;
+}
+
+std::vector<float> Mlp::flat_parameters() const {
+  std::vector<float> out;
+  out.reserve(parameter_count());
+  for (const auto& l : linears_) {
+    out.insert(out.end(), l.weight().raw().begin(), l.weight().raw().end());
+    out.insert(out.end(), l.bias().raw().begin(), l.bias().raw().end());
+  }
+  return out;
+}
+
+std::vector<float> Mlp::flat_gradients() const {
+  std::vector<float> out;
+  out.reserve(parameter_count());
+  for (const auto& l : linears_) {
+    out.insert(out.end(), l.weight_grad().raw().begin(),
+               l.weight_grad().raw().end());
+    out.insert(out.end(), l.bias_grad().raw().begin(),
+               l.bias_grad().raw().end());
+  }
+  return out;
+}
+
+void Mlp::set_flat_parameters(const std::vector<float>& flat) {
+  assert(flat.size() == parameter_count());
+  std::size_t offset = 0;
+  for (auto& l : linears_) {
+    auto copy_into = [&](Matrix& m) {
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                flat.begin() + static_cast<std::ptrdiff_t>(offset + m.size()),
+                m.raw().begin());
+      offset += m.size();
+    };
+    copy_into(l.weight());
+    copy_into(l.bias());
+  }
+}
+
+MlpCheckpoint Mlp::checkpoint() const {
+  MlpCheckpoint ckpt;
+  ckpt.parameters = flat_parameters();
+  ckpt.optimizer_state = opt_->state();
+  ckpt.step = step_;
+  return ckpt;
+}
+
+void Mlp::restore(const MlpCheckpoint& ckpt) {
+  set_flat_parameters(ckpt.parameters);
+  opt_->initialize(params());
+  opt_->load_state(ckpt.optimizer_state);
+  step_ = ckpt.step;
+}
+
+}  // namespace parcae::nn

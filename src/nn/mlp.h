@@ -1,0 +1,63 @@
+// A small multi-layer perceptron with checkpoint/restore, used as the
+// trainable model in the convergence experiment (Figure 16): it plays
+// the role the paper's ResNet-152 plays — a real model whose loss
+// curve we compare between on-demand (fixed sample order) and Parcae
+// (migration-induced sample reordering) training.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace parcae::nn {
+
+struct MlpCheckpoint {
+  std::vector<float> parameters;
+  std::vector<float> optimizer_state;
+  long long step = 0;
+};
+
+class Mlp {
+ public:
+  // layer_sizes: [input, hidden..., classes]. Requires >= 2 entries.
+  Mlp(std::vector<std::size_t> layer_sizes, std::unique_ptr<Optimizer> opt,
+      std::uint64_t seed = 1);
+
+  // One optimizer step on a batch. Returns mean loss.
+  float train_batch(const Matrix& x, const std::vector<int>& labels);
+
+  // Mean loss without updating parameters.
+  float eval_loss(const Matrix& x, const std::vector<int>& labels);
+
+  // Accuracy on a batch.
+  double eval_accuracy(const Matrix& x, const std::vector<int>& labels);
+
+  MlpCheckpoint checkpoint() const;
+  void restore(const MlpCheckpoint& ckpt);
+
+  long long steps() const { return step_; }
+  std::size_t parameter_count() const;
+
+  // Flat parameter vector (ParcaePS gradient-sync tests).
+  std::vector<float> flat_parameters() const;
+  void set_flat_parameters(const std::vector<float>& flat);
+
+  // Flat gradient vector from the last train_batch() (same layout as
+  // flat_parameters) — what ParcaeAgents push to ParcaePS.
+  std::vector<float> flat_gradients() const;
+
+ private:
+  Matrix forward(const Matrix& x);
+  std::vector<ParamRef> params();
+
+  std::vector<Linear> linears_;
+  std::vector<Relu> relus_;
+  SoftmaxCrossEntropy loss_;
+  std::unique_ptr<Optimizer> opt_;
+  long long step_ = 0;
+};
+
+}  // namespace parcae::nn

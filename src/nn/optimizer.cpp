@@ -1,0 +1,120 @@
+#include "nn/optimizer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace parcae::nn {
+
+void Sgd::initialize(const std::vector<ParamRef>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const auto& p : params)
+      velocity_.emplace_back(p.param->size(), 0.0f);
+  }
+}
+
+void Sgd::step(const std::vector<ParamRef>& params) {
+  initialize(params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params[i].param->raw();
+    const auto& g = params[i].grad->raw();
+    auto& vel = velocity_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      vel[j] = momentum_ * vel[j] + g[j];
+      p[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+std::vector<float> Sgd::state() const {
+  std::vector<float> out;
+  for (const auto& vel : velocity_) out.insert(out.end(), vel.begin(), vel.end());
+  return out;
+}
+
+void Sgd::load_state(const std::vector<float>& state) {
+  std::size_t expected = 0;
+  for (const auto& vel : velocity_) expected += vel.size();
+  if (state.size() != expected) {
+    // A checkpoint from a never-stepped optimizer (or a mismatched
+    // shape): reset to fresh velocity.
+    for (auto& vel : velocity_) std::fill(vel.begin(), vel.end(), 0.0f);
+    return;
+  }
+  std::size_t offset = 0;
+  for (auto& vel : velocity_) {
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(offset),
+              state.begin() + static_cast<std::ptrdiff_t>(offset + vel.size()),
+              vel.begin());
+    offset += vel.size();
+  }
+}
+
+void Adam::initialize(const std::vector<ParamRef>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    for (const auto& p : params) {
+      m_.emplace_back(p.param->size(), 0.0f);
+      v_.emplace_back(p.param->size(), 0.0f);
+    }
+  }
+}
+
+void Adam::step(const std::vector<ParamRef>& params) {
+  initialize(params);
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    auto& p = params[i].param->raw();
+    const auto& g = params[i].grad->raw();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+std::vector<float> Adam::state() const {
+  std::vector<float> out;
+  out.push_back(static_cast<float>(t_));
+  for (const auto& m : m_) out.insert(out.end(), m.begin(), m.end());
+  for (const auto& v : v_) out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+void Adam::load_state(const std::vector<float>& state) {
+  if (state.empty()) return;
+  t_ = static_cast<long long>(state[0]);
+  std::size_t expected = 1;
+  for (const auto& m : m_) expected += m.size();
+  for (const auto& v : v_) expected += v.size();
+  if (state.size() != expected) {
+    // A checkpoint from a never-stepped optimizer (state = [t] only)
+    // or a mismatched shape: reset moments to zero.
+    for (auto& m : m_) std::fill(m.begin(), m.end(), 0.0f);
+    for (auto& v : v_) std::fill(v.begin(), v.end(), 0.0f);
+    return;
+  }
+  std::size_t offset = 1;
+  for (auto& m : m_) {
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(offset),
+              state.begin() + static_cast<std::ptrdiff_t>(offset + m.size()),
+              m.begin());
+    offset += m.size();
+  }
+  for (auto& v : v_) {
+    std::copy(state.begin() + static_cast<std::ptrdiff_t>(offset),
+              state.begin() + static_cast<std::ptrdiff_t>(offset + v.size()),
+              v.begin());
+    offset += v.size();
+  }
+}
+
+}  // namespace parcae::nn

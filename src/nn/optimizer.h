@@ -1,0 +1,65 @@
+// Optimizers for the NN training library: SGD (+momentum) and Adam.
+// Operate on flat parameter/gradient views so the MLP can expose its
+// parameters as a list of (param, grad) matrix pairs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace parcae::nn {
+
+struct ParamRef {
+  Matrix* param;
+  Matrix* grad;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<ParamRef>& params) = 0;
+  // Sizes internal slots for `params` without updating anything; must
+  // be called (or a step taken) before load_state on a fresh optimizer.
+  virtual void initialize(const std::vector<ParamRef>& params) = 0;
+  // Serialized optimizer state (e.g. Adam moments) for checkpointing.
+  virtual std::vector<float> state() const = 0;
+  virtual void load_state(const std::vector<float>& state) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.0f)
+      : lr_(lr), momentum_(momentum) {}
+  void step(const std::vector<ParamRef>& params) override;
+  void initialize(const std::vector<ParamRef>& params) override;
+  std::vector<float> state() const override;
+  void load_state(const std::vector<float>& state) override;
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(const std::vector<ParamRef>& params) override;
+  void initialize(const std::vector<ParamRef>& params) override;
+  std::vector<float> state() const override;
+  void load_state(const std::vector<float>& state) override;
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  long long t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace parcae::nn

@@ -1,0 +1,127 @@
+#include "nn/stage.h"
+
+#include <cassert>
+
+#include "model/model_profile.h"
+
+namespace parcae::nn {
+
+StageModule::StageModule(std::vector<std::size_t> dims, bool ends_network,
+                         std::uint64_t seed)
+    : dims_(std::move(dims)), ends_network_(ends_network) {
+  assert(dims_.size() >= 2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i + 1 < dims_.size(); ++i) {
+    linears_.emplace_back(dims_[i], dims_[i + 1], rng);
+    const bool last_linear_of_stage = i + 2 == dims_.size();
+    if (!(last_linear_of_stage && ends_network_)) relus_.emplace_back();
+  }
+}
+
+Matrix StageModule::forward(const Matrix& input) {
+  Matrix h = input;
+  for (std::size_t i = 0; i < linears_.size(); ++i) {
+    h = linears_[i].forward(h);
+    if (i < relus_.size()) h = relus_[i].forward(h);
+  }
+  return h;
+}
+
+Matrix StageModule::backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (std::size_t i = linears_.size(); i-- > 0;) {
+    if (i < relus_.size()) g = relus_[i].backward(g);
+    g = linears_[i].backward(g);
+  }
+  return g;
+}
+
+void StageModule::zero_grad() {
+  for (auto& l : linears_) l.zero_grad();
+}
+
+std::size_t StageModule::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& l : linears_) n += l.weight().size() + l.bias().size();
+  return n;
+}
+
+std::vector<ParamRef> StageModule::params() {
+  std::vector<ParamRef> out;
+  for (auto& l : linears_) {
+    out.push_back({&l.weight(), &l.weight_grad()});
+    out.push_back({&l.bias(), &l.bias_grad()});
+  }
+  return out;
+}
+
+std::vector<float> StageModule::flat_parameters() const {
+  std::vector<float> out;
+  out.reserve(parameter_count());
+  for (const auto& l : linears_) {
+    out.insert(out.end(), l.weight().raw().begin(), l.weight().raw().end());
+    out.insert(out.end(), l.bias().raw().begin(), l.bias().raw().end());
+  }
+  return out;
+}
+
+void StageModule::set_flat_parameters(const std::vector<float>& flat) {
+  assert(flat.size() == parameter_count());
+  std::size_t offset = 0;
+  for (auto& l : linears_) {
+    auto copy_into = [&](Matrix& m) {
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                flat.begin() + static_cast<std::ptrdiff_t>(offset + m.size()),
+                m.raw().begin());
+      offset += m.size();
+    };
+    copy_into(l.weight());
+    copy_into(l.bias());
+  }
+}
+
+std::vector<float> StageModule::flat_gradients() const {
+  std::vector<float> out;
+  out.reserve(parameter_count());
+  for (const auto& l : linears_) {
+    out.insert(out.end(), l.weight_grad().raw().begin(),
+               l.weight_grad().raw().end());
+    out.insert(out.end(), l.bias_grad().raw().begin(),
+               l.bias_grad().raw().end());
+  }
+  return out;
+}
+
+void StageModule::set_flat_gradients(const std::vector<float>& flat) {
+  assert(flat.size() == parameter_count());
+  std::size_t offset = 0;
+  for (auto& l : linears_) {
+    auto copy_into = [&](Matrix& m) {
+      std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+                flat.begin() + static_cast<std::ptrdiff_t>(offset + m.size()),
+                m.raw().begin());
+      offset += m.size();
+    };
+    copy_into(l.weight_grad());
+    copy_into(l.bias_grad());
+  }
+}
+
+std::vector<std::vector<std::size_t>> split_layer_dims(
+    const std::vector<std::size_t>& layer_sizes, int stages) {
+  assert(layer_sizes.size() >= 2);
+  const int units = static_cast<int>(layer_sizes.size()) - 1;
+  const std::vector<int> counts = partition_layers(units, stages);
+  std::vector<std::vector<std::size_t>> out;
+  if (counts.empty()) return out;
+  std::size_t cursor = 0;
+  for (int count : counts) {
+    std::vector<std::size_t> dims;
+    dims.push_back(layer_sizes[cursor]);
+    for (int i = 0; i < count; ++i) dims.push_back(layer_sizes[++cursor]);
+    out.push_back(std::move(dims));
+  }
+  return out;
+}
+
+}  // namespace parcae::nn

@@ -1,0 +1,62 @@
+// Pipeline stages for real (in-process) pipeline-parallel training.
+//
+// A StageModule is a contiguous slice of an MLP — the unit a
+// ParcaeAgent hosts. Stages exchange boundary activations forward and
+// boundary gradients backward, exactly like pipeline-parallel DNN
+// training; parameter gradients stay inside the stage. The split is
+// mathematically exact: a pipeline of stages computes the same
+// function and gradients as the monolithic model, which the
+// training-cluster tests exploit to check Parcae's semantics claims
+// (migrations and sample reordering do not change what is learned).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+
+namespace parcae::nn {
+
+// One "partition unit" in the Parcae sense: Linear + ReLU (the ReLU is
+// omitted after the network's final layer).
+class StageModule {
+ public:
+  // dims: [in, h1, ..., out] for this stage's slice; `ends_network`
+  // marks the stage holding the network's last layer (no trailing
+  // ReLU — its output feeds the loss).
+  StageModule(std::vector<std::size_t> dims, bool ends_network,
+              std::uint64_t seed);
+
+  Matrix forward(const Matrix& input);
+  // grad wrt this stage's input; accumulates parameter gradients.
+  Matrix backward(const Matrix& grad_output);
+  void zero_grad();
+
+  // Flattened parameters / gradients / optimizer-visible refs.
+  std::vector<float> flat_parameters() const;
+  void set_flat_parameters(const std::vector<float>& flat);
+  std::vector<float> flat_gradients() const;
+  void set_flat_gradients(const std::vector<float>& flat);
+  std::size_t parameter_count() const;
+  std::vector<ParamRef> params();
+
+  bool ends_network() const { return ends_network_; }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+ private:
+  std::vector<std::size_t> dims_;
+  bool ends_network_;
+  std::vector<Linear> linears_;
+  std::vector<Relu> relus_;
+};
+
+// Splits a monolithic layer specification [in, h1, ..., out] (L = n-1
+// linear layers) into `stages` contiguous StageModule dims, balancing
+// layers like partition_layers. Returns one dims vector per stage.
+std::vector<std::vector<std::size_t>> split_layer_dims(
+    const std::vector<std::size_t>& layer_sizes, int stages);
+
+}  // namespace parcae::nn

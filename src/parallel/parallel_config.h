@@ -1,0 +1,28 @@
+// Parallel configuration (D, P): D data-parallel pipelines, each with
+// P pipeline stages (Definition 1 of the paper).
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace parcae {
+
+struct ParallelConfig {
+  int dp = 0;  // D: number of data-parallel pipelines
+  int pp = 0;  // P: pipeline depth (stages per pipeline)
+
+  int instances() const { return dp * pp; }
+  bool valid() const { return dp >= 1 && pp >= 1; }
+
+  friend auto operator<=>(const ParallelConfig&,
+                          const ParallelConfig&) = default;
+
+  std::string to_string() const {
+    return std::to_string(dp) + "x" + std::to_string(pp);
+  }
+};
+
+// The "no training possible" configuration.
+inline constexpr ParallelConfig kIdleConfig{0, 0};
+
+}  // namespace parcae

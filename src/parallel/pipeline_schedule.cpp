@@ -1,0 +1,188 @@
+#include "parallel/pipeline_schedule.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
+
+namespace parcae {
+namespace {
+
+struct Op {
+  int microbatch;
+  bool forward;
+};
+
+// Builds each stage's op order, then resolves start times by repeated
+// relaxation over the dependency DAG (stage-sequential + cross-stage).
+ScheduleResult run_schedule(
+    const ScheduleParams& params,
+    const std::vector<std::vector<Op>>& per_stage_order) {
+  const int P = params.stages;
+  const int M = params.microbatches;
+  assert(P >= 1 && M >= 1);
+
+  constexpr double kUnset = -1.0;
+  // end times of fwd/bwd per (stage, microbatch).
+  std::vector<std::vector<double>> fwd_end(
+      static_cast<std::size_t>(P),
+      std::vector<double>(static_cast<std::size_t>(M), kUnset));
+  std::vector<std::vector<double>> bwd_end = fwd_end;
+  std::vector<std::vector<double>> starts(static_cast<std::size_t>(P));
+  for (int s = 0; s < P; ++s)
+    starts[static_cast<std::size_t>(s)].assign(
+        per_stage_order[static_cast<std::size_t>(s)].size(), kUnset);
+
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(P), 0);
+  std::vector<double> stage_free(static_cast<std::size_t>(P), 0.0);
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (int s = 0; s < P; ++s) {
+      auto& cur = cursor[static_cast<std::size_t>(s)];
+      const auto& order = per_stage_order[static_cast<std::size_t>(s)];
+      while (cur < order.size()) {
+        const Op op = order[cur];
+        double ready = 0.0;
+        if (op.forward) {
+          if (s > 0) {
+            const double upstream =
+                fwd_end[static_cast<std::size_t>(s - 1)]
+                       [static_cast<std::size_t>(op.microbatch)];
+            if (upstream == kUnset) break;  // dependency not resolved yet
+            ready = upstream + params.p2p_time_s;
+          }
+        } else {
+          if (s + 1 < P) {
+            const double downstream =
+                bwd_end[static_cast<std::size_t>(s + 1)]
+                       [static_cast<std::size_t>(op.microbatch)];
+            if (downstream == kUnset) break;
+            ready = downstream + params.p2p_time_s;
+          } else {
+            const double own_fwd =
+                fwd_end[static_cast<std::size_t>(s)]
+                       [static_cast<std::size_t>(op.microbatch)];
+            if (own_fwd == kUnset) break;
+            ready = own_fwd;
+          }
+        }
+        const double start =
+            std::max(ready, stage_free[static_cast<std::size_t>(s)]);
+        const double duration =
+            op.forward ? params.fwd_time_s : params.bwd_time_s;
+        const double end = start + duration;
+        starts[static_cast<std::size_t>(s)][cur] = start;
+        stage_free[static_cast<std::size_t>(s)] = end;
+        if (op.forward)
+          fwd_end[static_cast<std::size_t>(s)]
+                 [static_cast<std::size_t>(op.microbatch)] = end;
+        else
+          bwd_end[static_cast<std::size_t>(s)]
+                 [static_cast<std::size_t>(op.microbatch)] = end;
+        ++cur;
+        progressed = true;
+      }
+    }
+  }
+
+  ScheduleResult result;
+  result.stage_busy_s.assign(static_cast<std::size_t>(P), 0.0);
+  for (int s = 0; s < P; ++s) {
+    const auto& order = per_stage_order[static_cast<std::size_t>(s)];
+    assert(cursor[static_cast<std::size_t>(s)] == order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      PipelineTask task;
+      task.stage = s;
+      task.microbatch = order[i].microbatch;
+      task.forward = order[i].forward;
+      task.start_s = starts[static_cast<std::size_t>(s)][i];
+      task.end_s = task.start_s + (order[i].forward ? params.fwd_time_s
+                                                    : params.bwd_time_s);
+      result.makespan_s = std::max(result.makespan_s, task.end_s);
+      result.stage_busy_s[static_cast<std::size_t>(s)] +=
+          task.end_s - task.start_s;
+      result.tasks.push_back(task);
+    }
+  }
+  double busy = 0.0;
+  for (double b : result.stage_busy_s) busy += b;
+  result.bubble_fraction =
+      result.makespan_s > 0.0
+          ? 1.0 - busy / (static_cast<double>(P) * result.makespan_s)
+          : 0.0;
+
+  // Peak in-flight microbatches on stage 0: forwards done minus
+  // backwards done, scanned over stage-0 task order.
+  int in_flight = 0;
+  for (const auto& task : result.tasks) {
+    if (task.stage != 0) continue;
+    in_flight += task.forward ? 1 : -1;
+    result.peak_in_flight = std::max(result.peak_in_flight, in_flight);
+  }
+  return result;
+}
+
+}  // namespace
+
+ScheduleResult simulate_1f1b(const ScheduleParams& params) {
+  const int P = params.stages;
+  const int M = params.microbatches;
+  std::vector<std::vector<Op>> order(static_cast<std::size_t>(P));
+  for (int s = 0; s < P; ++s) {
+    auto& ops = order[static_cast<std::size_t>(s)];
+    const int warmup = std::min(P - s, M);
+    int next_fwd = 0;
+    int next_bwd = 0;
+    for (; next_fwd < warmup; ++next_fwd) ops.push_back({next_fwd, true});
+    while (next_bwd < M) {
+      ops.push_back({next_bwd++, false});
+      if (next_fwd < M) ops.push_back({next_fwd++, true});
+    }
+  }
+  return run_schedule(params, order);
+}
+
+std::string render_schedule(const ScheduleResult& result, int stages,
+                            int columns) {
+  if (result.makespan_s <= 0.0 || stages <= 0 || columns <= 0) return "";
+  std::vector<std::string> rows(static_cast<std::size_t>(stages),
+                                std::string(static_cast<std::size_t>(columns),
+                                            '.'));
+  const double scale = columns / result.makespan_s;
+  for (const auto& task : result.tasks) {
+    const int from = std::clamp(
+        static_cast<int>(task.start_s * scale), 0, columns - 1);
+    const int to = std::clamp(static_cast<int>(task.end_s * scale) - 1, from,
+                              columns - 1);
+    const char mark =
+        task.forward
+            ? static_cast<char>('0' + task.microbatch % 10)
+            : static_cast<char>('a' + task.microbatch % 26);
+    for (int c = from; c <= to; ++c)
+      rows[static_cast<std::size_t>(task.stage)][static_cast<std::size_t>(c)] =
+          mark;
+  }
+  std::string out;
+  for (int s = 0; s < stages; ++s) {
+    out += "stage " + std::to_string(s) + " |";
+    out += rows[static_cast<std::size_t>(s)];
+    out += "|\n";
+  }
+  return out;
+}
+
+ScheduleResult simulate_gpipe(const ScheduleParams& params) {
+  const int P = params.stages;
+  const int M = params.microbatches;
+  std::vector<std::vector<Op>> order(static_cast<std::size_t>(P));
+  for (int s = 0; s < P; ++s) {
+    auto& ops = order[static_cast<std::size_t>(s)];
+    for (int m = 0; m < M; ++m) ops.push_back({m, true});
+    for (int m = M; m-- > 0;) ops.push_back({m, false});
+  }
+  return run_schedule(params, order);
+}
+
+}  // namespace parcae

@@ -1,0 +1,55 @@
+// Event-level pipeline schedule simulation (1F1B and GPipe).
+//
+// The analytic THROUGHPUT(D, P) model uses the closed form
+// (m + P - 1) * (t_stage + t_p2p); this simulator builds the actual
+// per-stage task timeline from dependencies, so tests can validate the
+// closed form and benches can report bubble fractions per
+// configuration (the pipeline-depth trade-off behind Figure 3).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parcae {
+
+struct PipelineTask {
+  int stage = 0;
+  int microbatch = 0;
+  bool forward = true;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+struct ScheduleParams {
+  int stages = 1;
+  int microbatches = 1;
+  double fwd_time_s = 1.0;  // per stage, per microbatch
+  double bwd_time_s = 2.0;
+  double p2p_time_s = 0.0;  // boundary transfer, each direction
+};
+
+struct ScheduleResult {
+  std::vector<PipelineTask> tasks;   // in per-stage execution order
+  double makespan_s = 0.0;
+  // Fraction of stage-time idle inside the schedule: 1 - busy/(P*T).
+  double bubble_fraction = 0.0;
+  std::vector<double> stage_busy_s;  // per stage
+  // Peak number of in-flight microbatches on stage 0 (activation
+  // memory pressure — where 1F1B beats GPipe).
+  int peak_in_flight = 0;
+};
+
+// 1F1B: each stage runs min(P - s, M) warm-up forwards, then
+// alternates backward/forward, then drains the remaining backwards.
+ScheduleResult simulate_1f1b(const ScheduleParams& params);
+
+// GPipe: all forwards, then all backwards.
+ScheduleResult simulate_gpipe(const ScheduleParams& params);
+
+// ASCII Gantt chart of a schedule: one row per stage, time bucketed
+// into `columns` characters; digits mark forward micro-batches,
+// letters mark backwards, '.' is bubble.
+std::string render_schedule(const ScheduleResult& result, int stages,
+                            int columns = 80);
+
+}  // namespace parcae

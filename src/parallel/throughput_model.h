@@ -1,0 +1,81 @@
+// Analytical THROUGHPUT(D, P) model for hybrid data+pipeline parallel
+// training (§2.1, §3).
+//
+// The model follows the standard 1F1B pipeline analysis the paper's
+// cost model relies on:
+//   - the global mini-batch B is split across D pipelines into
+//     micro-batches of size b: m = ceil(B / (D*b)) per pipeline,
+//   - per-microbatch per-stage compute time derives from FLOPs and a
+//     calibrated sustained rate, plus an activation-recompute
+//     surcharge,
+//   - boundary activations cross stages at alpha-beta p2p cost,
+//   - gradient synchronization is a ring all-reduce of the stage's
+//     parameter shard across the D replicas, partially overlapped with
+//     backward computation,
+//   - configurations that violate the memory model have throughput 0
+//     (§7.2: "for unfeasible cases ... THROUGHPUT is set to be zero").
+#pragma once
+
+#include <vector>
+
+#include "model/memory_model.h"
+#include "model/model_profile.h"
+#include "net/network_model.h"
+#include "parallel/parallel_config.h"
+
+namespace parcae {
+
+struct ThroughputModelOptions {
+  NetworkModel network;
+  MemorySpec memory = MemorySpec::parcae();
+  // Fraction of the gradient all-reduce hidden under backward compute.
+  double allreduce_overlap = 0.5;
+  // Extra compute per stage for redundancy-based systems (Bamboo runs
+  // its successor's forward+backward in pipeline bubbles; the paper
+  // finds the overhead cannot be fully hidden for large models).
+  double redundant_compute_fraction = 0.0;
+  // GPUs per instance (1 for p3.2xlarge; 4 for the Fig-10 study where
+  // intra-instance stage links ride NVLink).
+  int gpus_per_instance = 1;
+};
+
+class ThroughputModel {
+ public:
+  ThroughputModel(ModelProfile model, ThroughputModelOptions options = {});
+
+  // Seconds per mini-batch iteration; +inf if infeasible.
+  double iteration_time(ParallelConfig config) const;
+
+  // Samples per second; 0 if infeasible.
+  double throughput(ParallelConfig config) const;
+
+  // Units (tokens / images) per second; 0 if infeasible.
+  double unit_throughput(ParallelConfig config) const;
+
+  // Memory- and batch-feasibility of (D, P).
+  bool feasible(ParallelConfig config) const;
+
+  // All feasible configurations with D*P <= instances — the Varuna-like
+  // O(N log N) search space the liveput optimizer explores (§7.2).
+  std::vector<ParallelConfig> enumerate_configs(int instances) const;
+
+  // The throughput-optimal configuration for `instances` (what a
+  // reactive, throughput-optimized system like Varuna morphs to).
+  // Returns kIdleConfig if nothing is feasible.
+  ParallelConfig best_config(int instances) const;
+
+  const ModelProfile& model() const { return model_; }
+  const ThroughputModelOptions& options() const { return options_; }
+  const MemoryModel& memory() const { return memory_; }
+
+  // Smallest feasible pipeline depth under this system's memory spec.
+  int min_pipeline_depth() const { return min_depth_; }
+
+ private:
+  ModelProfile model_;
+  ThroughputModelOptions options_;
+  MemoryModel memory_;
+  int min_depth_;
+};
+
+}  // namespace parcae

@@ -1,0 +1,52 @@
+// Adaptive predictor selection (§10.3 notes "there is still room to
+// improve our availability predictor").
+//
+// Holds a pool of candidate predictors and, at every forecast, runs a
+// rolling backtest *inside the provided history window*: each member
+// forecasts from the window's prefix and is scored against the
+// window's tail; the member with the lowest backtest error produces
+// the real forecast. This adapts per-regime — last-value carry wins on
+// choppy plateaus, trend models win on drains — without any state
+// outside the history the caller already supplies.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace parcae {
+
+struct AdaptiveOptions {
+  // Tail length scored in the backtest (clamped to half the window).
+  int backtest_horizon = 4;
+  // Number of rolling origins evaluated.
+  int backtest_origins = 3;
+};
+
+class AdaptivePredictor final : public AvailabilityPredictor {
+ public:
+  AdaptivePredictor(
+      std::vector<std::unique_ptr<AvailabilityPredictor>> members,
+      AdaptiveOptions options = {});
+
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "Adaptive"; }
+
+  // The member the last forecast() delegated to (for tests/telemetry).
+  std::string last_selected() const { return last_selected_; }
+
+  // A ready-made pool: guarded ARIMA, naive, moving average,
+  // exponential smoothing, drift.
+  static std::unique_ptr<AdaptivePredictor> standard_pool(
+      double capacity = 32.0);
+
+ private:
+  std::vector<std::unique_ptr<AvailabilityPredictor>> members_;
+  AdaptiveOptions options_;
+  mutable std::string last_selected_;
+};
+
+}  // namespace parcae

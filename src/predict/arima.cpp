@@ -1,0 +1,251 @@
+#include "predict/arima.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace parcae {
+
+std::vector<double> difference(std::span<const double> xs, int d) {
+  std::vector<double> cur(xs.begin(), xs.end());
+  for (int round = 0; round < d; ++round) {
+    if (cur.size() < 2) return {};
+    std::vector<double> next(cur.size() - 1);
+    for (std::size_t i = 1; i < cur.size(); ++i) next[i - 1] = cur[i] - cur[i - 1];
+    cur = std::move(next);
+  }
+  return cur;
+}
+
+std::vector<double> integrate(std::span<const double> diffs,
+                              std::span<const double> history_tail, int d) {
+  // history_tail holds the last d original observations (oldest first)
+  // needed to rebuild levels. For d=1 we just need the last level.
+  std::vector<double> cur(diffs.begin(), diffs.end());
+  for (int round = d; round >= 1; --round) {
+    // Rebuild the (round-1)-times-differenced series: its last known
+    // value is the last element of the (round-1)-differenced history.
+    std::vector<double> hist(history_tail.begin(), history_tail.end());
+    std::vector<double> base = difference(hist, round - 1);
+    double level = base.empty() ? 0.0 : base.back();
+    for (double& v : cur) {
+      level += v;
+      v = level;
+    }
+  }
+  return cur;
+}
+
+ArimaCoefficients fit_arma(std::span<const double> z, int p, int q) {
+  ArimaCoefficients out;
+  out.ar.assign(static_cast<std::size_t>(p), 0.0);
+  out.ma.assign(static_cast<std::size_t>(q), 0.0);
+  const auto n = z.size();
+  const std::size_t need = static_cast<std::size_t>(p + q) + 2;
+  if (n < need + static_cast<std::size_t>(std::max(p, q))) return out;
+
+  // Stage 1: long AR for innovation estimates.
+  const int k = std::max(
+      1, std::min<int>(p + q + 1, static_cast<int>(n) / 3));
+  std::vector<double> innovations(n, 0.0);
+  {
+    const std::size_t rows = n - static_cast<std::size_t>(k);
+    std::vector<double> X;
+    std::vector<double> y;
+    X.reserve(rows * static_cast<std::size_t>(k + 1));
+    y.reserve(rows);
+    for (std::size_t t = static_cast<std::size_t>(k); t < n; ++t) {
+      X.push_back(1.0);
+      for (int j = 1; j <= k; ++j) X.push_back(z[t - static_cast<std::size_t>(j)]);
+      y.push_back(z[t]);
+    }
+    const auto beta = least_squares(X, rows, static_cast<std::size_t>(k + 1), y);
+    if (beta.empty()) return out;
+    for (std::size_t t = static_cast<std::size_t>(k); t < n; ++t) {
+      double pred = beta[0];
+      for (int j = 1; j <= k; ++j)
+        pred += beta[static_cast<std::size_t>(j)] *
+                z[t - static_cast<std::size_t>(j)];
+      innovations[t] = z[t] - pred;
+    }
+  }
+
+  // Stage 2: regress z_t on p lags of z and q lags of the innovations.
+  const std::size_t start =
+      static_cast<std::size_t>(std::max({p, q, k}));
+  if (n <= start + 2) return out;
+  const std::size_t rows = n - start;
+  const std::size_t cols = 1 + static_cast<std::size_t>(p + q);
+  std::vector<double> X;
+  std::vector<double> y;
+  X.reserve(rows * cols);
+  y.reserve(rows);
+  for (std::size_t t = start; t < n; ++t) {
+    X.push_back(1.0);
+    for (int j = 1; j <= p; ++j)
+      X.push_back(z[t - static_cast<std::size_t>(j)]);
+    for (int j = 1; j <= q; ++j)
+      X.push_back(innovations[t - static_cast<std::size_t>(j)]);
+    y.push_back(z[t]);
+  }
+  const auto beta = least_squares(X, rows, cols, y);
+  if (beta.empty()) return out;
+
+  out.intercept = beta[0];
+  for (int j = 0; j < p; ++j)
+    out.ar[static_cast<std::size_t>(j)] = beta[1 + static_cast<std::size_t>(j)];
+  for (int j = 0; j < q; ++j)
+    out.ma[static_cast<std::size_t>(j)] =
+        beta[1 + static_cast<std::size_t>(p + j)];
+
+  // Short histories (H ~ 12) regularly yield explosive AR fits; shrink
+  // the coefficient vectors into the (sufficient) stationary region
+  // sum|phi| < 1 so recursive forecasts cannot diverge. This is the
+  // in-model counterpart of the Appendix-B guard rails.
+  auto stabilize = [](std::vector<double>& coefs, double limit) {
+    double mass = 0.0;
+    for (double c : coefs) mass += std::abs(c);
+    if (mass > limit)
+      for (double& c : coefs) c *= limit / mass;
+  };
+  stabilize(out.ar, 0.95);
+  stabilize(out.ma, 0.95);
+
+  // Residual variance for model selection.
+  double rss = 0.0;
+  for (std::size_t t = start; t < n; ++t) {
+    double pred = out.intercept;
+    for (int j = 1; j <= p; ++j)
+      pred += out.ar[static_cast<std::size_t>(j - 1)] *
+              z[t - static_cast<std::size_t>(j)];
+    for (int j = 1; j <= q; ++j)
+      pred += out.ma[static_cast<std::size_t>(j - 1)] *
+              innovations[t - static_cast<std::size_t>(j)];
+    const double e = z[t] - pred;
+    rss += e * e;
+  }
+  out.residual_variance = rss / static_cast<double>(rows);
+  out.valid = true;
+  return out;
+}
+
+namespace {
+
+std::vector<double> forecast_arma(const ArimaCoefficients& coef,
+                                  std::span<const double> z,
+                                  std::span<const double> innovations,
+                                  int horizon) {
+  const int p = static_cast<int>(coef.ar.size());
+  const int q = static_cast<int>(coef.ma.size());
+  std::vector<double> zs(z.begin(), z.end());
+  std::vector<double> es(innovations.begin(), innovations.end());
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  for (int h = 0; h < horizon; ++h) {
+    double pred = coef.intercept;
+    for (int j = 1; j <= p; ++j) {
+      const auto idx = static_cast<std::ptrdiff_t>(zs.size()) - j;
+      pred += coef.ar[static_cast<std::size_t>(j - 1)] *
+              (idx >= 0 ? zs[static_cast<std::size_t>(idx)] : 0.0);
+    }
+    for (int j = 1; j <= q; ++j) {
+      const auto idx = static_cast<std::ptrdiff_t>(es.size()) - j;
+      pred += coef.ma[static_cast<std::size_t>(j - 1)] *
+              (idx >= 0 ? es[static_cast<std::size_t>(idx)] : 0.0);
+    }
+    zs.push_back(pred);
+    es.push_back(0.0);  // future innovations have zero expectation
+    out.push_back(pred);
+  }
+  return out;
+}
+
+// Innovation estimates for the fitted model (one-step residuals).
+std::vector<double> residuals(const ArimaCoefficients& coef,
+                              std::span<const double> z) {
+  const int p = static_cast<int>(coef.ar.size());
+  const int q = static_cast<int>(coef.ma.size());
+  std::vector<double> es(z.size(), 0.0);
+  for (std::size_t t = 0; t < z.size(); ++t) {
+    double pred = coef.intercept;
+    for (int j = 1; j <= p; ++j) {
+      const auto idx = static_cast<std::ptrdiff_t>(t) - j;
+      pred += coef.ar[static_cast<std::size_t>(j - 1)] *
+              (idx >= 0 ? z[static_cast<std::size_t>(idx)] : 0.0);
+    }
+    for (int j = 1; j <= q; ++j) {
+      const auto idx = static_cast<std::ptrdiff_t>(t) - j;
+      pred += coef.ma[static_cast<std::size_t>(j - 1)] *
+              (idx >= 0 ? es[static_cast<std::size_t>(idx)] : 0.0);
+    }
+    es[t] = z[t] - pred;
+  }
+  return es;
+}
+
+std::vector<double> naive_like(std::span<const double> history, int horizon) {
+  return std::vector<double>(static_cast<std::size_t>(std::max(0, horizon)),
+                             history.empty() ? 0.0 : history.back());
+}
+
+}  // namespace
+
+std::vector<double> ArimaPredictor::forecast(std::span<const double> history,
+                                             int horizon) const {
+  if (horizon <= 0) return {};
+  if (history.size() <
+      static_cast<std::size_t>(order_.p + order_.q + order_.d + 4))
+    return naive_like(history, horizon);
+
+  const std::vector<double> z = difference(history, order_.d);
+  const ArimaCoefficients coef = fit_arma(z, order_.p, order_.q);
+  if (!coef.valid) return naive_like(history, horizon);
+
+  const std::vector<double> es = residuals(coef, z);
+  const std::vector<double> dz = forecast_arma(coef, z, es, horizon);
+  std::vector<double> levels = integrate(dz, history, order_.d);
+  return levels;
+}
+
+std::string ArimaPredictor::name() const {
+  return "ARIMA(" + std::to_string(order_.p) + "," + std::to_string(order_.d) +
+         "," + std::to_string(order_.q) + ")";
+}
+
+ArimaOrder AutoArimaPredictor::select_order(
+    std::span<const double> history) const {
+  // All candidates difference once: availability is a level series
+  // whose *changes* are the stationary signal; a d=0 model would
+  // mean-revert toward the window average and fight real drains.
+  static constexpr ArimaOrder kGrid[] = {
+      {1, 1, 0}, {2, 1, 0}, {1, 1, 1}, {2, 1, 1}, {0, 1, 1},
+  };
+  ArimaOrder best{1, 1, 0};
+  double best_aicc = std::numeric_limits<double>::infinity();
+  for (const auto& order : kGrid) {
+    const std::vector<double> z = difference(history, order.d);
+    if (z.size() < static_cast<std::size_t>(order.p + order.q + 4)) continue;
+    const ArimaCoefficients coef = fit_arma(z, order.p, order.q);
+    if (!coef.valid) continue;
+    const auto n = static_cast<double>(z.size());
+    const auto k = static_cast<double>(order.p + order.q + 1);
+    if (n - k - 1.0 <= 0.0) continue;
+    const double var = std::max(coef.residual_variance, 1e-9);
+    const double aicc =
+        n * std::log(var) + 2.0 * k + 2.0 * k * (k + 1.0) / (n - k - 1.0);
+    if (aicc < best_aicc) {
+      best_aicc = aicc;
+      best = order;
+    }
+  }
+  return best;
+}
+
+std::vector<double> AutoArimaPredictor::forecast(
+    std::span<const double> history, int horizon) const {
+  return ArimaPredictor(select_order(history)).forecast(history, horizon);
+}
+
+}  // namespace parcae

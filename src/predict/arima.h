@@ -1,0 +1,76 @@
+// ARIMA(p, d, q) availability forecasting (§5.2, Appendix B).
+//
+// Fitting uses the Hannan–Rissanen two-stage procedure, which needs
+// only ordinary least squares — appropriate for the short histories
+// (H ~ 12 intervals) the availability predictor works with:
+//   1. difference the series d times,
+//   2. fit a long autoregression by OLS and keep its residuals as
+//      innovation estimates,
+//   3. regress the differenced series on its own p lags and the q
+//      lagged innovations,
+//   4. forecast recursively with future innovations set to zero,
+//   5. undo the differencing.
+// When the history is too short to fit (fewer than ~p+q+2 differenced
+// points) the model falls back to the naive forecast.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace parcae {
+
+struct ArimaOrder {
+  int p = 2;  // autoregressive order
+  int d = 1;  // differencing order
+  int q = 1;  // moving-average order
+};
+
+// Fitted ARMA coefficients on the d-times-differenced series.
+struct ArimaCoefficients {
+  double intercept = 0.0;
+  std::vector<double> ar;  // phi_1..phi_p
+  std::vector<double> ma;  // theta_1..theta_q
+  double residual_variance = 0.0;
+  bool valid = false;
+};
+
+// Fits ARMA(p, q) to `z` (already differenced) by Hannan–Rissanen.
+ArimaCoefficients fit_arma(std::span<const double> z, int p, int q);
+
+// d-times forward differencing / inverse integration.
+std::vector<double> difference(std::span<const double> xs, int d);
+std::vector<double> integrate(std::span<const double> diffs,
+                              std::span<const double> history_tail, int d);
+
+class ArimaPredictor final : public AvailabilityPredictor {
+ public:
+  explicit ArimaPredictor(ArimaOrder order = {}) : order_(order) {}
+
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override;
+
+  const ArimaOrder& order() const { return order_; }
+
+ private:
+  ArimaOrder order_;
+};
+
+// Selects (p, d, q) from a small grid by AICc on the history window
+// and forecasts with the winner. This mirrors "auto-ARIMA" usage while
+// staying lightweight enough to run every interval (§10.3 shows the
+// whole optimization pass takes < 0.3 s).
+class AutoArimaPredictor final : public AvailabilityPredictor {
+ public:
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "ARIMA"; }
+
+  // The order chosen for a given history (exposed for tests).
+  ArimaOrder select_order(std::span<const double> history) const;
+};
+
+}  // namespace parcae

@@ -1,0 +1,54 @@
+#include "predict/evaluation.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace parcae {
+
+ForecastEvalResult evaluate_predictor(const AvailabilityPredictor& predictor,
+                                      std::span<const double> series,
+                                      int history, int horizon) {
+  ForecastEvalResult result;
+  result.predictor = predictor.name();
+  RunningStats nl1;
+  RunningStats l1;
+  const auto n = static_cast<int>(series.size());
+  for (int t = history; t + horizon <= n; ++t) {
+    const auto hist = series.subspan(static_cast<std::size_t>(t - history),
+                                     static_cast<std::size_t>(history));
+    const auto truth = series.subspan(static_cast<std::size_t>(t),
+                                      static_cast<std::size_t>(horizon));
+    const std::vector<double> pred = predictor.forecast(hist, horizon);
+    nl1.add(normalized_l1(pred, truth));
+    l1.add(l1_distance(pred, truth));
+  }
+  result.normalized_l1 = nl1.mean();
+  result.l1 = l1.mean();
+  result.origins = static_cast<int>(nl1.count());
+  return result;
+}
+
+std::vector<double> predicted_trajectory(
+    const AvailabilityPredictor& predictor, std::span<const double> series,
+    int history, int horizon, int stride) {
+  std::vector<double> out;
+  const auto n = static_cast<int>(series.size());
+  // Before enough history exists, echo the truth.
+  for (int t = 0; t < std::min(history, n); ++t) out.push_back(series[t]);
+  for (int t = history; t < n; t += stride) {
+    const auto hist = series.subspan(static_cast<std::size_t>(t - history),
+                                     static_cast<std::size_t>(history));
+    const std::vector<double> pred = predictor.forecast(hist, horizon);
+    for (int k = 0; k < stride && t + k < n; ++k) {
+      const auto idx = static_cast<std::size_t>(std::min(
+          k, static_cast<int>(pred.size()) - 1));
+      out.push_back(pred.empty() ? series[static_cast<std::size_t>(t + k)]
+                                 : pred[idx]);
+    }
+  }
+  out.resize(static_cast<std::size_t>(n));
+  return out;
+}
+
+}  // namespace parcae

@@ -1,0 +1,34 @@
+// Rolling-origin forecast evaluation (reproduces Figure 5a/5b).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+
+struct ForecastEvalResult {
+  std::string predictor;
+  double normalized_l1 = 0.0;   // averaged over all forecast origins
+  double l1 = 0.0;              // unnormalized mean absolute error
+  int origins = 0;              // number of forecast origins evaluated
+};
+
+// Evaluates `predictor` over `series` with rolling origins: at each
+// t in [history, len - horizon), forecast `horizon` steps from the
+// last `history` observations and score against the truth.
+ForecastEvalResult evaluate_predictor(const AvailabilityPredictor& predictor,
+                                      std::span<const double> series,
+                                      int history, int horizon);
+
+// Figure 5b: the trajectory obtained by forecasting `horizon` steps
+// every `stride` intervals and keeping the first `stride` steps of
+// each forecast (how the scheduler actually consumes predictions).
+std::vector<double> predicted_trajectory(
+    const AvailabilityPredictor& predictor, std::span<const double> series,
+    int history, int horizon, int stride);
+
+}  // namespace parcae

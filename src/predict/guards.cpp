@@ -1,0 +1,114 @@
+#include "predict/guards.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "predict/arima.h"
+
+namespace parcae {
+
+std::vector<double> flatten_spikes(std::span<const double> history,
+                                   const GuardConfig& config) {
+  std::vector<double> out(history.begin(), history.end());
+  const std::size_t n = out.size();
+  if (n < 3) return out;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    for (int len = 1; len <= config.spike_max_len; ++len) {
+      const std::size_t end = i + static_cast<std::size_t>(len);  // one past
+      if (end >= n) break;
+      const double before = out[i - 1];
+      const double after = out[end];
+      // The run [i, end) is a spike if every point deviates from both
+      // neighbors by at least the threshold, while the neighbors agree.
+      if (std::abs(after - before) >= config.spike_threshold) continue;
+      bool spike = true;
+      for (std::size_t j = i; j < end && spike; ++j)
+        spike = std::abs(out[j] - before) >= config.spike_threshold &&
+                std::abs(out[j] - after) >= config.spike_threshold;
+      if (spike) {
+        for (std::size_t j = i; j < end; ++j)
+          out[j] = before + (after - before) *
+                                static_cast<double>(j - i + 1) /
+                                static_cast<double>(len + 1);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> window_after_hop(std::span<const double> history,
+                                     const GuardConfig& config) {
+  const std::size_t n = history.size();
+  if (n <= static_cast<std::size_t>(config.min_window))
+    return {history.begin(), history.end()};
+  std::size_t start = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (std::abs(history[i] - history[i - 1]) >= config.hop_threshold)
+      start = i;
+  }
+  // Keep at least min_window points.
+  if (n - start < static_cast<std::size_t>(config.min_window))
+    start = n - static_cast<std::size_t>(config.min_window);
+  return {history.begin() + static_cast<std::ptrdiff_t>(start), history.end()};
+}
+
+std::vector<double> apply_output_guards(std::vector<double> forecast,
+                                        double last_observed,
+                                        const GuardConfig& config) {
+  if (forecast.empty()) return forecast;
+  // Mispredict reset: wildly wrong first step -> fall back to naive.
+  if (std::abs(forecast.front() - last_observed) >
+      config.mispredict_reset_threshold) {
+    std::fill(forecast.begin(), forecast.end(), last_observed);
+  }
+  // Steepness damping of the deviation from the anchor, compounding
+  // with horizon, then growth limiting, then clamping.
+  double damp = config.steepness_damping;
+  double prev = last_observed;
+  for (double& v : forecast) {
+    v = last_observed + (v - last_observed) * damp;
+    damp *= config.steepness_damping;
+    const double lo = prev - config.max_step;
+    const double hi = prev + config.max_step;
+    v = std::clamp(v, lo, hi);
+    v = std::clamp(v, config.min_instances, config.max_instances);
+    prev = v;
+  }
+  return forecast;
+}
+
+GuardedPredictor::GuardedPredictor(
+    std::unique_ptr<AvailabilityPredictor> base, GuardConfig config)
+    : base_(std::move(base)), config_(config) {}
+
+std::vector<double> GuardedPredictor::forecast(
+    std::span<const double> history, int horizon) const {
+  if (history.empty())
+    return std::vector<double>(static_cast<std::size_t>(std::max(0, horizon)),
+                               0.0);
+  std::vector<double> cleaned = flatten_spikes(history, config_);
+  cleaned = window_after_hop(cleaned, config_);
+  if (config_.require_trend_confirmation && cleaned.size() >= 3) {
+    const std::size_t n = cleaned.size();
+    const double d1 = cleaned[n - 1] - cleaned[n - 2];
+    const double d2 = cleaned[n - 2] - cleaned[n - 3];
+    const bool unconfirmed = d1 != 0.0 && d1 * d2 <= 0.0;
+    if (unconfirmed)
+      return std::vector<double>(
+          static_cast<std::size_t>(std::max(0, horizon)), history.back());
+  }
+  std::vector<double> raw = base_->forecast(cleaned, horizon);
+  return apply_output_guards(std::move(raw), history.back(), config_);
+}
+
+std::string GuardedPredictor::name() const { return base_->name(); }
+
+std::unique_ptr<AvailabilityPredictor> make_parcae_predictor(double capacity) {
+  GuardConfig config;
+  config.max_instances = capacity;
+  return std::make_unique<GuardedPredictor>(
+      std::make_unique<AutoArimaPredictor>(), config);
+}
+
+}  // namespace parcae

@@ -1,0 +1,86 @@
+// Forecast guard rails (Appendix B).
+//
+// The paper reports that raw ARIMA is sensitive to trivial
+// perturbations and lists the rules it layers on top. Each rule is
+// implemented as a small, independently testable transform; the
+// GuardedPredictor composes them around any base predictor:
+//   - spike flattening: remove 1–2 interval spikes from the history,
+//   - hop windowing: learn only from the most recent regime after a
+//     large jump,
+//   - bound clamping: keep forecasts inside [min, capacity],
+//   - growth limiting: cap per-interval change,
+//   - steepness penalty: damp excessively steep predicted slopes,
+//   - mispredict reset: fall back to the last observation when the
+//     forecast deviates wildly from the input.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "predict/predictor.h"
+
+namespace parcae {
+
+struct GuardConfig {
+  double min_instances = 0.0;
+  double max_instances = 32.0;
+  // A history spike is a run of <= `spike_max_len` intervals deviating
+  // by >= `spike_threshold` from both neighbors.
+  int spike_max_len = 2;
+  double spike_threshold = 3.0;
+  // A "hop" is a jump of >= hop_threshold; history before the last hop
+  // is discarded (keeping at least `min_window` points).
+  double hop_threshold = 6.0;
+  int min_window = 6;
+  // Max allowed per-interval change in the forecast.
+  double max_step = 3.0;
+  // Multiplicative damping of the forecast's deviation from the last
+  // observation, applied per step (1.0 = off).
+  double steepness_damping = 0.85;
+  // If the first forecast step deviates from the last observation by
+  // more than this, reset the whole forecast to the naive one.
+  double mispredict_reset_threshold = 8.0;
+  // Appendix B's "learn only from variations that are indeed
+  // beneficial": a movement in the last interval that is not backed by
+  // a same-direction movement in the one before is treated as noise —
+  // the forecast holds the last value instead of extrapolating a
+  // phantom trend from a single isolated change.
+  bool require_trend_confirmation = true;
+};
+
+// History pre-processing: flatten short spikes.
+std::vector<double> flatten_spikes(std::span<const double> history,
+                                   const GuardConfig& config);
+
+// History pre-processing: keep only the segment after the last hop.
+std::vector<double> window_after_hop(std::span<const double> history,
+                                     const GuardConfig& config);
+
+// Forecast post-processing: damping, growth limiting, clamping,
+// mispredict reset. `last_observed` anchors the first step.
+std::vector<double> apply_output_guards(std::vector<double> forecast,
+                                        double last_observed,
+                                        const GuardConfig& config);
+
+// Wraps a base predictor with the full Appendix-B pipeline.
+class GuardedPredictor final : public AvailabilityPredictor {
+ public:
+  GuardedPredictor(std::unique_ptr<AvailabilityPredictor> base,
+                   GuardConfig config = {});
+
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override;
+
+ private:
+  std::unique_ptr<AvailabilityPredictor> base_;
+  GuardConfig config_;
+};
+
+// The paper's production predictor: guarded auto-ARIMA.
+std::unique_ptr<AvailabilityPredictor> make_parcae_predictor(
+    double capacity = 32.0);
+
+}  // namespace parcae

@@ -1,0 +1,133 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace parcae {
+namespace {
+std::vector<double> constant_forecast(double value, int horizon) {
+  return std::vector<double>(static_cast<std::size_t>(std::max(0, horizon)),
+                             value);
+}
+}  // namespace
+
+std::vector<double> NaivePredictor::forecast(std::span<const double> history,
+                                             int horizon) const {
+  const double last = history.empty() ? 0.0 : history.back();
+  return constant_forecast(last, horizon);
+}
+
+std::vector<double> MovingAveragePredictor::forecast(
+    std::span<const double> history, int horizon) const {
+  if (history.empty()) return constant_forecast(0.0, horizon);
+  const std::size_t w =
+      std::min(history.size(), static_cast<std::size_t>(window_));
+  double s = 0.0;
+  for (std::size_t i = history.size() - w; i < history.size(); ++i)
+    s += history[i];
+  return constant_forecast(s / static_cast<double>(w), horizon);
+}
+
+std::vector<double> ExponentialSmoothingPredictor::forecast(
+    std::span<const double> history, int horizon) const {
+  if (history.empty()) return constant_forecast(0.0, horizon);
+  double level = history.front();
+  for (std::size_t i = 1; i < history.size(); ++i)
+    level = alpha_ * history[i] + (1.0 - alpha_) * level;
+  return constant_forecast(level, horizon);
+}
+
+std::vector<double> HoltPredictor::forecast(std::span<const double> history,
+                                            int horizon) const {
+  if (history.empty()) return constant_forecast(0.0, horizon);
+  if (history.size() == 1) return constant_forecast(history[0], horizon);
+  double level = history[0];
+  double trend = history[1] - history[0];
+  for (std::size_t i = 1; i < history.size(); ++i) {
+    const double prev_level = level;
+    level = alpha_ * history[i] + (1.0 - alpha_) * (level + trend);
+    trend = beta_ * (level - prev_level) + (1.0 - beta_) * trend;
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  for (int h = 1; h <= horizon; ++h) out.push_back(level + trend * h);
+  return out;
+}
+
+std::vector<double> DriftPredictor::forecast(std::span<const double> history,
+                                             int horizon) const {
+  if (history.empty()) return constant_forecast(0.0, horizon);
+  if (history.size() == 1) return constant_forecast(history[0], horizon);
+  const double drift = (history.back() - history.front()) /
+                       static_cast<double>(history.size() - 1);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  for (int h = 1; h <= horizon; ++h)
+    out.push_back(history.back() + drift * h);
+  return out;
+}
+
+std::vector<double> SeasonalNaivePredictor::forecast(
+    std::span<const double> history, int horizon) const {
+  if (history.empty()) return constant_forecast(0.0, horizon);
+  const auto period = static_cast<std::size_t>(std::max(1, period_));
+  if (history.size() < period) {
+    return constant_forecast(history.back(), horizon);
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  for (int h = 0; h < horizon; ++h) {
+    const std::size_t idx =
+        history.size() - period + (static_cast<std::size_t>(h) % period);
+    out.push_back(history[idx]);
+  }
+  return out;
+}
+
+MedianEnsemblePredictor::MedianEnsemblePredictor(
+    std::vector<std::unique_ptr<AvailabilityPredictor>> members)
+    : members_(std::move(members)) {}
+
+std::vector<double> MedianEnsemblePredictor::forecast(
+    std::span<const double> history, int horizon) const {
+  std::vector<std::vector<double>> forecasts;
+  for (const auto& member : members_)
+    forecasts.push_back(member->forecast(history, horizon));
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(std::max(0, horizon)));
+  for (int h = 0; h < horizon; ++h) {
+    std::vector<double> column;
+    for (const auto& f : forecasts)
+      if (static_cast<std::size_t>(h) < f.size())
+        column.push_back(f[static_cast<std::size_t>(h)]);
+    if (column.empty()) {
+      out.push_back(history.empty() ? 0.0 : history.back());
+      continue;
+    }
+    std::sort(column.begin(), column.end());
+    const std::size_t mid = column.size() / 2;
+    out.push_back(column.size() % 2 == 1
+                      ? column[mid]
+                      : 0.5 * (column[mid - 1] + column[mid]));
+  }
+  return out;
+}
+
+std::vector<double> LinearTrendPredictor::forecast(
+    std::span<const double> history, int horizon) const {
+  if (history.empty()) return constant_forecast(0.0, horizon);
+  std::vector<double> xs(history.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] = static_cast<double>(i);
+  const LinearFit fit = fit_linear(xs, history);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(horizon));
+  for (int h = 0; h < horizon; ++h) {
+    const double x = static_cast<double>(history.size() + h);
+    out.push_back(fit.intercept + fit.slope * x);
+  }
+  return out;
+}
+
+}  // namespace parcae

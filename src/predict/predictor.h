@@ -1,0 +1,122 @@
+// Availability predictors (§5).
+//
+// A predictor maps the past H interval availabilities to forecasts for
+// the next I intervals (Equation 2):
+//   (N_i, ..., N_{i+I-1}) = PREDICTION(N_{i-H}, ..., N_{i-1}).
+// The paper evaluates lightweight statistical predictors (Figure 5a)
+// and selects ARIMA; the baselines here match that study: current
+// value (naive), moving average, single/double exponential smoothing,
+// and a linear trend fit.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace parcae {
+
+class AvailabilityPredictor {
+ public:
+  virtual ~AvailabilityPredictor() = default;
+
+  // Forecast `horizon` future values from `history` (oldest first).
+  // history may be shorter than the predictor's preferred window; all
+  // predictors degrade gracefully down to a single observation.
+  virtual std::vector<double> forecast(std::span<const double> history,
+                                       int horizon) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// Repeats the last observed availability ("current available nodes").
+class NaivePredictor final : public AvailabilityPredictor {
+ public:
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "Naive"; }
+};
+
+// Mean of the last `window` observations, held constant.
+class MovingAveragePredictor final : public AvailabilityPredictor {
+ public:
+  explicit MovingAveragePredictor(int window = 8) : window_(window) {}
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "MovingAvg"; }
+
+ private:
+  int window_;
+};
+
+// Single exponential smoothing, held constant at the smoothed level.
+class ExponentialSmoothingPredictor final : public AvailabilityPredictor {
+ public:
+  explicit ExponentialSmoothingPredictor(double alpha = 0.4)
+      : alpha_(alpha) {}
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "ExpSmooth"; }
+
+ private:
+  double alpha_;
+};
+
+// Holt's double exponential smoothing (level + trend).
+class HoltPredictor final : public AvailabilityPredictor {
+ public:
+  HoltPredictor(double alpha = 0.5, double beta = 0.2)
+      : alpha_(alpha), beta_(beta) {}
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "Holt"; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+// OLS linear trend over the history window, extrapolated.
+class LinearTrendPredictor final : public AvailabilityPredictor {
+ public:
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "LinearTrend"; }
+};
+
+// Random walk with drift: last value plus the mean historical step.
+class DriftPredictor final : public AvailabilityPredictor {
+ public:
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "Drift"; }
+};
+
+// Seasonal naive: repeats the pattern observed `period` intervals ago
+// (spot capacity often has diurnal structure at longer horizons).
+class SeasonalNaivePredictor final : public AvailabilityPredictor {
+ public:
+  explicit SeasonalNaivePredictor(int period = 12) : period_(period) {}
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "SeasonalNaive"; }
+
+ private:
+  int period_;
+};
+
+// Pointwise median over a set of base predictors — a cheap robust
+// ensemble.
+class MedianEnsemblePredictor final : public AvailabilityPredictor {
+ public:
+  explicit MedianEnsemblePredictor(
+      std::vector<std::unique_ptr<AvailabilityPredictor>> members);
+  std::vector<double> forecast(std::span<const double> history,
+                               int horizon) const override;
+  std::string name() const override { return "MedianEnsemble"; }
+
+ private:
+  std::vector<std::unique_ptr<AvailabilityPredictor>> members_;
+};
+
+}  // namespace parcae

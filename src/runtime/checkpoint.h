@@ -1,0 +1,65 @@
+// Checkpoint codec and in-memory checkpoint store (§9.3).
+//
+// ParcaePS keeps model states in host DRAM. This module provides the
+// wire format for those states: a framed binary blob with a magic
+// number, version, shape metadata, payload, and a CRC-32 so corrupted
+// or truncated checkpoints are rejected on restore rather than
+// silently loaded (the paper's rollback correctness depends on the
+// checkpoint actually being the state it claims to be). The
+// CheckpointStore keeps the last K encoded checkpoints per shard, the
+// way ParcaePS hosts retain a short history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcae {
+
+struct CheckpointBlob {
+  long long step = 0;           // optimizer step the state reflects
+  std::vector<float> parameters;
+  std::vector<float> optimizer_state;
+};
+
+// CRC-32 (IEEE, reflected) over a byte span.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+// Encodes to the framed binary format.
+std::vector<std::uint8_t> encode_checkpoint(const CheckpointBlob& blob);
+
+// Decodes; returns std::nullopt on bad magic/version/shape/CRC and
+// reports why through *error when given.
+std::optional<CheckpointBlob> decode_checkpoint(
+    const std::vector<std::uint8_t>& bytes, std::string* error = nullptr);
+
+// Retains the most recent `history` encoded checkpoints per shard key.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::size_t history = 2) : history_(history) {}
+
+  // Stores a checkpoint under `shard` (e.g. "stage-3").
+  void put(const std::string& shard, const CheckpointBlob& blob);
+
+  // Latest valid checkpoint for the shard; if the newest record is
+  // corrupt, falls back to older ones.
+  std::optional<CheckpointBlob> latest(const std::string& shard) const;
+
+  // Step number of the newest record (0 if none).
+  long long latest_step(const std::string& shard) const;
+
+  // Total bytes held (capacity planning for the PS hosts' DRAM).
+  std::size_t bytes_held() const;
+
+  // Test hook: corrupt the newest record of a shard.
+  void corrupt_newest(const std::string& shard);
+
+ private:
+  std::size_t history_;
+  std::map<std::string, std::vector<std::vector<std::uint8_t>>> shards_;
+};
+
+}  // namespace parcae

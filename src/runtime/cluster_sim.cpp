@@ -1,0 +1,107 @@
+#include "runtime/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.h"
+
+namespace parcae {
+
+SimulationResult simulate(SpotTrainingPolicy& policy, const SpotTrace& trace,
+                          const SimulationOptions& options) {
+  SimulationResult result;
+  result.policy = policy.name();
+  result.trace = trace.name();
+  result.duration_s = trace.duration_s();
+
+  policy.reset();
+
+  const std::vector<int> series =
+      trace.availability_series(options.interval_s);
+  const double T = options.interval_s;
+  const double gpu_price_per_s =
+      options.instances_are_ondemand
+          ? options.pricing.ondemand_gpu_usd_per_second()
+          : options.pricing.spot_gpu_usd_per_second();
+
+  double committed = 0.0;
+  int prev_available = series.empty() ? 0 : series.front();
+
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    AvailabilityEvent event;
+    event.available = series[i];
+    event.preempted = std::max(0, prev_available - series[i]);
+    event.allocated = std::max(0, series[i] - prev_available);
+    prev_available = series[i];
+
+    IntervalDecision d =
+        policy.on_interval(static_cast<int>(i), event, T);
+
+    // Clamp to physical limits.
+    d.stall_s = std::clamp(d.stall_s, 0.0, T);
+    const double train_s = T - d.stall_s;
+    committed += d.samples_committed - d.samples_lost;
+    committed = std::max(0.0, committed);
+
+    // GPU-second ledger. Total capacity this interval:
+    const double gpus = static_cast<double>(event.available) *
+                        options.gpus_per_instance;
+    const double capacity = gpus * T;
+    const double used_gpus = static_cast<double>(d.config.instances()) *
+                             options.gpus_per_instance;
+    const double active = std::min(used_gpus, gpus);
+    double effective = active * train_s;
+    double redundant = std::min(d.gpu_s_redundant, effective);
+    effective -= redundant;
+    // Work destroyed: attribute the GPU-seconds that earned the lost
+    // samples (at the interval's own throughput when known).
+    double lost = 0.0;
+    if (d.samples_lost > 0.0 && d.throughput > 0.0)
+      lost = std::min(effective,
+                      d.samples_lost / d.throughput * active);
+    effective -= lost;
+    const double handling = active * d.stall_s;
+    const double unutilized =
+        std::max(0.0, capacity - effective - redundant - lost - handling);
+
+    result.gpu_hours.effective += effective / 3600.0;
+    result.gpu_hours.redundant += redundant / 3600.0;
+    result.gpu_hours.handling += handling / 3600.0;
+    result.gpu_hours.lost += lost / 3600.0;
+    result.gpu_hours.unutilized += unutilized / 3600.0;
+
+    result.spot_cost_usd += capacity * gpu_price_per_s;
+
+    if (options.record_timeline) {
+      IntervalRecord rec;
+      rec.time_s = static_cast<double>(i) * T;
+      rec.available = event.available;
+      rec.config = d.config;
+      rec.throughput = (d.samples_committed - d.samples_lost) / T;
+      rec.cumulative_samples = committed;
+      rec.note = d.note;
+      result.timeline.push_back(std::move(rec));
+    }
+    if (!d.note.empty()) {
+      PARCAE_DEBUG << "[" << policy.name() << "] t=" << i << " " << d.note;
+    }
+  }
+
+  result.committed_samples = committed;
+  result.committed_units = committed * options.units_per_sample;
+  if (result.duration_s > 0.0) {
+    result.avg_sample_throughput = committed / result.duration_s;
+    result.avg_unit_throughput = result.committed_units / result.duration_s;
+  }
+  result.support_cost_usd = policy.support_cost_usd_per_hour() *
+                            result.duration_s / 3600.0;
+  result.total_cost_usd = result.spot_cost_usd + result.support_cost_usd;
+  result.cost_per_unit =
+      result.committed_units > 0.0
+          ? result.total_cost_usd / result.committed_units
+          : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace parcae

@@ -1,0 +1,93 @@
+#include "runtime/kv_store.h"
+
+#include <algorithm>
+
+namespace parcae {
+
+std::uint64_t KvStore::put(const std::string& key, std::string value) {
+  KvEntry entry;
+  {
+    std::lock_guard lock(mutex_);
+    ++revision_;
+    auto& slot = data_[key];
+    slot.value = std::move(value);
+    slot.version = revision_;
+    entry = slot;
+  }
+  notify(key, entry);
+  return entry.version;
+}
+
+std::optional<KvEntry> KvStore::get(const std::string& key) const {
+  std::lock_guard lock(mutex_);
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::cas(const std::string& key, std::uint64_t expected_version,
+                  std::string value) {
+  KvEntry entry;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = data_.find(key);
+    const std::uint64_t current = it == data_.end() ? 0 : it->second.version;
+    if (current != expected_version) return false;
+    ++revision_;
+    auto& slot = data_[key];
+    slot.value = std::move(value);
+    slot.version = revision_;
+    entry = slot;
+  }
+  notify(key, entry);
+  return true;
+}
+
+bool KvStore::erase(const std::string& key) {
+  std::lock_guard lock(mutex_);
+  return data_.erase(key) > 0;
+}
+
+std::vector<std::string> KvStore::list(const std::string& prefix) const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  for (auto it = data_.lower_bound(prefix); it != data_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+std::uint64_t KvStore::watch(const std::string& prefix,
+                             WatchCallback callback) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_watch_id_++;
+  watches_[id] = Watch{prefix, std::move(callback)};
+  return id;
+}
+
+void KvStore::unwatch(std::uint64_t watch_id) {
+  std::lock_guard lock(mutex_);
+  watches_.erase(watch_id);
+}
+
+std::uint64_t KvStore::revision() const {
+  std::lock_guard lock(mutex_);
+  return revision_;
+}
+
+void KvStore::notify(const std::string& key, const KvEntry& entry) {
+  // Snapshot the matching callbacks so user code can watch/unwatch
+  // from inside a callback without deadlocking.
+  std::vector<WatchCallback> to_fire;
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& [id, w] : watches_) {
+      if (key.compare(0, w.prefix.size(), w.prefix) == 0)
+        to_fire.push_back(w.callback);
+    }
+  }
+  for (auto& cb : to_fire) cb(key, entry);
+}
+
+}  // namespace parcae

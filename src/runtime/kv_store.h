@@ -1,0 +1,67 @@
+// In-memory etcd-like key-value store.
+//
+// The real Parcae coordinates ParcaeScheduler and ParcaeAgents through
+// etcd (§9); this substrate provides the same primitives the runtime
+// needs — versioned puts, gets, compare-and-swap, prefix listing, and
+// watch callbacks — so scheduler/agent interactions go through an
+// explicit rendezvous layer rather than direct method calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcae {
+
+struct KvEntry {
+  std::string value;
+  std::uint64_t version = 0;  // store-wide revision of the last write
+};
+
+class KvStore {
+ public:
+  using WatchCallback =
+      std::function<void(const std::string& key, const KvEntry& entry)>;
+
+  // Writes `value`; returns the new revision.
+  std::uint64_t put(const std::string& key, std::string value);
+
+  std::optional<KvEntry> get(const std::string& key) const;
+
+  // Atomic compare-and-swap on the entry's version (0 = create only).
+  // Returns true and writes when the expected version matches.
+  bool cas(const std::string& key, std::uint64_t expected_version,
+           std::string value);
+
+  // Deletes a key; returns whether it existed.
+  bool erase(const std::string& key);
+
+  // All keys with the given prefix, sorted.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  // Registers a callback fired on every put/cas touching `prefix`.
+  // Returns a watch id usable with unwatch().
+  std::uint64_t watch(const std::string& prefix, WatchCallback callback);
+  void unwatch(std::uint64_t watch_id);
+
+  std::uint64_t revision() const;
+
+ private:
+  void notify(const std::string& key, const KvEntry& entry);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, KvEntry> data_;
+  std::uint64_t revision_ = 0;
+  struct Watch {
+    std::string prefix;
+    WatchCallback callback;
+  };
+  std::map<std::uint64_t, Watch> watches_;
+  std::uint64_t next_watch_id_ = 1;
+};
+
+}  // namespace parcae

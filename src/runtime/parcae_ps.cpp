@@ -1,0 +1,32 @@
+#include "runtime/parcae_ps.h"
+
+#include <cassert>
+
+namespace parcae {
+
+ParcaePs::ParcaePs(std::vector<float> initial, float lr, float beta1,
+                   float beta2, float eps)
+    : params_(1, initial.size()),
+      grads_(1, initial.size()),
+      adam_(lr, beta1, beta2, eps) {
+  params_.raw() = std::move(initial);
+}
+
+void ParcaePs::restore(const std::vector<float>& parameters,
+                       const std::vector<float>& optimizer_state) {
+  assert(parameters.size() == params_.size());
+  params_.raw() = parameters;
+  std::vector<nn::ParamRef> refs{{&params_, &grads_}};
+  adam_.initialize(refs);
+  adam_.load_state(optimizer_state);
+}
+
+void ParcaePs::push_gradients(const std::vector<float>& grads) {
+  assert(grads.size() == params_.size());
+  grads_.raw() = grads;
+  std::vector<nn::ParamRef> refs{{&params_, &grads_}};
+  adam_.step(refs);
+  ++version_;
+}
+
+}  // namespace parcae

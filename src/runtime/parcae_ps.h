@@ -1,0 +1,72 @@
+// ParcaePS (§9.3): in-memory checkpointing on cheap on-demand CPU
+// instances.
+//
+// Instead of shipping full model states to cloud storage, ParcaePS
+// keeps an up-to-date replica of the training state in host DRAM by
+// receiving the *gradients* of every committed iteration and applying
+// the same optimizer update on the CPU side — 5x less traffic than
+// shipping fp16 Adam states. Two pieces live here:
+//   - ParcaePs: a real parameter server over flat float tensors with
+//     its own Adam replica; after n identical gradient pushes its
+//     parameters bit-match the trainer's (verified in tests),
+//   - PsCostModel: the traffic/time accounting the cluster simulator
+//     charges for the per-iteration gradient push and for rollback
+//     restores.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/optimizer.h"
+
+namespace parcae {
+
+class ParcaePs {
+ public:
+  // `initial` — the trainer's initial flat parameters; the PS applies
+  // updates with its own Adam replica (same hyper-parameters as the
+  // trainer's) so its state tracks the trainer exactly.
+  ParcaePs(std::vector<float> initial, float lr, float beta1 = 0.9f,
+           float beta2 = 0.999f, float eps = 1e-8f);
+
+  // One committed iteration's mean gradient.
+  void push_gradients(const std::vector<float>& grads);
+
+  // Overwrites the checkpoint (parameters + Adam state) — used when a
+  // pipeline migration re-shards the model and the PS replicas must
+  // adopt the new sharding.
+  void restore(const std::vector<float>& parameters,
+               const std::vector<float>& optimizer_state);
+
+  // Latest checkpoint (what a rollback restores).
+  const std::vector<float>& parameters() const { return params_.raw(); }
+  long long version() const { return version_; }
+
+  // Serialized optimizer state, for full-state restore.
+  std::vector<float> optimizer_state() const { return adam_.state(); }
+
+ private:
+  nn::Matrix params_;  // [1, n]
+  nn::Matrix grads_;   // [1, n] scratch
+  nn::Adam adam_;
+  long long version_ = 0;
+};
+
+// Simulation-level cost accounting for ParcaePS traffic.
+struct PsCostModel {
+  double grad_bytes_per_param = 2.0;  // fp16 gradients (the 5x saving)
+  double aggregate_bandwidth_bytes_per_s = 6e9;
+  // Fraction of the push not hidden behind the next iteration's
+  // compute (the paper partitions gradients into small pieces for
+  // overlapping; a small residue remains).
+  double unoverlapped_fraction = 0.05;
+
+  // Per-iteration stall charged to training.
+  double sync_stall_s(double parameters) const {
+    return unoverlapped_fraction * parameters * grad_bytes_per_param /
+           aggregate_bandwidth_bytes_per_s;
+  }
+};
+
+}  // namespace parcae

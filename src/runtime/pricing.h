@@ -1,0 +1,26 @@
+// Cloud pricing constants and the money ledger (Table 2 reproduction).
+//
+// Prices are the AWS figures the paper's setting implies: p3.2xlarge
+// (1x V100-16GB) on-demand vs spot (~70% discount, the paper's "up to
+// 90%" varies by zone; 70% matches the 2.3-4.8x cost ratios of
+// Table 2), and c5.4xlarge for the on-demand CPU instances hosting
+// ParcaePS (§9.3).
+#pragma once
+
+namespace parcae {
+
+struct Pricing {
+  double ondemand_gpu_usd_per_hour = 3.06;  // p3.2xlarge
+  double spot_gpu_usd_per_hour = 0.918;     // ~70% off
+  double ps_host_usd_per_hour = 0.68;       // c5.4xlarge (ParcaePS)
+  double cloud_storage_usd_per_hour = 0.1;  // S3-style checkpoint store
+
+  double spot_gpu_usd_per_second() const {
+    return spot_gpu_usd_per_hour / 3600.0;
+  }
+  double ondemand_gpu_usd_per_second() const {
+    return ondemand_gpu_usd_per_hour / 3600.0;
+  }
+};
+
+}  // namespace parcae

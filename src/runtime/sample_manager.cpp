@@ -1,0 +1,63 @@
+#include "runtime/sample_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parcae {
+
+SampleManager::SampleManager(std::size_t epoch_size, std::uint64_t seed,
+                             bool shuffle)
+    : epoch_size_(epoch_size), rng_(seed), shuffle_(shuffle) {
+  refill_pool();
+}
+
+void SampleManager::refill_pool() {
+  pool_.resize(epoch_size_);
+  for (std::size_t i = 0; i < epoch_size_; ++i) pool_[i] = i;
+  if (shuffle_) rng_.shuffle(pool_);
+  committed_ = 0;
+  committed_order_.clear();
+}
+
+SampleManager::Lease SampleManager::lease(std::size_t batch) {
+  Lease out;
+  if (pool_.empty() || batch == 0) return out;
+  const std::size_t take = std::min(batch, pool_.size());
+  out.id = next_lease_id_++;
+  out.samples.assign(pool_.end() - static_cast<std::ptrdiff_t>(take),
+                     pool_.end());
+  pool_.resize(pool_.size() - take);
+  leases_[out.id] = out.samples;
+  return out;
+}
+
+void SampleManager::commit(std::uint64_t lease_id) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return;
+  committed_ += it->second.size();
+  committed_order_.insert(committed_order_.end(), it->second.begin(),
+                          it->second.end());
+  leases_.erase(it);
+}
+
+void SampleManager::abort(std::uint64_t lease_id) {
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return;
+  // Aborted samples rejoin the pool; they will be re-leased later in
+  // a different order, which is exactly the reordering §9.1 argues is
+  // statistically harmless.
+  pool_.insert(pool_.begin(), it->second.begin(), it->second.end());
+  leases_.erase(it);
+}
+
+bool SampleManager::epoch_complete() const {
+  return committed_ == epoch_size_ && leases_.empty();
+}
+
+void SampleManager::start_next_epoch() {
+  assert(epoch_complete());
+  ++epoch_;
+  refill_pool();
+}
+
+}  // namespace parcae

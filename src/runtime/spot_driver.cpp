@@ -1,0 +1,141 @@
+#include "runtime/spot_driver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <map>
+
+#include "predict/guards.h"
+
+namespace parcae {
+
+SpotTrainingDriver::SpotTrainingDriver(TrainingClusterOptions cluster_options,
+                                       const nn::Dataset* dataset,
+                                       SpotDriverOptions options)
+    : cluster_options_(cluster_options),
+      options_(options),
+      cluster_(cluster_options, dataset),
+      profile_(derive_profile()),
+      throughput_(profile_, {}),
+      optimizer_(&throughput_, CostEstimator(profile_),
+                 LiveputOptimizerOptions{options.interval_s, 128,
+                                         options.seed}),
+      predictor_(make_parcae_predictor(64.0)),
+      rng_(options.seed ^ 0x77aaull) {}
+
+ModelProfile SpotTrainingDriver::derive_profile() const {
+  ModelProfile profile;
+  profile.name = "mlp-in-cluster";
+  // Count actual parameters from the layer sizes.
+  double params = 0.0;
+  const auto& sizes = cluster_options_.layer_sizes;
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i)
+    params += static_cast<double>(sizes[i] * sizes[i + 1] + sizes[i + 1]);
+  profile.parameters = params;
+  profile.partition_units = static_cast<int>(sizes.size()) - 1;
+  profile.mini_batch = static_cast<int>(cluster_options_.batch_size);
+  profile.micro_batch =
+      std::max(1, static_cast<int>(cluster_options_.batch_size) / 8);
+  // ~3 flops per parameter per sample (fwd 1x, bwd 2x).
+  profile.fwd_flops_per_sample = params * 2.0;
+  // Calibrated so one iteration is O(seconds): the optimizer's
+  // decisions depend only on relative throughput.
+  profile.effective_flops = params * 2.0;
+  profile.boundary_activation_bytes =
+      static_cast<double>(sizes[1]) * sizeof(float);
+  profile.unit_activation_bytes = profile.boundary_activation_bytes * 3.0;
+  profile.activation_recompute = false;
+  profile.sample_unit = "sample";
+  return profile;
+}
+
+SpotDriverReport SpotTrainingDriver::run(const SpotTrace& trace) {
+  TraceCloudProvider cloud(trace, options_.seed ^ 0x9e1ull);
+  return run(cloud, trace.duration_s());
+}
+
+SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
+                                         double duration_s) {
+  SpotDriverReport report;
+  std::vector<double> history;
+  ParallelConfig planned = kIdleConfig;
+
+  const int max_depth = cluster_.pipeline_depth_limit();
+  const int max_pipelines =
+      std::max(1, profile_.mini_batch / profile_.micro_batch);
+  const auto intervals =
+      static_cast<int>(duration_s / options_.interval_s + 0.5);
+
+  cloud.request_instances(options_.requested_instances);
+  // Cloud instance id -> cluster agent id.
+  std::map<int, int> instance_to_agent;
+
+  for (int i = 0; i < intervals; ++i) {
+    ++report.intervals;
+    // -- cloud events for this interval. The grace period is long
+    // enough to finish the in-flight mini-batch (the paper enforces
+    // preemption at mini-batch boundaries), so a notice takes effect
+    // at this interval's boundary.
+    const double boundary = static_cast<double>(i) * options_.interval_s;
+    for (const CloudEvent& event : cloud.advance(boundary)) {
+      if (event.kind == CloudEvent::Kind::kInstanceGranted) {
+        const std::vector<int> agents = cluster_.allocate(1);
+        instance_to_agent[event.instance_id] = agents.front();
+      } else {
+        const auto it = instance_to_agent.find(event.instance_id);
+        if (it != instance_to_agent.end()) {
+          cluster_.preempt({it->second});
+          instance_to_agent.erase(it);
+        }
+      }
+    }
+    const int target_n = cluster_.alive_count();
+
+    // -- adapt the planned configuration to reality (§8).
+    ParallelConfig desired =
+        planned.valid() ? planned : throughput_.best_config(target_n);
+    ParallelConfig adapted = adapt_configuration(
+        desired, target_n, /*min_depth=*/1, max_depth, max_pipelines);
+    if (adapted.valid() && adapted.pp > max_depth)
+      adapted = kIdleConfig;
+
+    // -- execute the live migration on real parameters.
+    if (adapted != cluster_.config() || !cluster_.assignment_intact()) {
+      const MigrationKind kind = cluster_.reconfigure(adapted);
+      ++report.migrations_by_kind[static_cast<std::size_t>(kind)];
+    }
+    report.replicas_always_consistent =
+        report.replicas_always_consistent && cluster_.replicas_consistent();
+
+    // -- train.
+    for (int it = 0; it < options_.iterations_per_interval; ++it) {
+      const auto outcome = cluster_.train_iteration();
+      if (!outcome) break;
+      ++report.iterations;
+      report.final_loss = outcome->loss;
+      if (outcome->epoch_finished) ++report.epochs_completed;
+    }
+
+    // -- forecast and plan the next interval (§5, §7).
+    history.push_back(static_cast<double>(target_n));
+    const std::size_t h = std::min(
+        history.size(), static_cast<std::size_t>(options_.history));
+    const std::vector<double> forecast = predictor_->forecast(
+        std::span<const double>(history.data() + history.size() - h, h),
+        options_.lookahead);
+    std::vector<int> predicted;
+    for (double f : forecast)
+      predicted.push_back(std::clamp(static_cast<int>(std::lround(f)), 0,
+                                     64));
+    planned = optimizer_.advise(cluster_.config(), target_n, predicted);
+    // The optimizer reasons over the full O(N log N) space; the toy
+    // cluster can only split as deep as it has layers.
+    if (planned.valid() && planned.pp > max_depth)
+      planned = ParallelConfig{std::max(1, planned.instances() / max_depth),
+                               max_depth};
+  }
+  report.ps_rollbacks = cluster_.rollbacks();
+  return report;
+}
+
+}  // namespace parcae

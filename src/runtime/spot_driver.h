@@ -1,0 +1,85 @@
+// SpotTrainingDriver: the complete Parcae loop (Algorithm 1) running
+// against the *real* in-process training cluster.
+//
+// Every interval it (1) applies the trace's preemptions/allocations to
+// the cluster, (2) forecasts availability with the guarded ARIMA
+// predictor, (3) asks the liveput optimizer for the next
+// configuration (using a ModelProfile derived from the actual MLP so
+// the optimizer reasons about the very model being trained),
+// (4) adapts the advice to the actual availability (§8), (5) executes
+// the live migration on real parameters, and (6) trains. This is the
+// whole paper, end to end, at laptop scale.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "core/liveput_optimizer.h"
+#include "migration/planner.h"
+#include "nn/dataset.h"
+#include "predict/predictor.h"
+#include "runtime/cloud_provider.h"
+#include "runtime/training_cluster.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+
+struct SpotDriverOptions {
+  double interval_s = 60.0;
+  int lookahead = 8;
+  int history = 12;
+  int iterations_per_interval = 4;
+  // Instances the driver keeps requested from the cloud.
+  int requested_instances = 32;
+  std::uint64_t seed = 11;
+};
+
+struct SpotDriverReport {
+  int intervals = 0;
+  long long iterations = 0;
+  std::size_t epochs_completed = 0;
+  float final_loss = 0.0f;
+  long long ps_rollbacks = 0;
+  bool replicas_always_consistent = true;
+  // Executed migrations by kind (indexed by MigrationKind).
+  std::array<int, 6> migrations_by_kind{};
+
+  int migrations(MigrationKind kind) const {
+    return migrations_by_kind[static_cast<std::size_t>(kind)];
+  }
+};
+
+class SpotTrainingDriver {
+ public:
+  SpotTrainingDriver(TrainingClusterOptions cluster_options,
+                     const nn::Dataset* dataset,
+                     SpotDriverOptions options = {});
+
+  // Runs against any cloud backend for `duration_s`: instance grants
+  // become cluster agents, preemption notices (after their grace
+  // period) remove them, and Algorithm 1 runs every interval.
+  SpotDriverReport run(CloudProvider& cloud, double duration_s);
+
+  // Convenience: replay `trace` through a TraceCloudProvider.
+  SpotDriverReport run(const SpotTrace& trace);
+
+  TrainingCluster& cluster() { return cluster_; }
+
+ private:
+  // A ModelProfile describing the actual MLP, so ThroughputModel /
+  // LiveputOptimizer reason about the real workload. Calibrated to
+  // "seconds per iteration" scale; only relative throughputs matter
+  // for configuration choice.
+  ModelProfile derive_profile() const;
+
+  TrainingClusterOptions cluster_options_;
+  SpotDriverOptions options_;
+  TrainingCluster cluster_;
+  ModelProfile profile_;
+  ThroughputModel throughput_;
+  LiveputOptimizer optimizer_;
+  std::unique_ptr<AvailabilityPredictor> predictor_;
+  Rng rng_;
+};
+
+}  // namespace parcae

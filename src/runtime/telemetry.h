@@ -1,0 +1,70 @@
+// Structured telemetry for the runtime.
+//
+// Production spot-training needs an audit trail: which preemptions
+// arrived, what the optimizer decided and why, which migrations ran
+// and what they cost. EventLog is a bounded, queryable, structured log
+// the policies append to; benches and operators render it. (The real
+// system logs the same information through its scheduler; here it is
+// also the hook tests use to assert *why* a decision happened, not
+// just its effect.)
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parcae {
+
+enum class EventCategory {
+  kCloud,       // preemption notices, grants
+  kPrediction,  // forecasts issued
+  kDecision,    // optimizer/adaptation choices
+  kMigration,   // executed migrations
+  kCheckpoint,  // PS pushes / restores
+  kWarning,     // anomalies (mispredictions, infeasible targets)
+};
+
+const char* event_category_name(EventCategory category);
+
+struct TelemetryEvent {
+  double time_s = 0.0;
+  EventCategory category = EventCategory::kDecision;
+  std::string message;
+  // Small structured payload (stringly typed, bounded).
+  std::map<std::string, std::string> fields;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(double time_s, EventCategory category, std::string message,
+              std::map<std::string, std::string> fields = {});
+
+  std::size_t size() const { return events_.size(); }
+  std::size_t dropped() const { return dropped_; }
+
+  // All events (oldest first).
+  const std::deque<TelemetryEvent>& events() const { return events_; }
+
+  // Events of one category, oldest first.
+  std::vector<const TelemetryEvent*> by_category(
+      EventCategory category) const;
+
+  // Count per category.
+  std::map<EventCategory, std::size_t> histogram() const;
+
+  // Human-readable rendering ("[ 120s] migration  pipeline -> 4x7 ...").
+  std::string render(std::size_t last_n = 0) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TelemetryEvent> events_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace parcae

@@ -1,0 +1,465 @@
+#include "runtime/training_cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "nn/mlp.h"
+
+namespace parcae {
+namespace {
+
+// Slices a full layer-major vector into per-stage pieces given each
+// stage's parameter count.
+std::vector<std::vector<float>> slice_by_counts(
+    const std::vector<float>& full, const std::vector<std::size_t>& counts) {
+  std::vector<std::vector<float>> out;
+  std::size_t offset = 0;
+  for (std::size_t count : counts) {
+    assert(offset + count <= full.size());
+    out.emplace_back(full.begin() + static_cast<std::ptrdiff_t>(offset),
+                     full.begin() + static_cast<std::ptrdiff_t>(offset + count));
+    offset += count;
+  }
+  assert(offset == full.size());
+  return out;
+}
+
+std::size_t stage_param_count(const std::vector<std::size_t>& dims) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+    n += dims[i] * dims[i + 1] + dims[i + 1];
+  return n;
+}
+
+}  // namespace
+
+TrainingCluster::TrainingCluster(TrainingClusterOptions options,
+                                 const nn::Dataset* dataset)
+    : options_(std::move(options)),
+      dataset_(dataset),
+      samples_(options_.epoch_size, options_.seed ^ 0x5511ull),
+      rng_(options_.seed ^ 0xc1u) {
+  allocate(options_.initial_instances);
+}
+
+std::vector<int> TrainingCluster::allocate(int count) {
+  std::vector<int> ids;
+  for (int i = 0; i < count; ++i) {
+    ParcaeAgent agent;
+    agent.id = next_agent_id_++;
+    agent.alive = true;
+    ids.push_back(agent.id);
+    agents_.push_back(std::move(agent));
+    kv_.put("agent/" + std::to_string(ids.back()), "spare");
+  }
+  return ids;
+}
+
+void TrainingCluster::preempt(const std::vector<int>& agent_ids) {
+  for (int id : agent_ids) {
+    for (auto& agent : agents_) {
+      if (agent.id != id || !agent.alive) continue;
+      agent.alive = false;
+      agent.module.reset();
+      agent.optimizer.reset();
+      agent.pipeline = agent.stage = -1;
+      kv_.put("agent/" + std::to_string(id), "preempted");
+    }
+  }
+}
+
+void TrainingCluster::preempt_random(int count, Rng& rng) {
+  std::vector<int> alive;
+  for (const auto& agent : agents_)
+    if (agent.alive) alive.push_back(agent.id);
+  rng.shuffle(alive);
+  alive.resize(std::min<std::size_t>(alive.size(),
+                                     static_cast<std::size_t>(count)));
+  preempt(alive);
+}
+
+int TrainingCluster::alive_count() const {
+  int n = 0;
+  for (const auto& agent : agents_) n += agent.alive ? 1 : 0;
+  return n;
+}
+
+int TrainingCluster::spare_count() const {
+  int n = 0;
+  for (const auto& agent : agents_) n += (agent.alive && !agent.assigned());
+  return n;
+}
+
+int TrainingCluster::pipeline_depth_limit() const {
+  return static_cast<int>(options_.layer_sizes.size()) - 1;
+}
+
+ParcaeAgent* TrainingCluster::agent_at(int pipeline, int stage) {
+  for (auto& agent : agents_)
+    if (agent.assigned() && agent.pipeline == pipeline &&
+        agent.stage == stage)
+      return &agent;
+  return nullptr;
+}
+
+const ParcaeAgent* TrainingCluster::agent_at(int pipeline, int stage) const {
+  return const_cast<TrainingCluster*>(this)->agent_at(pipeline, stage);
+}
+
+TrainingCluster::StageState TrainingCluster::stage_state_from_ps(
+    int stage) const {
+  StageState state;
+  assert(stage >= 0 && static_cast<std::size_t>(stage) < ps_.size());
+  state.parameters = ps_[static_cast<std::size_t>(stage)]->parameters();
+  state.optimizer_state =
+      ps_[static_cast<std::size_t>(stage)]->optimizer_state();
+  return state;
+}
+
+std::vector<TrainingCluster::StageState> TrainingCluster::collect_stage_states(
+    bool& used_ps) {
+  std::vector<StageState> states;
+  if (!config_.valid()) {
+    // Suspended or never started: everything comes from ParcaePS (or
+    // the genesis initialization at first start, handled by caller).
+    for (std::size_t s = 0; s < ps_.size(); ++s) {
+      states.push_back(stage_state_from_ps(static_cast<int>(s)));
+      used_ps = true;
+    }
+    return states;
+  }
+  for (int s = 0; s < config_.pp; ++s) {
+    const ParcaeAgent* survivor = nullptr;
+    for (int d = 0; d < config_.dp && survivor == nullptr; ++d)
+      survivor = agent_at(d, s);
+    if (survivor != nullptr) {
+      StageState state;
+      state.parameters = survivor->module->flat_parameters();
+      state.optimizer_state = survivor->optimizer->state();
+      states.push_back(std::move(state));
+    } else {
+      states.push_back(stage_state_from_ps(s));
+      used_ps = true;
+      ++rollbacks_;
+    }
+  }
+  return states;
+}
+
+void TrainingCluster::publish_assignments() {
+  kv_.put("cluster/config",
+          config_.valid() ? config_.to_string() : "suspended");
+  for (const auto& agent : agents_) {
+    if (!agent.alive) continue;
+    kv_.put("agent/" + std::to_string(agent.id),
+            agent.assigned()
+                ? "p" + std::to_string(agent.pipeline) + "s" +
+                      std::to_string(agent.stage)
+                : "spare");
+  }
+}
+
+MigrationKind TrainingCluster::reconfigure(ParallelConfig target) {
+  if (!target.valid()) {
+    for (auto& agent : agents_) {
+      if (!agent.assigned()) continue;
+      agent.pipeline = agent.stage = -1;
+      agent.module.reset();
+      agent.optimizer.reset();
+    }
+    // State survives in ParcaePS; training resumes from there later.
+    config_ = kIdleConfig;
+    publish_assignments();
+    return MigrationKind::kSuspend;
+  }
+  assert(target.pp >= 1 && target.pp <= pipeline_depth_limit());
+  assert(target.instances() <= alive_count());
+
+  bool used_ps = false;
+  MigrationKind kind = MigrationKind::kNone;
+
+  const bool depth_change = !config_.valid() || target.pp != config_.pp;
+
+  // Per-stage state for the *target* partition.
+  std::vector<StageState> new_states;
+  if (depth_change) {
+    // Assemble the full model and re-shard it.
+    std::vector<float> full_params;
+    std::vector<float> full_m;
+    std::vector<float> full_v;
+    long long opt_t = 0;
+    if (!config_.valid() && ps_.empty()) {
+      // Genesis: initialize exactly like the monolithic Mlp would, so
+      // distributed training is comparable to serial training.
+      nn::Mlp reference(options_.layer_sizes,
+                        std::make_unique<nn::Sgd>(0.0f), options_.seed);
+      full_params = reference.flat_parameters();
+    } else {
+      const std::vector<StageState> old = collect_stage_states(used_ps);
+      for (const auto& s : old)
+        full_params.insert(full_params.end(), s.parameters.begin(),
+                           s.parameters.end());
+      // Optimizer states: [t, m..., v...] per stage; concatenate the
+      // m and v halves in stage (= layer) order.
+      bool any_state = false;
+      for (const auto& s : old) any_state |= !s.optimizer_state.empty();
+      if (any_state) {
+        for (const auto& s : old) {
+          if (s.optimizer_state.empty()) {
+            // Fresh stage (should not happen mid-run); zero-fill.
+            full_m.insert(full_m.end(), s.parameters.size(), 0.0f);
+            full_v.insert(full_v.end(), s.parameters.size(), 0.0f);
+            continue;
+          }
+          opt_t = static_cast<long long>(s.optimizer_state[0]);
+          const std::size_t n = s.parameters.size();
+          assert(s.optimizer_state.size() == 1 + 2 * n);
+          full_m.insert(full_m.end(), s.optimizer_state.begin() + 1,
+                        s.optimizer_state.begin() + 1 +
+                            static_cast<std::ptrdiff_t>(n));
+          full_v.insert(full_v.end(),
+                        s.optimizer_state.begin() + 1 +
+                            static_cast<std::ptrdiff_t>(n),
+                        s.optimizer_state.end());
+        }
+      }
+    }
+
+    stage_dims_ = nn::split_layer_dims(options_.layer_sizes, target.pp);
+    assert(static_cast<int>(stage_dims_.size()) == target.pp);
+    std::vector<std::size_t> counts;
+    for (const auto& dims : stage_dims_) counts.push_back(stage_param_count(dims));
+    const auto param_slices = slice_by_counts(full_params, counts);
+    std::vector<std::vector<float>> m_slices, v_slices;
+    if (!full_m.empty()) {
+      m_slices = slice_by_counts(full_m, counts);
+      v_slices = slice_by_counts(full_v, counts);
+    }
+    for (int s = 0; s < target.pp; ++s) {
+      StageState state;
+      state.parameters = param_slices[static_cast<std::size_t>(s)];
+      if (!m_slices.empty()) {
+        state.optimizer_state.push_back(static_cast<float>(opt_t));
+        state.optimizer_state.insert(state.optimizer_state.end(),
+                                     m_slices[static_cast<std::size_t>(s)]
+                                         .begin(),
+                                     m_slices[static_cast<std::size_t>(s)]
+                                         .end());
+        state.optimizer_state.insert(state.optimizer_state.end(),
+                                     v_slices[static_cast<std::size_t>(s)]
+                                         .begin(),
+                                     v_slices[static_cast<std::size_t>(s)]
+                                         .end());
+      }
+      new_states.push_back(std::move(state));
+    }
+    kind = used_ps ? MigrationKind::kRollback : MigrationKind::kPipeline;
+
+    // Drop all current assignments (everyone rebuilds).
+    for (auto& agent : agents_) {
+      if (!agent.assigned()) continue;
+      agent.pipeline = agent.stage = -1;
+      agent.module.reset();
+      agent.optimizer.reset();
+    }
+  } else {
+    // Same depth: recover in place. First demote surplus replicas.
+    for (auto& agent : agents_) {
+      if (agent.assigned() && agent.pipeline >= target.dp) {
+        agent.pipeline = agent.stage = -1;
+        agent.module.reset();
+        agent.optimizer.reset();
+        kind = std::max(kind, MigrationKind::kIntraStage);
+      }
+    }
+    // Collect states for stages that need new replicas.
+    new_states.resize(static_cast<std::size_t>(target.pp));
+    for (int s = 0; s < target.pp; ++s) {
+      const ParcaeAgent* survivor = nullptr;
+      for (int d = 0; d < config_.dp && survivor == nullptr; ++d)
+        survivor = agent_at(d, s);
+      if (survivor != nullptr) {
+        new_states[static_cast<std::size_t>(s)].parameters =
+            survivor->module->flat_parameters();
+        new_states[static_cast<std::size_t>(s)].optimizer_state =
+            survivor->optimizer->state();
+      } else {
+        new_states[static_cast<std::size_t>(s)] = stage_state_from_ps(s);
+        used_ps = true;
+        ++rollbacks_;
+      }
+    }
+  }
+
+  // Fill every (pipeline, stage) slot, reusing surviving replicas.
+  for (int d = 0; d < target.dp; ++d) {
+    for (int s = 0; s < target.pp; ++s) {
+      if (!depth_change && agent_at(d, s) != nullptr) continue;  // intact
+      // Find a free agent (spare first).
+      ParcaeAgent* recruit = nullptr;
+      for (auto& agent : agents_)
+        if (agent.alive && !agent.assigned()) {
+          recruit = &agent;
+          break;
+        }
+      assert(recruit != nullptr);  // guaranteed by the instances() check
+      recruit->pipeline = d;
+      recruit->stage = s;
+      recruit->module = std::make_unique<nn::StageModule>(
+          stage_dims_[static_cast<std::size_t>(s)],
+          s + 1 == target.pp, /*seed=*/1);
+      recruit->module->set_flat_parameters(
+          new_states[static_cast<std::size_t>(s)].parameters);
+      recruit->optimizer =
+          std::make_unique<nn::Adam>(options_.learning_rate);
+      if (!new_states[static_cast<std::size_t>(s)].optimizer_state.empty()) {
+        recruit->optimizer->initialize(recruit->module->params());
+        recruit->optimizer->load_state(
+            new_states[static_cast<std::size_t>(s)].optimizer_state);
+      }
+      if (!depth_change && kind < MigrationKind::kInterStage)
+        kind = MigrationKind::kInterStage;
+    }
+  }
+
+  if (used_ps) kind = MigrationKind::kRollback;
+
+  // Rebuild the per-stage ParcaePS replicas for the new partition.
+  if (depth_change || ps_.size() != static_cast<std::size_t>(target.pp)) {
+    ps_.clear();
+    for (int s = 0; s < target.pp; ++s) {
+      auto ps = std::make_unique<ParcaePs>(
+          new_states[static_cast<std::size_t>(s)].parameters,
+          options_.learning_rate);
+      if (!new_states[static_cast<std::size_t>(s)].optimizer_state.empty())
+        ps->restore(new_states[static_cast<std::size_t>(s)].parameters,
+                    new_states[static_cast<std::size_t>(s)].optimizer_state);
+      ps_.push_back(std::move(ps));
+    }
+  }
+
+  config_ = target;
+  publish_assignments();
+  return kind;
+}
+
+bool TrainingCluster::assignment_intact() const {
+  if (!config_.valid()) return false;
+  for (int d = 0; d < config_.dp; ++d)
+    for (int s = 0; s < config_.pp; ++s)
+      if (agent_at(d, s) == nullptr) return false;
+  return true;
+}
+
+std::optional<IterationOutcome> TrainingCluster::train_iteration() {
+  if (!assignment_intact()) return std::nullopt;
+  if (samples_.epoch_complete()) samples_.start_next_epoch();
+  const SampleManager::Lease lease = samples_.lease(options_.batch_size);
+  if (lease.id == 0) return std::nullopt;
+
+  const int dp = config_.dp;
+  const int pp = config_.pp;
+  const std::size_t n = lease.samples.size();
+
+  // Per-stage weighted-mean gradients across the data-parallel shards.
+  std::vector<std::vector<float>> grad_sums(static_cast<std::size_t>(pp));
+  double loss_sum = 0.0;
+
+  const std::size_t base = n / static_cast<std::size_t>(dp);
+  const std::size_t remainder = n % static_cast<std::size_t>(dp);
+  std::size_t cursor = 0;
+  for (int d = 0; d < dp; ++d) {
+    const std::size_t share =
+        base + (static_cast<std::size_t>(d) < remainder ? 1 : 0);
+    if (share == 0) continue;
+    const std::vector<std::size_t> shard(
+        lease.samples.begin() + static_cast<std::ptrdiff_t>(cursor),
+        lease.samples.begin() + static_cast<std::ptrdiff_t>(cursor + share));
+    cursor += share;
+
+    nn::Matrix act = dataset_->gather(shard);
+    const std::vector<int> labels = dataset_->gather_labels(shard);
+    for (int s = 0; s < pp; ++s) {
+      ParcaeAgent* agent = agent_at(d, s);
+      assert(agent != nullptr);
+      agent->module->zero_grad();
+      act = agent->module->forward(act);
+    }
+    nn::SoftmaxCrossEntropy loss;
+    const float shard_loss = loss.forward(act, labels);
+    const double weight = static_cast<double>(share) / static_cast<double>(n);
+    loss_sum += weight * shard_loss;
+    nn::Matrix grad = loss.backward();
+    for (int s = pp; s-- > 0;) {
+      ParcaeAgent* agent = agent_at(d, s);
+      grad = agent->module->backward(grad);
+      const std::vector<float> g = agent->module->flat_gradients();
+      auto& sum = grad_sums[static_cast<std::size_t>(s)];
+      if (sum.empty()) sum.assign(g.size(), 0.0f);
+      for (std::size_t i = 0; i < g.size(); ++i)
+        sum[i] += static_cast<float>(weight) * g[i];
+    }
+  }
+
+  // Synchronous update: every replica of a stage applies the same
+  // averaged gradient with its own (identical) Adam replica, keeping
+  // replicas bit-for-bit consistent; ParcaePS mirrors the update.
+  for (int s = 0; s < pp; ++s) {
+    const auto& g = grad_sums[static_cast<std::size_t>(s)];
+    for (int d = 0; d < dp; ++d) {
+      ParcaeAgent* agent = agent_at(d, s);
+      agent->module->set_flat_gradients(g);
+      agent->optimizer->step(agent->module->params());
+    }
+    ps_[static_cast<std::size_t>(s)]->push_gradients(g);
+  }
+
+  samples_.commit(lease.id);
+  IterationOutcome outcome;
+  outcome.loss = static_cast<float>(loss_sum);
+  outcome.samples = n;
+  outcome.epoch_finished = samples_.epoch_complete();
+  return outcome;
+}
+
+float TrainingCluster::eval_loss(const nn::Matrix& x,
+                                 const std::vector<int>& labels) {
+  assert(config_.valid());
+  nn::Matrix act = x;
+  for (int s = 0; s < config_.pp; ++s) {
+    ParcaeAgent* agent = agent_at(0, s);
+    assert(agent != nullptr);
+    act = agent->module->forward(act);
+  }
+  nn::SoftmaxCrossEntropy loss;
+  return loss.forward(act, labels);
+}
+
+bool TrainingCluster::replicas_consistent() const {
+  if (!config_.valid()) return true;
+  for (int s = 0; s < config_.pp; ++s) {
+    const ParcaeAgent* reference = agent_at(0, s);
+    if (reference == nullptr) return false;
+    const std::vector<float> expect = reference->module->flat_parameters();
+    for (int d = 1; d < config_.dp; ++d) {
+      const ParcaeAgent* replica = agent_at(d, s);
+      if (replica == nullptr) return false;
+      if (replica->module->flat_parameters() != expect) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<float> TrainingCluster::assembled_parameters() const {
+  std::vector<float> out;
+  if (!config_.valid()) return out;
+  for (int s = 0; s < config_.pp; ++s) {
+    const ParcaeAgent* agent = agent_at(0, s);
+    assert(agent != nullptr);
+    const std::vector<float> p = agent->module->flat_parameters();
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  return out;
+}
+
+}  // namespace parcae

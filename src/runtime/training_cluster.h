@@ -1,0 +1,141 @@
+// In-process enactment of Parcae's runtime architecture (Figure 7):
+// ParcaeAgents hosting real pipeline stages, a scheduler that executes
+// live migrations between them, ParcaePS mirroring every stage's
+// states in "CPU DRAM", the SampleManager feeding data, and the
+// KvStore recording the coordination state (assignments, config) the
+// way the real system uses etcd.
+//
+// Unlike the interval-level ClusterSimulator (which models *time* and
+// *cost*), this layer executes *real training math*: stages compute
+// actual forwards/backwards on a real model, migrations copy actual
+// parameters and optimizer states, and tests can verify Parcae's
+// semantics claims directly — replicas stay bit-identical, migrations
+// never corrupt the model, distributed training matches monolithic
+// training, and every sample is trained exactly once per epoch.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "migration/planner.h"
+#include "nn/dataset.h"
+#include "nn/optimizer.h"
+#include "nn/stage.h"
+#include "parallel/parallel_config.h"
+#include "runtime/kv_store.h"
+#include "runtime/parcae_ps.h"
+#include "runtime/sample_manager.h"
+
+namespace parcae {
+
+// One spot instance. When assigned, it hosts a replica of one pipeline
+// stage (module + its own optimizer replica).
+struct ParcaeAgent {
+  int id = -1;
+  bool alive = false;
+  int pipeline = -1;  // -1: spare (allocated but unassigned)
+  int stage = -1;
+  std::unique_ptr<nn::StageModule> module;
+  std::unique_ptr<nn::Adam> optimizer;
+
+  bool assigned() const { return alive && pipeline >= 0; }
+};
+
+struct TrainingClusterOptions {
+  std::vector<std::size_t> layer_sizes{16, 48, 32, 5};  // global MLP
+  float learning_rate = 0.004f;
+  std::uint64_t seed = 1;
+  int initial_instances = 6;
+  std::size_t epoch_size = 512;
+  std::size_t batch_size = 32;
+};
+
+struct IterationOutcome {
+  float loss = 0.0f;
+  std::size_t samples = 0;
+  bool epoch_finished = false;
+};
+
+class TrainingCluster {
+ public:
+  TrainingCluster(TrainingClusterOptions options, const nn::Dataset* dataset);
+
+  // ---- cloud events -------------------------------------------------
+  // Adds `count` fresh (spare) instances; returns their ids.
+  std::vector<int> allocate(int count);
+  // Preempts specific instances (takes effect at the iteration
+  // boundary, as the grace period allows).
+  void preempt(const std::vector<int>& agent_ids);
+  // Preempts `count` instances chosen uniformly at random.
+  void preempt_random(int count, Rng& rng);
+
+  int alive_count() const;
+  int spare_count() const;
+
+  // ---- scheduler ----------------------------------------------------
+  // Migrates to `target` (which must satisfy target.instances() <=
+  // alive_count()). Chooses intra-stage reuse where possible, copies
+  // states across stages where needed, re-shards on depth change, and
+  // restores from ParcaePS when a stage has no surviving replica.
+  // Passing kIdleConfig suspends training. Returns what it had to do.
+  MigrationKind reconfigure(ParallelConfig target);
+
+  ParallelConfig config() const { return config_; }
+  int pipeline_depth_limit() const;  // layers available to split
+
+  // False when preemptions have punched holes in the current
+  // assignment; training cannot proceed until reconfigure() runs.
+  bool assignment_intact() const;
+
+  // ---- training -----------------------------------------------------
+  // One synchronous data+pipeline-parallel iteration over one leased
+  // mini-batch; commits the samples and pushes gradients to ParcaePS.
+  // Returns nullopt when suspended or the epoch pool is exhausted
+  // (epoch_finished is reported through the outcome of the last
+  // successful iteration instead).
+  std::optional<IterationOutcome> train_iteration();
+
+  // Evaluation on an arbitrary batch using pipeline 0's stages.
+  float eval_loss(const nn::Matrix& x, const std::vector<int>& labels);
+
+  // ---- introspection / invariants ------------------------------------
+  // All replicas of every stage hold identical parameters.
+  bool replicas_consistent() const;
+  // Full flat parameter vector assembled from pipeline 0 (layer-major;
+  // comparable with nn::Mlp::flat_parameters of the same layout).
+  std::vector<float> assembled_parameters() const;
+  SampleManager& samples() { return samples_; }
+  KvStore& kv() { return kv_; }
+  const std::vector<ParcaeAgent>& agents() const { return agents_; }
+  long long rollbacks() const { return rollbacks_; }
+
+ private:
+  struct StageState {
+    std::vector<float> parameters;
+    std::vector<float> optimizer_state;
+  };
+
+  ParcaeAgent* agent_at(int pipeline, int stage);
+  const ParcaeAgent* agent_at(int pipeline, int stage) const;
+  // Collect one healthy copy of every stage's state (from survivors or
+  // ParcaePS). Returns per-stage states for the *current* partition.
+  std::vector<StageState> collect_stage_states(bool& used_ps);
+  void publish_assignments();
+  StageState stage_state_from_ps(int stage) const;
+
+  TrainingClusterOptions options_;
+  const nn::Dataset* dataset_;
+  KvStore kv_;
+  SampleManager samples_;
+  Rng rng_;
+  std::vector<ParcaeAgent> agents_;
+  ParallelConfig config_ = kIdleConfig;
+  std::vector<std::vector<std::size_t>> stage_dims_;  // current partition
+  // One ParcaePS replica per stage of the *current* partition.
+  std::vector<std::unique_ptr<ParcaePs>> ps_;
+  long long rollbacks_ = 0;
+  int next_agent_id_ = 0;
+};
+
+}  // namespace parcae

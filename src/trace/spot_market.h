@@ -1,0 +1,44 @@
+// Spot-market simulator: generates availability traces from a price
+// process instead of replaying collected events.
+//
+// The market price follows an Ornstein-Uhlenbeck (mean-reverting)
+// process; whenever it rises above the user's bid the provider
+// reclaims capacity (more aggressively the larger the gap), and while
+// it stays below the bid, pending capacity requests are granted. This
+// produces the price-correlated availability dynamics the spot-market
+// literature the paper cites (Tributary, HotSpot) describes, and lets
+// benches study cost/robustness as a function of the bid.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+
+struct SpotMarketOptions {
+  int capacity = 32;           // instances we keep requesting
+  double duration_s = 3600.0;
+  double interval_s = 60.0;
+  double mean_price = 0.92;    // $/h long-run spot price
+  double reversion = 0.08;     // OU pull toward the mean per interval
+  double volatility = 0.05;    // price noise per interval ($/h)
+  double bid = 1.10;           // our maximum price
+  // Fraction of instances reclaimed per interval per 10% of price
+  // excess over the bid.
+  double reclaim_aggressiveness = 0.5;
+  // Expected instances granted per interval while price <= bid.
+  double grant_rate = 3.0;
+};
+
+struct SpotMarketResult {
+  SpotTrace trace;
+  std::vector<double> price_per_interval;  // $/h
+  double mean_paid_price = 0.0;            // avg price while holding
+};
+
+SpotMarketResult simulate_spot_market(const SpotMarketOptions& options,
+                                      Rng& rng);
+
+}  // namespace parcae

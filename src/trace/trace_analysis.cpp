@@ -1,0 +1,89 @@
+#include "trace/trace_analysis.h"
+
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace parcae {
+
+double autocorrelation(const std::vector<double>& series, int lag) {
+  if (lag <= 0 || series.size() <= static_cast<std::size_t>(lag) + 1)
+    return 0.0;
+  const double m = mean(series);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    den += (series[i] - m) * (series[i] - m);
+    if (i + static_cast<std::size_t>(lag) < series.size())
+      num += (series[i] - m) *
+             (series[i + static_cast<std::size_t>(lag)] - m);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+TraceAnalysis analyze_trace(const SpotTrace& trace, double interval_s) {
+  TraceAnalysis out;
+  const std::vector<double> series = trace.availability_series_d(interval_s);
+  RunningStats availability;
+  for (double n : series) availability.add(n);
+  out.mean_availability = availability.mean();
+  out.availability_cv = availability.mean() > 0.0
+                            ? availability.stddev() / availability.mean()
+                            : 0.0;
+  out.availability_autocorr_lag1 = autocorrelation(series, 1);
+
+  // Stability.
+  int stable = 0;
+  int run = 0;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    if (series[i] == series[i - 1]) {
+      ++stable;
+      ++run;
+      out.longest_stable_run = std::max(out.longest_stable_run, run);
+    } else {
+      run = 0;
+    }
+  }
+  out.stable_interval_fraction =
+      series.size() > 1
+          ? static_cast<double>(stable) /
+                static_cast<double>(series.size() - 1)
+          : 1.0;
+
+  // Preemption inter-arrivals.
+  RunningStats interarrival;
+  double last_preemption = -1.0;
+  int preempted_instances = 0;
+  for (const auto& event : trace.events()) {
+    if (!event.is_preemption()) continue;
+    preempted_instances += event.instance_count();
+    if (last_preemption >= 0.0)
+      interarrival.add(event.time_s - last_preemption);
+    last_preemption = event.time_s;
+  }
+  out.preemption_interarrival_mean_s = interarrival.mean();
+  out.preemption_interarrival_cv =
+      interarrival.mean() > 0.0
+          ? interarrival.stddev() / interarrival.mean()
+          : 0.0;
+  out.preempted_instances_per_hour =
+      trace.duration_s() > 0.0
+          ? preempted_instances * 3600.0 / trace.duration_s()
+          : 0.0;
+  return out;
+}
+
+TraceRegime classify_trace(const SpotTrace& trace) {
+  const TraceStats stats = trace.stats();
+  TraceRegime regime;
+  regime.high_availability =
+      stats.avg_instances > 0.7 * trace.capacity();
+  // Table 1 calls ~20 events/hour dense, a handful sparse.
+  const double events_per_hour =
+      (stats.preemption_events + stats.allocation_events) * 3600.0 /
+      std::max(1.0, stats.duration_s);
+  regime.dense_preemptions = events_per_hour >= 12.0;
+  return regime;
+}
+
+}  // namespace parcae

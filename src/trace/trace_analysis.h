@@ -1,0 +1,47 @@
+// Trace analysis: the statistics that characterize a spot availability
+// trace beyond Table 1's averages — stability, burstiness, preemption
+// inter-arrival behaviour, and autocorrelation. Used by trace_tool and
+// by anyone deciding which regime (H_A/L_A x D_P/S_P) their own
+// collected trace falls into.
+#pragma once
+
+#include <vector>
+
+#include "trace/spot_trace.h"
+
+namespace parcae {
+
+struct TraceAnalysis {
+  // Mean availability and its coefficient of variation.
+  double mean_availability = 0.0;
+  double availability_cv = 0.0;
+  // Mean / CV of the time between consecutive preemption events
+  // (seconds); CV > 1 indicates bursty preemptions.
+  double preemption_interarrival_mean_s = 0.0;
+  double preemption_interarrival_cv = 0.0;
+  // Lag-1 autocorrelation of the per-interval availability series
+  // (close to 1: smooth regimes; near 0: noise).
+  double availability_autocorr_lag1 = 0.0;
+  // Fraction of intervals with no change at all.
+  double stable_interval_fraction = 0.0;
+  // Longest stable stretch, in intervals.
+  int longest_stable_run = 0;
+  // Net instance-minutes lost to preemption per hour.
+  double preempted_instances_per_hour = 0.0;
+};
+
+TraceAnalysis analyze_trace(const SpotTrace& trace,
+                            double interval_s = 60.0);
+
+// Lag-k autocorrelation of an arbitrary series (0 when undefined).
+double autocorrelation(const std::vector<double>& series, int lag);
+
+// Classification used in Table 1: "High"/"Low" availability and
+// "Dense"/"Sparse" preemption intensity relative to the capacity.
+struct TraceRegime {
+  bool high_availability = false;
+  bool dense_preemptions = false;
+};
+TraceRegime classify_trace(const SpotTrace& trace);
+
+}  // namespace parcae

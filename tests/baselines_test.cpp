@@ -1,0 +1,147 @@
+// Tests for the baseline policies: Varuna (checkpoint/rollback/morph),
+// Bamboo (fixed depth, redundancy), on-demand, and elastic-DP.
+#include <gtest/gtest.h>
+
+#include "baselines/bamboo_policy.h"
+#include "baselines/elastic_dp_policy.h"
+#include "baselines/ondemand_policy.h"
+#include "baselines/varuna_policy.h"
+#include "model/model_profile.h"
+#include "runtime/cluster_sim.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+namespace {
+
+TEST(Varuna, StableClusterPaysOnlyCheckpointOverhead) {
+  VarunaPolicy policy(gpt2_profile());
+  const SimulationResult r = simulate(policy, flat_trace(24, 3600.0), {});
+  const double bound =
+      policy.throughput_model().throughput(
+          policy.throughput_model().best_config(24)) *
+      3600.0;
+  EXPECT_GT(r.committed_samples, bound * 0.80);
+  EXPECT_LT(r.committed_samples, bound);  // checkpoints are not free
+}
+
+TEST(Varuna, PreemptionRollsBackProgress) {
+  // One preemption mid-run: Varuna loses what it trained since the
+  // last checkpoint and stalls to reload.
+  const SpotTrace calm = flat_trace(24, 3600.0);
+  const SpotTrace rough =
+      SpotTrace::from_minute_series("one-hit", [] {
+        std::vector<int> s(60, 24);
+        for (int i = 30; i < 60; ++i) s[static_cast<std::size_t>(i)] = 23;
+        return s;
+      }());
+  VarunaPolicy a(gpt2_profile());
+  VarunaPolicy b(gpt2_profile());
+  const double calm_samples = simulate(a, calm, {}).committed_samples;
+  const double rough_samples = simulate(b, rough, {}).committed_samples;
+  // Losing one instance costs ~4% capacity; the rollback and restart
+  // must cost noticeably more than that.
+  EXPECT_LT(rough_samples, calm_samples * 0.93);
+}
+
+TEST(Varuna, CheckpointTimeScalesWithModel) {
+  VarunaPolicy small(bert_large_profile());
+  VarunaPolicy large(gpt3_profile());
+  EXPECT_LT(small.checkpoint_save_time_s(), 15.0);
+  EXPECT_GT(large.checkpoint_save_time_s(), 100.0);
+}
+
+TEST(Varuna, CannotTrainGpt3OnLowAvailability) {
+  // Varuna's GPT-3 minimum depth (17) exceeds the L_A S_P trace's
+  // peak of 15 instances: the "-" entries of Table 2.
+  VarunaPolicy policy(gpt3_profile());
+  const SimulationResult r =
+      simulate(policy, canonical_segment(TraceSegment::kLowAvailSparse), {});
+  EXPECT_DOUBLE_EQ(r.committed_samples, 0.0);
+}
+
+TEST(Bamboo, UsesTable5Depths) {
+  EXPECT_EQ(bamboo_table5_depth(resnet152_profile()), 4);
+  EXPECT_EQ(bamboo_table5_depth(vgg19_profile()), 4);
+  EXPECT_EQ(bamboo_table5_depth(bert_large_profile()), 8);
+  EXPECT_EQ(bamboo_table5_depth(gpt2_profile()), 16);
+  EXPECT_EQ(bamboo_table5_depth(gpt3_profile()), 23);
+  EXPECT_EQ(BambooPolicy(gpt2_profile()).depth(), 16);
+}
+
+TEST(Bamboo, FixedDepthWastesInstances) {
+  // 31 available, P=16 -> one pipeline, 15 instances idle.
+  BambooPolicy policy(gpt2_profile());
+  const SimulationResult r = simulate(policy, flat_trace(31, 3600.0), {});
+  EXPECT_GT(r.gpu_hours.unutilized, 14.0);
+  EXPECT_GT(r.committed_samples, 0.0);
+}
+
+TEST(Bamboo, RedundantComputeShareMatchesFigure12) {
+  BambooPolicy policy(gpt2_profile());
+  const SimulationResult r = simulate(policy, flat_trace(32, 3600.0), {});
+  const double share =
+      r.gpu_hours.redundant / (r.gpu_hours.redundant + r.gpu_hours.effective);
+  // Paper: >40% of Bamboo's GPU hours are redundant computation.
+  EXPECT_GT(share, 0.35);
+  EXPECT_LT(share, 0.5);
+}
+
+TEST(Bamboo, SuspendedBelowFixedDepth) {
+  BambooPolicy policy(gpt3_profile());  // P = 23
+  const SimulationResult r =
+      simulate(policy, canonical_segment(TraceSegment::kLowAvailSparse), {});
+  EXPECT_DOUBLE_EQ(r.committed_samples, 0.0);
+}
+
+TEST(Bamboo, RecoversQuicklyWithoutLosingProgress) {
+  // Bamboo's redundancy absorbs a preemption with a short stall and
+  // zero lost samples.
+  const SpotTrace rough = SpotTrace::from_minute_series("hit", [] {
+    std::vector<int> s(60, 32);
+    for (int i = 30; i < 60; ++i) s[static_cast<std::size_t>(i)] = 31;
+    return s;
+  }());
+  BambooPolicy policy(gpt2_profile());
+  const SimulationResult r = simulate(policy, rough, {});
+  EXPECT_DOUBLE_EQ(r.gpu_hours.lost, 0.0);
+}
+
+TEST(OnDemand, PerfectUtilizationAtFullPrice) {
+  OnDemandPolicy policy(gpt2_profile());
+  SimulationOptions options;
+  options.instances_are_ondemand = true;
+  options.units_per_sample = 1024.0;
+  const SimulationResult r = simulate(policy, flat_trace(32, 3600.0), options);
+  EXPECT_NEAR(r.gpu_hours.effective + r.gpu_hours.unutilized, 32.0, 1e-6);
+  EXPECT_NEAR(r.spot_cost_usd, 32 * 3.06, 0.01);
+  EXPECT_GT(r.committed_samples, 0.0);
+}
+
+TEST(ElasticDp, RefusesModelsThatDoNotFitOneGpu) {
+  ElasticDpPolicy policy(gpt2_profile());
+  EXPECT_FALSE(policy.model_fits());
+  const SimulationResult r = simulate(policy, flat_trace(32, 600.0), {});
+  EXPECT_DOUBLE_EQ(r.committed_samples, 0.0);
+}
+
+TEST(ElasticDp, TrainsSmallModelsDataParallel) {
+  ElasticDpPolicy policy(resnet152_profile());
+  ASSERT_TRUE(policy.model_fits());
+  const SimulationResult r = simulate(policy, flat_trace(16, 1800.0), {});
+  EXPECT_GT(r.committed_samples, 0.0);
+  EXPECT_EQ(r.timeline.back().config.pp, 1);
+}
+
+TEST(ElasticDp, ShrinksLoseInFlightIteration) {
+  const SpotTrace rough = SpotTrace::from_minute_series("hit", [] {
+    std::vector<int> s(30, 16);
+    for (int i = 15; i < 30; ++i) s[static_cast<std::size_t>(i)] = 15;
+    return s;
+  }());
+  ElasticDpPolicy policy(resnet152_profile());
+  const SimulationResult r = simulate(policy, rough, {});
+  EXPECT_GT(r.gpu_hours.lost, 0.0);
+}
+
+}  // namespace
+}  // namespace parcae

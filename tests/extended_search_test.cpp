@@ -1,0 +1,113 @@
+// Tests for the tensor-parallel extended search space (the paper's
+// stated future work).
+#include <gtest/gtest.h>
+
+#include "core/extended_search.h"
+#include "model/model_profile.h"
+#include "parallel/throughput_model.h"
+
+namespace parcae {
+namespace {
+
+ExtendedThroughputModel gpt3_extended() {
+  return ExtendedThroughputModel(gpt3_profile(), {});
+}
+
+TEST(ExtendedSearch, TpOneMatchesBaseModel) {
+  const ExtendedThroughputModel ext(gpt2_profile(), {});
+  const ThroughputModel base(gpt2_profile(), {});
+  for (const ParallelConfig c :
+       {ParallelConfig{2, 8}, ParallelConfig{4, 6}, ParallelConfig{2, 13}}) {
+    EXPECT_NEAR(ext.throughput({c.dp, c.pp, 1}), base.throughput(c),
+                base.throughput(c) * 1e-9)
+        << c.to_string();
+  }
+  EXPECT_EQ(ext.min_pipeline_depth(1), base.min_pipeline_depth());
+}
+
+TEST(ExtendedSearch, TensorParallelismShrinksMinimumDepth) {
+  // The headline benefit: TP shards parameters, so deep models fit at
+  // much shallower pipeline depths (GPT-3 needs P>=9 at T=1).
+  const auto ext = gpt3_extended();
+  const int p1 = ext.min_pipeline_depth(1);
+  const int p2 = ext.min_pipeline_depth(2);
+  const int p4 = ext.min_pipeline_depth(4);
+  EXPECT_EQ(p1, 9);
+  EXPECT_LT(p2, p1);
+  EXPECT_LT(p4, p2);
+}
+
+TEST(ExtendedSearch, MegatronTaxMakesHighTpSlowOverSlowNetworks) {
+  // On 10 Gbps inter-node links, activation all-reduces per layer make
+  // T=8 strictly worse than T=1 at equal instance count for GPT-2.
+  const ExtendedThroughputModel ext(gpt2_profile(), {});
+  const double t1 = ext.throughput({2, 8, 1});
+  const double t8 = ext.throughput({1, 2, 8});
+  ASSERT_GT(t1, 0.0);
+  EXPECT_LT(t8, t1);
+}
+
+TEST(ExtendedSearch, EnumerationRespectsBudgetAndDegrees) {
+  const auto ext = gpt3_extended();
+  for (const auto& c : ext.enumerate_configs(16)) {
+    EXPECT_LE(c.instances(), 16);
+    EXPECT_TRUE(c.tp == 1 || c.tp == 2 || c.tp == 4 || c.tp == 8);
+    EXPECT_GT(ext.throughput(c), 0.0);
+  }
+  // TP shards memory the same way pipeline depth does (both divide
+  // parameters over P*T instances), so it cannot lower the instance
+  // floor — but it widens the space: shallow-pipeline configurations
+  // impossible at T=1 become feasible at equal instance count.
+  bool found_shallow_tp = false;
+  const int base_min_depth = ext.min_pipeline_depth(1);
+  for (const auto& c : ext.enumerate_configs(20))
+    found_shallow_tp =
+        found_shallow_tp || (c.tp > 1 && c.pp < base_min_depth);
+  EXPECT_TRUE(found_shallow_tp);
+}
+
+TEST(ExtendedSearch, BestConfigIsArgmax) {
+  const auto ext = gpt3_extended();
+  const TensorParallelConfig best = ext.best_config(24);
+  for (const auto& c : ext.enumerate_configs(24))
+    EXPECT_LE(ext.throughput(c), ext.throughput(best) + 1e-9);
+}
+
+TEST(ExtendedSearch, LiveputEqualsThroughputWithoutPreemptions) {
+  const auto ext = gpt3_extended();
+  const TensorParallelConfig c{2, 9, 1};
+  EXPECT_DOUBLE_EQ(ext.liveput(c, 3, 0), ext.throughput(c));
+}
+
+TEST(ExtendedSearch, HigherTpIsMoreFragileUnderPreemptions) {
+  // A T-sharded cell dies if ANY of its T shards dies, so at equal
+  // instance count higher T retains a smaller fraction of its
+  // throughput under preemptions — the liveput trade-off extended to
+  // the third axis.
+  const auto ext = gpt3_extended();
+  const TensorParallelConfig narrow{4, 9, 1};   // 36 shards... 4x9
+  const TensorParallelConfig wide{4, 5, 2};     // sharded, 40 instances
+  ASSERT_TRUE(ext.feasible(narrow));
+  ASSERT_TRUE(ext.feasible(wide));
+  const int k = 4;
+  const double narrow_retention =
+      ext.liveput(narrow, 0, k, 2048) / ext.throughput(narrow);
+  const double wide_retention =
+      ext.liveput(wide, 0, k, 2048) / ext.throughput(wide);
+  EXPECT_GT(narrow_retention, wide_retention);
+}
+
+TEST(ExtendedSearch, LiveputDecreasesWithPreemptions) {
+  const auto ext = gpt3_extended();
+  const TensorParallelConfig c{2, 5, 2};
+  ASSERT_TRUE(ext.feasible(c));
+  double prev = 1e18;
+  for (int k = 0; k <= 6; ++k) {
+    const double lp = ext.liveput(c, 2, k, 1024);
+    EXPECT_LE(lp, prev + prev * 0.02);  // small MC slack
+    prev = lp;
+  }
+}
+
+}  // namespace
+}  // namespace parcae

@@ -1,0 +1,102 @@
+// Golden-value regression tests: freeze the calibrated quantities that
+// downstream results depend on, so accidental drift in the performance
+// or memory models is caught immediately (the EXPERIMENTS.md numbers
+// were recorded against these).
+#include <gtest/gtest.h>
+
+#include "baselines/bamboo_policy.h"
+#include "baselines/varuna_policy.h"
+#include "migration/cost_model.h"
+#include "model/memory_model.h"
+#include "model/model_profile.h"
+#include "parallel/throughput_model.h"
+#include "runtime/cluster_sim.h"
+#include "runtime/parcae_policy.h"
+
+namespace parcae {
+namespace {
+
+TEST(Golden, MinimumPipelineDepths) {
+  // The feasibility boundaries that produce Table 2's "-" rows.
+  EXPECT_EQ(MemoryModel(gpt3_profile(), MemorySpec::parcae())
+                .min_feasible_depth(),
+            9);
+  EXPECT_EQ(MemoryModel(gpt3_profile(), MemorySpec::varuna())
+                .min_feasible_depth(),
+            17);
+  EXPECT_EQ(MemoryModel(gpt3_profile(), MemorySpec::bamboo())
+                .min_feasible_depth(),
+            22);
+  EXPECT_EQ(MemoryModel(gpt2_profile(), MemorySpec::parcae())
+                .min_feasible_depth(),
+            2);
+  EXPECT_EQ(MemoryModel(gpt2_profile(), MemorySpec::varuna())
+                .min_feasible_depth(),
+            4);
+}
+
+TEST(Golden, ThroughputOptimalConfigsForGpt2) {
+  // The depth volatility that drives the Figure-15 case study: best
+  // configs flip depth as N wiggles in the high-20s.
+  const ThroughputModel tm(gpt2_profile(), {});
+  EXPECT_EQ(tm.best_config(28), (ParallelConfig{4, 7}));
+  EXPECT_EQ(tm.best_config(27), (ParallelConfig{3, 9}));
+  EXPECT_EQ(tm.best_config(26), (ParallelConfig{2, 13}));
+  EXPECT_EQ(tm.best_config(32), (ParallelConfig{4, 8}));
+}
+
+TEST(Golden, OnDemandThroughputAnchors) {
+  // tokens/s (or images/s) at 32 instances — the dashed reference
+  // lines of Figure 9a.
+  const double tol = 0.01;
+  {
+    const ThroughputModel tm(gpt2_profile(), {});
+    EXPECT_NEAR(tm.unit_throughput(tm.best_config(32)), 60760, 60760 * tol);
+  }
+  {
+    const ThroughputModel tm(gpt3_profile(), {});
+    EXPECT_NEAR(tm.unit_throughput(tm.best_config(32)), 14926, 14926 * tol);
+  }
+  {
+    const ThroughputModel tm(resnet152_profile(), {});
+    EXPECT_NEAR(tm.unit_throughput(tm.best_config(32)), 15550, 15550 * tol);
+  }
+}
+
+TEST(Golden, MigrationCostMagnitudes) {
+  // GPT-2 at 4x7: the costs the liveput optimizer trades against.
+  const CostEstimator est(gpt2_profile());
+  const ParallelConfig c{4, 7};
+  EXPECT_NEAR(est.intra_stage(c).total(), 7.9, 1.0);
+  EXPECT_NEAR(est.pipeline_migration({2, 13}, c).total(), 57.2, 3.0);
+  EXPECT_NEAR(est.checkpoint_rollback(c).total(), 27.2, 2.0);
+}
+
+TEST(Golden, VarunaCheckpointTime) {
+  // GPT-3 checkpoints dominate Varuna's behaviour (Figure 9a).
+  VarunaPolicy varuna(gpt3_profile());
+  EXPECT_NEAR(varuna.checkpoint_save_time_s(), 156.0, 2.0);
+}
+
+TEST(Golden, HeadlineEndToEndNumbers) {
+  // The Figure-2 anchors recorded in EXPERIMENTS.md (exact values —
+  // the whole stack is deterministic).
+  const ModelProfile m = gpt2_profile();
+  const SpotTrace trace = canonical_segment(TraceSegment::kHighAvailDense);
+  SimulationOptions sim;
+  sim.units_per_sample = m.tokens_per_sample;
+  ParcaePolicy parcae(m, {});
+  const double parcae_tokens =
+      simulate(parcae, trace, sim).committed_units;
+  VarunaPolicy varuna(m);
+  const double varuna_tokens =
+      simulate(varuna, trace, sim).committed_units;
+  BambooPolicy bamboo(m);
+  const double bamboo_tokens =
+      simulate(bamboo, trace, sim).committed_units;
+  EXPECT_NEAR(parcae_tokens / varuna_tokens, 3.0, 0.35);
+  EXPECT_NEAR(parcae_tokens / bamboo_tokens, 2.1, 0.25);
+}
+
+}  // namespace
+}  // namespace parcae

@@ -1,0 +1,254 @@
+// Tests for the from-scratch NN library: matrix ops, analytical vs
+// numerical gradients, optimizers, training progress, checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/dataset.h"
+#include "nn/layers.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+
+namespace parcae::nn {
+namespace {
+
+TEST(Matrix, MatmulKnownValues) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(std::begin(av), std::end(av), a.raw().begin());
+  std::copy(std::begin(bv), std::end(bv), b.raw().begin());
+  const Matrix c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 58);
+  EXPECT_FLOAT_EQ(c(0, 1), 64);
+  EXPECT_FLOAT_EQ(c(1, 0), 139);
+  EXPECT_FLOAT_EQ(c(1, 1), 154);
+}
+
+TEST(Matrix, TransposedProductsAgreeWithExplicitTranspose) {
+  parcae::Rng rng(3);
+  Matrix a(4, 5), b(4, 5);
+  for (auto& v : a.raw()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.raw()) v = static_cast<float>(rng.normal());
+  // a^T * b via matmul_tn must equal manual transpose multiply.
+  Matrix at(5, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 5; ++j) at(j, i) = a(i, j);
+  const Matrix expect = matmul(at, b);
+  const Matrix got = matmul_tn(a, b);
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_NEAR(got.raw()[i], expect.raw()[i], 1e-5);
+}
+
+TEST(Matrix, Axpy) {
+  Matrix a(1, 3, 1.0f), b(1, 3, 2.0f);
+  a.axpy(0.5f, b);
+  for (float v : a.raw()) EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+// Numerical gradient check through a 1-linear-layer + softmax-CE net.
+TEST(Layers, LinearSoftmaxGradientMatchesNumerical) {
+  parcae::Rng rng(5);
+  Linear linear(4, 3, rng);
+  SoftmaxCrossEntropy loss;
+  Matrix x(2, 4);
+  for (auto& v : x.raw()) v = static_cast<float>(rng.normal());
+  const std::vector<int> labels{1, 2};
+
+  linear.zero_grad();
+  const Matrix logits = linear.forward(x);
+  loss.forward(logits, labels);
+  linear.backward(loss.backward());
+
+  const float eps = 1e-3f;
+  for (std::size_t idx : {std::size_t{0}, std::size_t{5}, std::size_t{11}}) {
+    const float orig = linear.weight().raw()[idx];
+    linear.weight().raw()[idx] = orig + eps;
+    const float up = loss.forward(linear.forward(x), labels);
+    linear.weight().raw()[idx] = orig - eps;
+    const float down = loss.forward(linear.forward(x), labels);
+    linear.weight().raw()[idx] = orig;
+    const float numerical = (up - down) / (2 * eps);
+    EXPECT_NEAR(linear.weight_grad().raw()[idx], numerical, 5e-3);
+  }
+}
+
+TEST(Layers, ReluMasksNegativeGradients) {
+  Relu relu;
+  Matrix x(1, 4);
+  x.raw() = {-1.0f, 2.0f, -3.0f, 4.0f};
+  const Matrix y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y(0, 1), 2.0f);
+  Matrix g(1, 4, 1.0f);
+  const Matrix gx = relu.backward(g);
+  EXPECT_FLOAT_EQ(gx(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(gx(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(gx(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(gx(0, 3), 1.0f);
+}
+
+TEST(Layers, SoftmaxProbabilitiesAndAccuracy) {
+  SoftmaxCrossEntropy loss;
+  Matrix logits(2, 3);
+  logits.raw() = {10.0f, 0.0f, 0.0f, 0.0f, 0.0f, 10.0f};
+  const float l = loss.forward(logits, {0, 2});
+  EXPECT_LT(l, 0.01f);
+  EXPECT_EQ(loss.correct(), 2);
+  const float l2 = loss.forward(logits, {1, 0});
+  EXPECT_GT(l2, 5.0f);
+  EXPECT_EQ(loss.correct(), 0);
+}
+
+TEST(Optimizer, SgdStepMovesAgainstGradient) {
+  Matrix p(1, 2, 1.0f), g(1, 2);
+  g.raw() = {0.5f, -0.5f};
+  Sgd sgd(0.1f);
+  sgd.step({{&p, &g}});
+  EXPECT_FLOAT_EQ(p(0, 0), 0.95f);
+  EXPECT_FLOAT_EQ(p(0, 1), 1.05f);
+}
+
+TEST(Optimizer, MomentumAccumulates) {
+  Matrix p(1, 1, 0.0f), g(1, 1, 1.0f);
+  Sgd sgd(1.0f, 0.9f);
+  sgd.step({{&p, &g}});
+  EXPECT_FLOAT_EQ(p(0, 0), -1.0f);
+  sgd.step({{&p, &g}});  // velocity = 0.9 + 1 = 1.9
+  EXPECT_FLOAT_EQ(p(0, 0), -2.9f);
+}
+
+TEST(Optimizer, AdamFirstStepIsLrSized) {
+  Matrix p(1, 1, 0.0f), g(1, 1, 3.0f);
+  Adam adam(0.01f);
+  adam.step({{&p, &g}});
+  // Bias correction makes the first update ~= lr * sign(g).
+  EXPECT_NEAR(p(0, 0), -0.01f, 1e-4);
+}
+
+TEST(Optimizer, StateRoundTrip) {
+  Matrix p(1, 3, 1.0f), g(1, 3, 0.3f);
+  Adam a(0.01f), b(0.01f);
+  a.step({{&p, &g}});
+  a.step({{&p, &g}});
+  Matrix p2(1, 3, 1.0f);
+  b.initialize({{&p2, &g}});
+  b.load_state(a.state());
+  // After loading, both produce identical updates.
+  Matrix pa = p, pb = p;
+  a.step({{&pa, &g}});
+  b.step({{&pb, &g}});
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_FLOAT_EQ(pa.raw()[i], pb.raw()[i]);
+}
+
+TEST(Optimizer, LoadStateFromNeverSteppedCheckpointResetsMoments) {
+  // A checkpoint taken from an optimizer that never stepped contains
+  // only the step counter; loading it must behave like a fresh
+  // optimizer rather than reading past the end (regression test).
+  Adam never_stepped(0.01f);
+  const auto short_state = never_stepped.state();
+  ASSERT_EQ(short_state.size(), 1u);
+
+  Matrix p(1, 4, 1.0f), g(1, 4, 1.0f);
+  Adam loaded(0.01f);
+  loaded.initialize({{&p, &g}});
+  loaded.load_state(short_state);
+  Adam fresh(0.01f);
+  Matrix pa = p, pb = p;
+  loaded.step({{&pa, &g}});
+  fresh.step({{&pb, &g}});
+  EXPECT_EQ(pa.raw(), pb.raw());
+}
+
+TEST(Dataset, BlobsAreDeterministicAndLabeled) {
+  const Dataset a = make_blobs(100, 8, 4, 0.3, 7);
+  const Dataset b = make_blobs(100, 8, 4, 0.3, 7);
+  EXPECT_EQ(a.features.raw(), b.features.raw());
+  EXPECT_EQ(a.labels, b.labels);
+  for (int label : a.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(Dataset, GatherSelectsRows) {
+  const Dataset ds = make_blobs(10, 3, 2, 0.1, 1);
+  const Matrix batch = ds.gather({2, 7});
+  EXPECT_EQ(batch.rows(), 2u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(batch(0, j), ds.features(2, j));
+    EXPECT_FLOAT_EQ(batch(1, j), ds.features(7, j));
+  }
+}
+
+TEST(Mlp, TrainingReducesLossAndLearnsBlobs) {
+  const Dataset ds = make_blobs(512, 8, 4, 0.4, 21);
+  Mlp mlp({8, 32, 4}, std::make_unique<Adam>(0.01f), 3);
+  std::vector<std::size_t> all(ds.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  const Matrix x = ds.gather(all);
+  const auto y = ds.gather_labels(all);
+  const float initial = mlp.eval_loss(x, y);
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    for (std::size_t off = 0; off < ds.size(); off += 64) {
+      std::vector<std::size_t> idx;
+      for (std::size_t i = off; i < off + 64; ++i) idx.push_back(i);
+      mlp.train_batch(ds.gather(idx), ds.gather_labels(idx));
+    }
+  }
+  EXPECT_LT(mlp.eval_loss(x, y), initial * 0.3f);
+  EXPECT_GT(mlp.eval_accuracy(x, y), 0.9);
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  const Dataset ds = make_blobs(64, 4, 2, 0.3, 5);
+  auto run = [&] {
+    Mlp mlp({4, 16, 2}, std::make_unique<Adam>(0.01f), 9);
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < 64; ++i) idx.push_back(i);
+    for (int it = 0; it < 10; ++it)
+      mlp.train_batch(ds.gather(idx), ds.gather_labels(idx));
+    return mlp.flat_parameters();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Mlp, CheckpointRestoreIsExact) {
+  const Dataset ds = make_blobs(64, 4, 2, 0.3, 5);
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < 64; ++i) idx.push_back(i);
+  const Matrix x = ds.gather(idx);
+  const auto y = ds.gather_labels(idx);
+
+  Mlp a({4, 16, 2}, std::make_unique<Adam>(0.02f), 9);
+  for (int it = 0; it < 5; ++it) a.train_batch(x, y);
+  const MlpCheckpoint ckpt = a.checkpoint();
+
+  // Continue a; then restore a fresh model from the checkpoint and
+  // replay the same batches: parameters must match bit-for-bit.
+  for (int it = 0; it < 5; ++it) a.train_batch(x, y);
+
+  Mlp b({4, 16, 2}, std::make_unique<Adam>(0.02f), 777);  // different init
+  b.restore(ckpt);
+  EXPECT_EQ(b.steps(), 5);
+  for (int it = 0; it < 5; ++it) b.train_batch(x, y);
+  EXPECT_EQ(a.flat_parameters(), b.flat_parameters());
+}
+
+TEST(Mlp, FlatParameterRoundTrip) {
+  Mlp a({4, 8, 2}, std::make_unique<Sgd>(0.1f), 1);
+  Mlp b({4, 8, 2}, std::make_unique<Sgd>(0.1f), 2);
+  EXPECT_NE(a.flat_parameters(), b.flat_parameters());
+  b.set_flat_parameters(a.flat_parameters());
+  EXPECT_EQ(a.flat_parameters(), b.flat_parameters());
+  EXPECT_EQ(a.parameter_count(), (4 * 8 + 8) + (8 * 2 + 2));
+}
+
+}  // namespace
+}  // namespace parcae::nn

@@ -1,0 +1,91 @@
+// Tests for trace analysis statistics and regime classification.
+#include <gtest/gtest.h>
+
+#include "parallel/pipeline_schedule.h"
+#include "trace/trace_analysis.h"
+
+namespace parcae {
+namespace {
+
+TEST(Autocorrelation, KnownSeries) {
+  // A constant series has undefined (0) autocorrelation.
+  EXPECT_DOUBLE_EQ(autocorrelation({5, 5, 5, 5, 5}, 1), 0.0);
+  // A slowly varying ramp is highly autocorrelated.
+  std::vector<double> ramp;
+  for (int i = 0; i < 50; ++i) ramp.push_back(i);
+  EXPECT_GT(autocorrelation(ramp, 1), 0.9);
+  // Alternating series is strongly negatively autocorrelated at lag 1.
+  std::vector<double> alternating;
+  for (int i = 0; i < 50; ++i) alternating.push_back(i % 2 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(alternating, 1), -0.9);
+  // Degenerate lags.
+  EXPECT_DOUBLE_EQ(autocorrelation(ramp, 0), 0.0);
+  EXPECT_DOUBLE_EQ(autocorrelation({1.0, 2.0}, 5), 0.0);
+}
+
+TEST(TraceAnalysis, FlatTraceIsPerfectlyStable) {
+  const SpotTrace flat = SpotTrace::from_minute_series(
+      "flat", std::vector<int>(30, 12), 16);
+  const TraceAnalysis a = analyze_trace(flat);
+  EXPECT_DOUBLE_EQ(a.mean_availability, 12.0);
+  EXPECT_DOUBLE_EQ(a.availability_cv, 0.0);
+  EXPECT_DOUBLE_EQ(a.stable_interval_fraction, 1.0);
+  EXPECT_EQ(a.longest_stable_run, 29);
+  EXPECT_DOUBLE_EQ(a.preempted_instances_per_hour, 0.0);
+}
+
+TEST(TraceAnalysis, CanonicalSegmentsBehaveAsNamed) {
+  const TraceAnalysis dense =
+      analyze_trace(canonical_segment(TraceSegment::kHighAvailDense));
+  const TraceAnalysis sparse =
+      analyze_trace(canonical_segment(TraceSegment::kHighAvailSparse));
+  EXPECT_GT(dense.preempted_instances_per_hour,
+            sparse.preempted_instances_per_hour);
+  EXPECT_LT(dense.stable_interval_fraction,
+            sparse.stable_interval_fraction + 1e-9);
+  EXPECT_GT(dense.mean_availability, 21.0);
+}
+
+TEST(TraceAnalysis, InterarrivalStatistics) {
+  // Preemptions at 120 s, 240 s, 480 s: gaps 120 and 240.
+  SpotTrace trace("t", 10, 16, 600.0,
+                  {{120.0, -1}, {240.0, -1}, {480.0, -2}});
+  const TraceAnalysis a = analyze_trace(trace);
+  EXPECT_NEAR(a.preemption_interarrival_mean_s, 180.0, 1e-9);
+  EXPECT_GT(a.preemption_interarrival_cv, 0.0);
+  EXPECT_NEAR(a.preempted_instances_per_hour, 4 * 6.0, 1e-9);
+}
+
+TEST(TraceRegimeClassification, MatchesTable1Labels) {
+  struct Case {
+    TraceSegment segment;
+    bool high, dense;
+  };
+  for (const Case c :
+       {Case{TraceSegment::kHighAvailDense, true, true},
+        Case{TraceSegment::kHighAvailSparse, true, false},
+        Case{TraceSegment::kLowAvailDense, false, true},
+        Case{TraceSegment::kLowAvailSparse, false, false}}) {
+    const TraceRegime regime = classify_trace(canonical_segment(c.segment));
+    EXPECT_EQ(regime.high_availability, c.high)
+        << trace_segment_name(c.segment);
+    EXPECT_EQ(regime.dense_preemptions, c.dense)
+        << trace_segment_name(c.segment);
+  }
+}
+
+TEST(RenderSchedule, ProducesOneRowPerStageWithMarks) {
+  ScheduleParams params{3, 4, 1.0, 2.0, 0.0};
+  const ScheduleResult r = simulate_1f1b(params);
+  const std::string art = render_schedule(r, 3, 60);
+  EXPECT_NE(art.find("stage 0"), std::string::npos);
+  EXPECT_NE(art.find("stage 2"), std::string::npos);
+  EXPECT_NE(art.find('0'), std::string::npos);   // a forward
+  EXPECT_NE(art.find('a'), std::string::npos);   // a backward
+  EXPECT_NE(art.find('.'), std::string::npos);   // a bubble
+  // Three rows.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace parcae

@@ -1,0 +1,341 @@
+// Tests for the in-process training cluster (the Figure-7 runtime
+// enacted with real math): pipeline-parallel correctness against the
+// monolithic model, replica consistency under migrations, exact state
+// preservation across every migration kind, ParcaePS rollbacks, and
+// end-to-end chaos training.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "nn/dataset.h"
+#include "nn/mlp.h"
+#include "nn/stage.h"
+#include "runtime/training_cluster.h"
+
+namespace parcae {
+namespace {
+
+const nn::Dataset& dataset() {
+  static const nn::Dataset ds = nn::make_blobs(256, 16, 5, 0.5, 99);
+  return ds;
+}
+
+TrainingClusterOptions small_options() {
+  TrainingClusterOptions options;
+  options.layer_sizes = {16, 48, 32, 5};
+  options.epoch_size = dataset().size();
+  options.batch_size = 32;
+  options.initial_instances = 8;
+  options.seed = 7;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// StageModule itself.
+
+TEST(StageModule, SplitDimsCoverAllLayers) {
+  const std::vector<std::size_t> sizes{16, 48, 32, 5};
+  for (int p = 1; p <= 3; ++p) {
+    const auto split = nn::split_layer_dims(sizes, p);
+    ASSERT_EQ(split.size(), static_cast<std::size_t>(p));
+    EXPECT_EQ(split.front().front(), 16u);
+    EXPECT_EQ(split.back().back(), 5u);
+    for (std::size_t s = 1; s < split.size(); ++s)
+      EXPECT_EQ(split[s].front(), split[s - 1].back());  // contiguous
+  }
+  EXPECT_TRUE(nn::split_layer_dims(sizes, 4).empty());  // only 3 layers
+}
+
+TEST(StageModule, PipelineOfStagesMatchesMonolithicModel) {
+  // Forward + backward through split stages must equal the monolithic
+  // MLP exactly (same parameters, same math, just partitioned).
+  const std::vector<std::size_t> sizes{16, 48, 32, 5};
+  nn::Mlp mono(sizes, std::make_unique<nn::Sgd>(0.0f), 5);
+  const std::vector<float> flat = mono.flat_parameters();
+
+  const auto split = nn::split_layer_dims(sizes, 2);
+  nn::StageModule s0(split[0], false, 1);
+  nn::StageModule s1(split[1], true, 2);
+  // Distribute the monolithic parameters across the stages.
+  const std::size_t n0 = s0.parameter_count();
+  s0.set_flat_parameters({flat.begin(),
+                          flat.begin() + static_cast<std::ptrdiff_t>(n0)});
+  s1.set_flat_parameters({flat.begin() + static_cast<std::ptrdiff_t>(n0),
+                          flat.end()});
+
+  std::vector<std::size_t> idx{0, 1, 2, 3, 4, 5, 6, 7};
+  const nn::Matrix x = dataset().gather(idx);
+  const auto y = dataset().gather_labels(idx);
+
+  const float mono_loss = mono.eval_loss(x, y);
+  s0.zero_grad();
+  s1.zero_grad();
+  nn::Matrix mid = s0.forward(x);
+  nn::Matrix out = s1.forward(mid);
+  nn::SoftmaxCrossEntropy loss;
+  const float staged_loss = loss.forward(out, y);
+  EXPECT_NEAR(staged_loss, mono_loss, 1e-5f);
+
+  // Gradients flow back across the boundary without loss of meaning:
+  // finite-difference check one weight of stage 0.
+  nn::Matrix boundary_grad = s1.backward(loss.backward());
+  s0.backward(boundary_grad);
+  const float eps = 1e-3f;
+  // Reconstruct helpers for re-evaluating loss with perturbed weight.
+  auto eval = [&] {
+    nn::Matrix a = s0.forward(x);
+    nn::Matrix b = s1.forward(a);
+    nn::SoftmaxCrossEntropy l;
+    return l.forward(b, y);
+  };
+  std::vector<float> p0 = s0.flat_parameters();
+  const std::size_t probe = 13;
+  const float orig = p0[probe];
+  p0[probe] = orig + eps;
+  s0.set_flat_parameters(p0);
+  const float up = eval();
+  p0[probe] = orig - eps;
+  s0.set_flat_parameters(p0);
+  const float down = eval();
+  p0[probe] = orig;
+  s0.set_flat_parameters(p0);
+  const float numerical = (up - down) / (2 * eps);
+  EXPECT_NEAR(s0.flat_gradients()[probe], numerical, 5e-3f);
+}
+
+TEST(StageModule, FlatRoundTrips) {
+  nn::StageModule stage({8, 16, 4}, true, 3);
+  const auto p = stage.flat_parameters();
+  nn::StageModule other({8, 16, 4}, true, 4);
+  EXPECT_NE(other.flat_parameters(), p);
+  other.set_flat_parameters(p);
+  EXPECT_EQ(other.flat_parameters(), p);
+  EXPECT_EQ(stage.parameter_count(), 8u * 16 + 16 + 16 * 4 + 4);
+}
+
+// ---------------------------------------------------------------------------
+// TrainingCluster.
+
+TEST(TrainingCluster, InitialConfigureIsPipelineSetup) {
+  TrainingCluster cluster(small_options(), &dataset());
+  EXPECT_EQ(cluster.alive_count(), 8);
+  const MigrationKind kind = cluster.reconfigure({2, 2});
+  EXPECT_EQ(kind, MigrationKind::kPipeline);
+  EXPECT_EQ(cluster.config(), (ParallelConfig{2, 2}));
+  EXPECT_EQ(cluster.spare_count(), 4);
+  EXPECT_TRUE(cluster.replicas_consistent());
+  // The coordination state is visible through the KvStore.
+  ASSERT_TRUE(cluster.kv().get("cluster/config").has_value());
+  EXPECT_EQ(cluster.kv().get("cluster/config")->value, "2x2");
+}
+
+TEST(TrainingCluster, DistributedMatchesSerialTraining) {
+  // D=2, P=2 with synchronized gradient averaging must follow the
+  // monolithic single-worker run on the same sample order.
+  TrainingClusterOptions options = small_options();
+  TrainingCluster cluster(options, &dataset());
+  cluster.reconfigure({2, 2});
+
+  nn::Mlp serial(options.layer_sizes,
+                 std::make_unique<nn::Adam>(options.learning_rate),
+                 options.seed);
+  // Replay the same leases the cluster's SampleManager hands out.
+  SampleManager shadow(options.epoch_size, options.seed ^ 0x5511ull);
+  for (int it = 0; it < 24; ++it) {
+    const auto outcome = cluster.train_iteration();
+    ASSERT_TRUE(outcome.has_value());
+    if (shadow.epoch_complete()) shadow.start_next_epoch();
+    const auto lease = shadow.lease(options.batch_size);
+    ASSERT_NE(lease.id, 0u);
+    serial.train_batch(dataset().gather(lease.samples),
+                       dataset().gather_labels(lease.samples));
+    shadow.commit(lease.id);
+  }
+  const std::vector<float> a = cluster.assembled_parameters();
+  const std::vector<float> b = serial.flat_parameters();
+  ASSERT_EQ(a.size(), b.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(double(a[i]) - double(b[i])));
+  // Identical math up to floating-point summation order.
+  EXPECT_LT(max_diff, 2e-3);
+  EXPECT_TRUE(cluster.replicas_consistent());
+}
+
+TEST(TrainingCluster, IntraStageMigrationPreservesStateExactly) {
+  TrainingCluster cluster(small_options(), &dataset());
+  cluster.reconfigure({3, 2});
+  for (int it = 0; it < 6; ++it) cluster.train_iteration();
+  const std::vector<float> before = cluster.assembled_parameters();
+
+  // Preempt one assigned instance; drop to 2 pipelines (Figure 6a).
+  int victim = -1;
+  for (const auto& agent : cluster.agents())
+    if (agent.assigned() && agent.pipeline == 2) victim = agent.id;
+  ASSERT_GE(victim, 0);
+  cluster.preempt({victim});
+  const MigrationKind kind = cluster.reconfigure({2, 2});
+  EXPECT_TRUE(kind == MigrationKind::kIntraStage ||
+              kind == MigrationKind::kNone);
+  EXPECT_EQ(cluster.assembled_parameters(), before);  // bit-exact
+  EXPECT_TRUE(cluster.replicas_consistent());
+  EXPECT_TRUE(cluster.train_iteration().has_value());
+}
+
+TEST(TrainingCluster, InterStageMigrationCopiesStageStates) {
+  TrainingCluster cluster(small_options(), &dataset());
+  cluster.reconfigure({2, 2});
+  for (int it = 0; it < 6; ++it) cluster.train_iteration();
+  const std::vector<float> before = cluster.assembled_parameters();
+
+  // Kill one replica of stage 0; with spares available the planner
+  // repurposes one (it must receive stage-0 states).
+  int victim = -1;
+  for (const auto& agent : cluster.agents())
+    if (agent.assigned() && agent.pipeline == 1 && agent.stage == 0)
+      victim = agent.id;
+  ASSERT_GE(victim, 0);
+  cluster.preempt({victim});
+  const MigrationKind kind = cluster.reconfigure({2, 2});
+  EXPECT_EQ(kind, MigrationKind::kInterStage);
+  EXPECT_EQ(cluster.assembled_parameters(), before);
+  EXPECT_TRUE(cluster.replicas_consistent());
+}
+
+TEST(TrainingCluster, PipelineMigrationReshardsExactly) {
+  // Changing depth re-shards parameters AND Adam state; training
+  // afterwards must continue as if nothing happened: compare against
+  // a serial run over the same sample sequence.
+  TrainingClusterOptions options = small_options();
+  TrainingCluster cluster(options, &dataset());
+  cluster.reconfigure({2, 2});
+  nn::Mlp serial(options.layer_sizes,
+                 std::make_unique<nn::Adam>(options.learning_rate),
+                 options.seed);
+  SampleManager shadow(options.epoch_size, options.seed ^ 0x5511ull);
+  auto step_both = [&] {
+    ASSERT_TRUE(cluster.train_iteration().has_value());
+    if (shadow.epoch_complete()) shadow.start_next_epoch();
+    const auto lease = shadow.lease(options.batch_size);
+    ASSERT_NE(lease.id, 0u);
+    serial.train_batch(dataset().gather(lease.samples),
+                       dataset().gather_labels(lease.samples));
+    shadow.commit(lease.id);
+  };
+  for (int it = 0; it < 8; ++it) step_both();
+  const MigrationKind kind = cluster.reconfigure({2, 3});  // deeper
+  EXPECT_EQ(kind, MigrationKind::kPipeline);
+  for (int it = 0; it < 8; ++it) step_both();
+  const MigrationKind back = cluster.reconfigure({4, 1});  // shallower
+  EXPECT_EQ(back, MigrationKind::kPipeline);
+  for (int it = 0; it < 8; ++it) step_both();
+
+  const std::vector<float> a = cluster.assembled_parameters();
+  const std::vector<float> b = serial.flat_parameters();
+  ASSERT_EQ(a.size(), b.size());
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    max_diff = std::max(max_diff, std::abs(double(a[i]) - double(b[i])));
+  EXPECT_LT(max_diff, 5e-3);
+}
+
+TEST(TrainingCluster, StageWipeoutRollsBackFromParcaePs) {
+  TrainingCluster cluster(small_options(), &dataset());
+  cluster.reconfigure({2, 2});
+  for (int it = 0; it < 5; ++it) cluster.train_iteration();
+  const std::vector<float> checkpointed = cluster.assembled_parameters();
+
+  // Kill BOTH replicas of stage 1: no survivor holds its states.
+  std::vector<int> victims;
+  for (const auto& agent : cluster.agents())
+    if (agent.assigned() && agent.stage == 1) victims.push_back(agent.id);
+  ASSERT_EQ(victims.size(), 2u);
+  cluster.preempt(victims);
+  const MigrationKind kind = cluster.reconfigure({2, 2});
+  EXPECT_EQ(kind, MigrationKind::kRollback);
+  EXPECT_GE(cluster.rollbacks(), 1);
+  // ParcaePS mirrored every committed iteration, so nothing is lost.
+  EXPECT_EQ(cluster.assembled_parameters(), checkpointed);
+}
+
+TEST(TrainingCluster, SuspendAndResumeFromPs) {
+  TrainingCluster cluster(small_options(), &dataset());
+  cluster.reconfigure({2, 2});
+  for (int it = 0; it < 5; ++it) cluster.train_iteration();
+  const std::vector<float> before = cluster.assembled_parameters();
+
+  EXPECT_EQ(cluster.reconfigure(kIdleConfig), MigrationKind::kSuspend);
+  EXPECT_FALSE(cluster.train_iteration().has_value());
+  EXPECT_EQ(cluster.kv().get("cluster/config")->value, "suspended");
+
+  // Resume at a different depth: states come from ParcaePS.
+  const MigrationKind kind = cluster.reconfigure({1, 3});
+  EXPECT_EQ(kind, MigrationKind::kRollback);
+  // Same model, new sharding: assembled parameters unchanged.
+  EXPECT_EQ(cluster.assembled_parameters(), before);
+  EXPECT_TRUE(cluster.train_iteration().has_value());
+}
+
+TEST(TrainingCluster, ChaosRunTrainsEverySampleExactlyOncePerEpoch) {
+  TrainingClusterOptions options = small_options();
+  options.initial_instances = 10;
+  TrainingCluster cluster(options, &dataset());
+  cluster.reconfigure({3, 2});
+  Rng chaos(2024);
+
+  std::size_t committed_epochs = 0;
+  int iterations = 0;
+  while (committed_epochs < 3 && iterations < 1000) {
+    ++iterations;
+    // Random preemptions and allocations.
+    if (chaos.bernoulli(0.06) && cluster.alive_count() > 4)
+      cluster.preempt_random(1, chaos);
+    if (chaos.bernoulli(0.05)) cluster.allocate(1);
+    // Keep a feasible configuration.
+    const int n = cluster.alive_count();
+    ParallelConfig target = cluster.config();
+    if (!target.valid() || target.instances() > n) {
+      const int p = std::min(2, n);
+      target = p >= 1 ? ParallelConfig{std::max(1, n / p), p} : kIdleConfig;
+      if (target.valid() && target.instances() > n) target = kIdleConfig;
+    }
+    if (target != cluster.config() || !cluster.assignment_intact())
+      cluster.reconfigure(target);
+    const auto outcome = cluster.train_iteration();
+    if (outcome && outcome->epoch_finished) ++committed_epochs;
+    ASSERT_TRUE(cluster.replicas_consistent()) << "iteration " << iterations;
+  }
+  EXPECT_EQ(committed_epochs, 3u);
+  // The loss should have gone down through all that churn.
+  std::vector<std::size_t> all(dataset().size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  EXPECT_LT(cluster.eval_loss(dataset().gather(all),
+                              dataset().gather_labels(all)),
+            1.0f);
+}
+
+class DepthSweepTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweepTest, ::testing::Values(1, 2, 3));
+
+TEST_P(DepthSweepTest, AnyDepthTrainsAndStaysConsistent) {
+  const int p = GetParam();
+  TrainingClusterOptions options = small_options();
+  TrainingCluster cluster(options, &dataset());
+  const int d = 6 / p;
+  cluster.reconfigure({d, p});
+  float first = 0.0f, last = 0.0f;
+  for (int it = 0; it < 30; ++it) {
+    const auto outcome = cluster.train_iteration();
+    ASSERT_TRUE(outcome.has_value());
+    if (it == 0) first = outcome->loss;
+    last = outcome->loss;
+  }
+  EXPECT_LT(last, first);
+  EXPECT_TRUE(cluster.replicas_consistent());
+}
+
+}  // namespace
+}  // namespace parcae
