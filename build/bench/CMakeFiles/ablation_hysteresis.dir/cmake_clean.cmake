@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hysteresis.dir/ablation_hysteresis.cpp.o"
+  "CMakeFiles/ablation_hysteresis.dir/ablation_hysteresis.cpp.o.d"
+  "ablation_hysteresis"
+  "ablation_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

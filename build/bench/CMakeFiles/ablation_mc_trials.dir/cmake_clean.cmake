@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mc_trials.dir/ablation_mc_trials.cpp.o"
+  "CMakeFiles/ablation_mc_trials.dir/ablation_mc_trials.cpp.o.d"
+  "ablation_mc_trials"
+  "ablation_mc_trials.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mc_trials.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

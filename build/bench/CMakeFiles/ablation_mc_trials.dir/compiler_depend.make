@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_mc_trials.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_real_migrations.dir/appendix_real_migrations.cpp.o"
+  "CMakeFiles/appendix_real_migrations.dir/appendix_real_migrations.cpp.o.d"
+  "appendix_real_migrations"
+  "appendix_real_migrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_real_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

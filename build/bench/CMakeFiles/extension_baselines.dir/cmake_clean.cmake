@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_baselines.dir/extension_baselines.cpp.o"
+  "CMakeFiles/extension_baselines.dir/extension_baselines.cpp.o.d"
+  "extension_baselines"
+  "extension_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

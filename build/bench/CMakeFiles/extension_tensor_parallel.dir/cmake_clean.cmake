@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tensor_parallel.dir/extension_tensor_parallel.cpp.o"
+  "CMakeFiles/extension_tensor_parallel.dir/extension_tensor_parallel.cpp.o.d"
+  "extension_tensor_parallel"
+  "extension_tensor_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tensor_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

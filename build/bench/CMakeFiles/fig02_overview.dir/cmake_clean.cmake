@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_overview.dir/fig02_overview.cpp.o"
+  "CMakeFiles/fig02_overview.dir/fig02_overview.cpp.o.d"
+  "fig02_overview"
+  "fig02_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

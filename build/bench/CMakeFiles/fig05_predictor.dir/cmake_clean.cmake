@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_predictor.dir/fig05_predictor.cpp.o"
+  "CMakeFiles/fig05_predictor.dir/fig05_predictor.cpp.o.d"
+  "fig05_predictor"
+  "fig05_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

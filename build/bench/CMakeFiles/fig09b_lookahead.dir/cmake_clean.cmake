@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09b_lookahead.dir/fig09b_lookahead.cpp.o"
+  "CMakeFiles/fig09b_lookahead.dir/fig09b_lookahead.cpp.o.d"
+  "fig09b_lookahead"
+  "fig09b_lookahead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09b_lookahead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

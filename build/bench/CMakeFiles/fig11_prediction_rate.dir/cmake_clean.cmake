@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_prediction_rate.dir/fig11_prediction_rate.cpp.o"
+  "CMakeFiles/fig11_prediction_rate.dir/fig11_prediction_rate.cpp.o.d"
+  "fig11_prediction_rate"
+  "fig11_prediction_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_prediction_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_gpu_hours.dir/fig12_gpu_hours.cpp.o"
+  "CMakeFiles/fig12_gpu_hours.dir/fig12_gpu_hours.cpp.o.d"
+  "fig12_gpu_hours"
+  "fig12_gpu_hours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_gpu_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

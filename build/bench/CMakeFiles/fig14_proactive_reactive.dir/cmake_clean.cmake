@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_proactive_reactive.dir/fig14_proactive_reactive.cpp.o"
+  "CMakeFiles/fig14_proactive_reactive.dir/fig14_proactive_reactive.cpp.o.d"
+  "fig14_proactive_reactive"
+  "fig14_proactive_reactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_proactive_reactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18a_cost_estimator.dir/fig18a_cost_estimator.cpp.o"
+  "CMakeFiles/fig18a_cost_estimator.dir/fig18a_cost_estimator.cpp.o.d"
+  "fig18a_cost_estimator"
+  "fig18a_cost_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18a_cost_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

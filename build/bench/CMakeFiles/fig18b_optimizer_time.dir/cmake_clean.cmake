@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18b_optimizer_time.dir/fig18b_optimizer_time.cpp.o"
+  "CMakeFiles/fig18b_optimizer_time.dir/fig18b_optimizer_time.cpp.o.d"
+  "fig18b_optimizer_time"
+  "fig18b_optimizer_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18b_optimizer_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

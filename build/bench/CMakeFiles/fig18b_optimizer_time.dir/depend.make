@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18b_optimizer_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_migration_costs.dir/table4_migration_costs.cpp.o"
+  "CMakeFiles/table4_migration_costs.dir/table4_migration_costs.cpp.o.d"
+  "table4_migration_costs"
+  "table4_migration_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_migration_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_forecast.dir/availability_forecast.cpp.o"
+  "CMakeFiles/availability_forecast.dir/availability_forecast.cpp.o.d"
+  "availability_forecast"
+  "availability_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_model_advisor.dir/custom_model_advisor.cpp.o"
+  "CMakeFiles/custom_model_advisor.dir/custom_model_advisor.cpp.o.d"
+  "custom_model_advisor"
+  "custom_model_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_model_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_migration_demo.dir/live_migration_demo.cpp.o"
+  "CMakeFiles/live_migration_demo.dir/live_migration_demo.cpp.o.d"
+  "live_migration_demo"
+  "live_migration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_migration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

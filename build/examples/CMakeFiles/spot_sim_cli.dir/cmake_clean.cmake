@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_sim_cli.dir/spot_sim_cli.cpp.o"
+  "CMakeFiles/spot_sim_cli.dir/spot_sim_cli.cpp.o.d"
+  "spot_sim_cli"
+  "spot_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

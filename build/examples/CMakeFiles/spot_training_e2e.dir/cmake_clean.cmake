@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_training_e2e.dir/spot_training_e2e.cpp.o"
+  "CMakeFiles/spot_training_e2e.dir/spot_training_e2e.cpp.o.d"
+  "spot_training_e2e"
+  "spot_training_e2e.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_training_e2e.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

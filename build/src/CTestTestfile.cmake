@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("trace")
+subdirs("net")
+subdirs("model")
+subdirs("parallel")
+subdirs("predict")
+subdirs("nn")
+subdirs("migration")
+subdirs("core")
+subdirs("runtime")
+subdirs("baselines")
+subdirs("analysis")

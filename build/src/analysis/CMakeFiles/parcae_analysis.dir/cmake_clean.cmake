@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_analysis.dir/experiment.cpp.o"
+  "CMakeFiles/parcae_analysis.dir/experiment.cpp.o.d"
+  "libparcae_analysis.a"
+  "libparcae_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

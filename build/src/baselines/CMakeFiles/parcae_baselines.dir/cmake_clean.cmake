@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_baselines.dir/bamboo_policy.cpp.o"
+  "CMakeFiles/parcae_baselines.dir/bamboo_policy.cpp.o.d"
+  "CMakeFiles/parcae_baselines.dir/checkfreq_policy.cpp.o"
+  "CMakeFiles/parcae_baselines.dir/checkfreq_policy.cpp.o.d"
+  "CMakeFiles/parcae_baselines.dir/elastic_dp_policy.cpp.o"
+  "CMakeFiles/parcae_baselines.dir/elastic_dp_policy.cpp.o.d"
+  "CMakeFiles/parcae_baselines.dir/hybrid_policy.cpp.o"
+  "CMakeFiles/parcae_baselines.dir/hybrid_policy.cpp.o.d"
+  "CMakeFiles/parcae_baselines.dir/ondemand_policy.cpp.o"
+  "CMakeFiles/parcae_baselines.dir/ondemand_policy.cpp.o.d"
+  "CMakeFiles/parcae_baselines.dir/oobleck_policy.cpp.o"
+  "CMakeFiles/parcae_baselines.dir/oobleck_policy.cpp.o.d"
+  "CMakeFiles/parcae_baselines.dir/varuna_policy.cpp.o"
+  "CMakeFiles/parcae_baselines.dir/varuna_policy.cpp.o.d"
+  "libparcae_baselines.a"
+  "libparcae_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparcae_baselines.a"
+)

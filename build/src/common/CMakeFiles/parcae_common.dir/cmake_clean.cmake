@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_common.dir/log.cpp.o"
+  "CMakeFiles/parcae_common.dir/log.cpp.o.d"
+  "CMakeFiles/parcae_common.dir/rng.cpp.o"
+  "CMakeFiles/parcae_common.dir/rng.cpp.o.d"
+  "CMakeFiles/parcae_common.dir/stats.cpp.o"
+  "CMakeFiles/parcae_common.dir/stats.cpp.o.d"
+  "CMakeFiles/parcae_common.dir/table.cpp.o"
+  "CMakeFiles/parcae_common.dir/table.cpp.o.d"
+  "libparcae_common.a"
+  "libparcae_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

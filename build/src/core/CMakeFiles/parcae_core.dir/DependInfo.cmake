@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/extended_search.cpp" "src/core/CMakeFiles/parcae_core.dir/extended_search.cpp.o" "gcc" "src/core/CMakeFiles/parcae_core.dir/extended_search.cpp.o.d"
+  "/root/repo/src/core/liveput.cpp" "src/core/CMakeFiles/parcae_core.dir/liveput.cpp.o" "gcc" "src/core/CMakeFiles/parcae_core.dir/liveput.cpp.o.d"
+  "/root/repo/src/core/liveput_optimizer.cpp" "src/core/CMakeFiles/parcae_core.dir/liveput_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/parcae_core.dir/liveput_optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parcae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/parcae_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcae_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parcae_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/parcae_migration.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

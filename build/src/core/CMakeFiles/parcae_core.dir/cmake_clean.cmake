@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_core.dir/extended_search.cpp.o"
+  "CMakeFiles/parcae_core.dir/extended_search.cpp.o.d"
+  "CMakeFiles/parcae_core.dir/liveput.cpp.o"
+  "CMakeFiles/parcae_core.dir/liveput.cpp.o.d"
+  "CMakeFiles/parcae_core.dir/liveput_optimizer.cpp.o"
+  "CMakeFiles/parcae_core.dir/liveput_optimizer.cpp.o.d"
+  "libparcae_core.a"
+  "libparcae_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

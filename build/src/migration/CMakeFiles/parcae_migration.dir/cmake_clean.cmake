@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_migration.dir/cost_model.cpp.o"
+  "CMakeFiles/parcae_migration.dir/cost_model.cpp.o.d"
+  "CMakeFiles/parcae_migration.dir/exact_preemption.cpp.o"
+  "CMakeFiles/parcae_migration.dir/exact_preemption.cpp.o.d"
+  "CMakeFiles/parcae_migration.dir/planner.cpp.o"
+  "CMakeFiles/parcae_migration.dir/planner.cpp.o.d"
+  "CMakeFiles/parcae_migration.dir/preemption.cpp.o"
+  "CMakeFiles/parcae_migration.dir/preemption.cpp.o.d"
+  "libparcae_migration.a"
+  "libparcae_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

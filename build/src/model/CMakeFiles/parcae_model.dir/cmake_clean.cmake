@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_model.dir/memory_model.cpp.o"
+  "CMakeFiles/parcae_model.dir/memory_model.cpp.o.d"
+  "CMakeFiles/parcae_model.dir/model_profile.cpp.o"
+  "CMakeFiles/parcae_model.dir/model_profile.cpp.o.d"
+  "libparcae_model.a"
+  "libparcae_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

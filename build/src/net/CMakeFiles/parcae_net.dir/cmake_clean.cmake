@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_net.dir/network_model.cpp.o"
+  "CMakeFiles/parcae_net.dir/network_model.cpp.o.d"
+  "libparcae_net.a"
+  "libparcae_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

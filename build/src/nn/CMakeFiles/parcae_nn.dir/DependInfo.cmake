@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/dataset.cpp" "src/nn/CMakeFiles/parcae_nn.dir/dataset.cpp.o" "gcc" "src/nn/CMakeFiles/parcae_nn.dir/dataset.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/parcae_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/parcae_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "src/nn/CMakeFiles/parcae_nn.dir/matrix.cpp.o" "gcc" "src/nn/CMakeFiles/parcae_nn.dir/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/parcae_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/parcae_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/parcae_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/parcae_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/stage.cpp" "src/nn/CMakeFiles/parcae_nn.dir/stage.cpp.o" "gcc" "src/nn/CMakeFiles/parcae_nn.dir/stage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parcae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/parcae_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_nn.dir/dataset.cpp.o"
+  "CMakeFiles/parcae_nn.dir/dataset.cpp.o.d"
+  "CMakeFiles/parcae_nn.dir/layers.cpp.o"
+  "CMakeFiles/parcae_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/parcae_nn.dir/matrix.cpp.o"
+  "CMakeFiles/parcae_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/parcae_nn.dir/mlp.cpp.o"
+  "CMakeFiles/parcae_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/parcae_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/parcae_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/parcae_nn.dir/stage.cpp.o"
+  "CMakeFiles/parcae_nn.dir/stage.cpp.o.d"
+  "libparcae_nn.a"
+  "libparcae_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

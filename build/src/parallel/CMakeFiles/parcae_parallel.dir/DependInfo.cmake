@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/pipeline_schedule.cpp" "src/parallel/CMakeFiles/parcae_parallel.dir/pipeline_schedule.cpp.o" "gcc" "src/parallel/CMakeFiles/parcae_parallel.dir/pipeline_schedule.cpp.o.d"
+  "/root/repo/src/parallel/throughput_model.cpp" "src/parallel/CMakeFiles/parcae_parallel.dir/throughput_model.cpp.o" "gcc" "src/parallel/CMakeFiles/parcae_parallel.dir/throughput_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parcae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/parcae_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcae_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

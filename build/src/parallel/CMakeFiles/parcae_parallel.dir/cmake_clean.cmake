@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_parallel.dir/pipeline_schedule.cpp.o"
+  "CMakeFiles/parcae_parallel.dir/pipeline_schedule.cpp.o.d"
+  "CMakeFiles/parcae_parallel.dir/throughput_model.cpp.o"
+  "CMakeFiles/parcae_parallel.dir/throughput_model.cpp.o.d"
+  "libparcae_parallel.a"
+  "libparcae_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

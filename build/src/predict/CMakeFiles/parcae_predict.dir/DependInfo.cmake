@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/adaptive.cpp" "src/predict/CMakeFiles/parcae_predict.dir/adaptive.cpp.o" "gcc" "src/predict/CMakeFiles/parcae_predict.dir/adaptive.cpp.o.d"
+  "/root/repo/src/predict/arima.cpp" "src/predict/CMakeFiles/parcae_predict.dir/arima.cpp.o" "gcc" "src/predict/CMakeFiles/parcae_predict.dir/arima.cpp.o.d"
+  "/root/repo/src/predict/evaluation.cpp" "src/predict/CMakeFiles/parcae_predict.dir/evaluation.cpp.o" "gcc" "src/predict/CMakeFiles/parcae_predict.dir/evaluation.cpp.o.d"
+  "/root/repo/src/predict/guards.cpp" "src/predict/CMakeFiles/parcae_predict.dir/guards.cpp.o" "gcc" "src/predict/CMakeFiles/parcae_predict.dir/guards.cpp.o.d"
+  "/root/repo/src/predict/predictor.cpp" "src/predict/CMakeFiles/parcae_predict.dir/predictor.cpp.o" "gcc" "src/predict/CMakeFiles/parcae_predict.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parcae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcae_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_predict.dir/adaptive.cpp.o"
+  "CMakeFiles/parcae_predict.dir/adaptive.cpp.o.d"
+  "CMakeFiles/parcae_predict.dir/arima.cpp.o"
+  "CMakeFiles/parcae_predict.dir/arima.cpp.o.d"
+  "CMakeFiles/parcae_predict.dir/evaluation.cpp.o"
+  "CMakeFiles/parcae_predict.dir/evaluation.cpp.o.d"
+  "CMakeFiles/parcae_predict.dir/guards.cpp.o"
+  "CMakeFiles/parcae_predict.dir/guards.cpp.o.d"
+  "CMakeFiles/parcae_predict.dir/predictor.cpp.o"
+  "CMakeFiles/parcae_predict.dir/predictor.cpp.o.d"
+  "libparcae_predict.a"
+  "libparcae_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

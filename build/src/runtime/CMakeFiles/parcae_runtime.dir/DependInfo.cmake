@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/checkpoint.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/checkpoint.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/runtime/cloud_provider.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/cloud_provider.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/cloud_provider.cpp.o.d"
+  "/root/repo/src/runtime/cluster_sim.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/cluster_sim.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/cluster_sim.cpp.o.d"
+  "/root/repo/src/runtime/kv_store.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/kv_store.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/kv_store.cpp.o.d"
+  "/root/repo/src/runtime/parcae_policy.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/parcae_policy.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/parcae_policy.cpp.o.d"
+  "/root/repo/src/runtime/parcae_ps.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/parcae_ps.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/parcae_ps.cpp.o.d"
+  "/root/repo/src/runtime/sample_manager.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/sample_manager.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/sample_manager.cpp.o.d"
+  "/root/repo/src/runtime/spot_driver.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/spot_driver.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/spot_driver.cpp.o.d"
+  "/root/repo/src/runtime/telemetry.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/telemetry.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/telemetry.cpp.o.d"
+  "/root/repo/src/runtime/training_cluster.cpp" "src/runtime/CMakeFiles/parcae_runtime.dir/training_cluster.cpp.o" "gcc" "src/runtime/CMakeFiles/parcae_runtime.dir/training_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parcae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcae_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/parcae_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcae_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parcae_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/parcae_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/parcae_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parcae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/parcae_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_runtime.dir/checkpoint.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/cloud_provider.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/cloud_provider.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/cluster_sim.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/cluster_sim.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/kv_store.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/kv_store.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/parcae_policy.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/parcae_policy.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/parcae_ps.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/parcae_ps.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/sample_manager.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/sample_manager.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/spot_driver.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/spot_driver.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/telemetry.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/telemetry.cpp.o.d"
+  "CMakeFiles/parcae_runtime.dir/training_cluster.cpp.o"
+  "CMakeFiles/parcae_runtime.dir/training_cluster.cpp.o.d"
+  "libparcae_runtime.a"
+  "libparcae_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

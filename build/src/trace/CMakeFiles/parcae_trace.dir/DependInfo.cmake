@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/spot_market.cpp" "src/trace/CMakeFiles/parcae_trace.dir/spot_market.cpp.o" "gcc" "src/trace/CMakeFiles/parcae_trace.dir/spot_market.cpp.o.d"
+  "/root/repo/src/trace/spot_trace.cpp" "src/trace/CMakeFiles/parcae_trace.dir/spot_trace.cpp.o" "gcc" "src/trace/CMakeFiles/parcae_trace.dir/spot_trace.cpp.o.d"
+  "/root/repo/src/trace/trace_analysis.cpp" "src/trace/CMakeFiles/parcae_trace.dir/trace_analysis.cpp.o" "gcc" "src/trace/CMakeFiles/parcae_trace.dir/trace_analysis.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/trace/CMakeFiles/parcae_trace.dir/trace_io.cpp.o" "gcc" "src/trace/CMakeFiles/parcae_trace.dir/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parcae_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

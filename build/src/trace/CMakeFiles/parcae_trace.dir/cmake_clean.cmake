@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parcae_trace.dir/spot_market.cpp.o"
+  "CMakeFiles/parcae_trace.dir/spot_market.cpp.o.d"
+  "CMakeFiles/parcae_trace.dir/spot_trace.cpp.o"
+  "CMakeFiles/parcae_trace.dir/spot_trace.cpp.o.d"
+  "CMakeFiles/parcae_trace.dir/trace_analysis.cpp.o"
+  "CMakeFiles/parcae_trace.dir/trace_analysis.cpp.o.d"
+  "CMakeFiles/parcae_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/parcae_trace.dir/trace_io.cpp.o.d"
+  "libparcae_trace.a"
+  "libparcae_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parcae_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

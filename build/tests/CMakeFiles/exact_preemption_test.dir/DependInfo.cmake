@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/exact_preemption_test.cpp" "tests/CMakeFiles/exact_preemption_test.dir/exact_preemption_test.cpp.o" "gcc" "tests/CMakeFiles/exact_preemption_test.dir/exact_preemption_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parcae_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/parcae_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/parcae_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/parcae_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parcae_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/parcae_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/parcae_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/migration/CMakeFiles/parcae_migration.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/parcae_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/parcae_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/parcae_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/parcae_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

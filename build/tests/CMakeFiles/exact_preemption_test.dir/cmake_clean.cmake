@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_preemption_test.dir/exact_preemption_test.cpp.o"
+  "CMakeFiles/exact_preemption_test.dir/exact_preemption_test.cpp.o.d"
+  "exact_preemption_test"
+  "exact_preemption_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_preemption_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

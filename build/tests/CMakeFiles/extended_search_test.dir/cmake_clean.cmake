@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_search_test.dir/extended_search_test.cpp.o"
+  "CMakeFiles/extended_search_test.dir/extended_search_test.cpp.o.d"
+  "extended_search_test"
+  "extended_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extra_baselines_test.dir/extra_baselines_test.cpp.o"
+  "CMakeFiles/extra_baselines_test.dir/extra_baselines_test.cpp.o.d"
+  "extra_baselines_test"
+  "extra_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_paths_test.dir/optimizer_paths_test.cpp.o"
+  "CMakeFiles/optimizer_paths_test.dir/optimizer_paths_test.cpp.o.d"
+  "optimizer_paths_test"
+  "optimizer_paths_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_driver_test.dir/spot_driver_test.cpp.o"
+  "CMakeFiles/spot_driver_test.dir/spot_driver_test.cpp.o.d"
+  "spot_driver_test"
+  "spot_driver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
