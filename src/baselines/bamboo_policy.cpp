@@ -27,7 +27,10 @@ BambooPolicy::BambooPolicy(ModelProfile model, BambooOptions options)
       depth_(options.fixed_depth > 0 ? options.fixed_depth
                                      : bamboo_table5_depth(model_)) {}
 
-void BambooPolicy::reset() { current_ = kIdleConfig; }
+void BambooPolicy::reset() {
+  current_ = kIdleConfig;
+  accountant_.reset();
+}
 
 IntervalDecision BambooPolicy::on_interval(int interval_index,
                                            const AvailabilityEvent& event,
@@ -44,18 +47,17 @@ IntervalDecision BambooPolicy::on_interval(int interval_index,
   // Table-5 depths; a user-supplied shallower depth may not be).
   if (target.valid() && !throughput_.feasible(target)) target = kIdleConfig;
 
-  double stall = 0.0;
   if (event.preempted > 0 && current_.valid())
-    stall += options_.recovery_stall_s;
+    accountant_.add_stall(options_.recovery_stall_s);
   if ((event.allocated > 0 || target != current_) && target.valid())
-    stall += options_.join_stall_s;
+    accountant_.add_stall(options_.join_stall_s);
+  const double stall = accountant_.charge(T);
 
-  decision.config = target;
-  double samples = 0.0;
-  double tput = 0.0;
+  IntervalAccountant::settle(decision, target,
+                             target.valid() ? throughput_.throughput(target)
+                                            : 0.0,
+                             stall, T);
   if (target.valid()) {
-    tput = throughput_.throughput(target);
-    samples = tput * std::max(0.0, T - stall);
     // Redundant share of the compute actually performed.
     const double r = options_.redundant_compute_fraction;
     decision.gpu_s_redundant = static_cast<double>(target.instances()) *
@@ -63,10 +65,6 @@ IntervalDecision BambooPolicy::on_interval(int interval_index,
   } else {
     decision.note = "suspended (fewer than P instances)";
   }
-
-  decision.stall_s = std::min(stall, T);
-  decision.throughput = tput;
-  decision.samples_committed = samples;
   current_ = target;
   return decision;
 }

@@ -15,6 +15,7 @@
 #include "model/model_profile.h"
 #include "parallel/throughput_model.h"
 #include "runtime/cluster_sim.h"
+#include "runtime/interval_accountant.h"
 
 namespace parcae {
 
@@ -54,6 +55,7 @@ class BambooPolicy final : public SpotTrainingPolicy {
   ThroughputModel throughput_;
   int depth_;
   ParallelConfig current_ = kIdleConfig;
+  IntervalAccountant accountant_;
 };
 
 }  // namespace parcae

@@ -9,7 +9,10 @@ ElasticDpPolicy::ElasticDpPolicy(ModelProfile model, ElasticDpOptions options)
       options_(options),
       throughput_(model_, options.throughput) {}
 
-void ElasticDpPolicy::reset() { current_ = kIdleConfig; }
+void ElasticDpPolicy::reset() {
+  current_ = kIdleConfig;
+  accountant_.reset();
+}
 
 IntervalDecision ElasticDpPolicy::on_interval(int interval_index,
                                               const AvailabilityEvent& event,
@@ -26,21 +29,18 @@ IntervalDecision ElasticDpPolicy::on_interval(int interval_index,
   const int d = std::min(event.available, max_pipelines);
   const ParallelConfig target = d >= 1 ? ParallelConfig{d, 1} : kIdleConfig;
 
-  double stall = 0.0;
   double lost = 0.0;
   const double tput = target.valid() ? throughput_.throughput(target) : 0.0;
   if (target != current_ && target.valid()) {
-    stall += options_.regroup_stall_s;
+    accountant_.add_stall(options_.regroup_stall_s);
     if (event.preempted > 0 && current_.valid()) {
       // In-flight iteration is abandoned on a shrink.
       lost = static_cast<double>(model_.mini_batch);
     }
   }
+  const double stall = accountant_.charge(T);
 
-  decision.config = target;
-  decision.stall_s = std::min(stall, T);
-  decision.throughput = tput;
-  decision.samples_committed = tput * std::max(0.0, T - stall);
+  IntervalAccountant::settle(decision, target, tput, stall, T);
   decision.samples_lost = lost;
   current_ = target;
   return decision;

@@ -8,6 +8,7 @@
 #include "model/model_profile.h"
 #include "parallel/throughput_model.h"
 #include "runtime/cluster_sim.h"
+#include "runtime/interval_accountant.h"
 
 namespace parcae {
 
@@ -35,6 +36,7 @@ class ElasticDpPolicy final : public SpotTrainingPolicy {
   ElasticDpOptions options_;
   ThroughputModel throughput_;
   ParallelConfig current_ = kIdleConfig;
+  IntervalAccountant accountant_;
 };
 
 }  // namespace parcae

@@ -14,7 +14,10 @@ HybridSpotPolicy::HybridSpotPolicy(ModelProfile model, HybridOptions options)
                       ? options.core_depth
                       : std::max(1, throughput_.min_pipeline_depth())) {}
 
-void HybridSpotPolicy::reset() { current_ = kIdleConfig; }
+void HybridSpotPolicy::reset() {
+  current_ = kIdleConfig;
+  accountant_.reset();
+}
 
 double HybridSpotPolicy::support_cost_usd_per_hour() const {
   return core_depth_ * Pricing{}.ondemand_gpu_usd_per_hour;
@@ -34,19 +37,16 @@ IntervalDecision HybridSpotPolicy::on_interval(int interval_index,
       std::min(event.available / core_depth_, max_pipelines - 1);
   const ParallelConfig target{1 + spot_pipelines, core_depth_};
 
-  double stall = 0.0;
   if (current_.valid() && target.dp != current_.dp) {
     // Spot pipelines joined or left: process-group rebuild; the core
     // pipeline keeps the model state so nothing is ever lost.
-    stall += options_.regroup_stall_s;
-    decision.note = "regroup -> " + target.to_string();
+    accountant_.add_stall(options_.regroup_stall_s);
+    decision.note = transition_note("regroup", target);
   }
+  const double stall = accountant_.charge(T);
 
-  decision.config = target;
-  decision.throughput = throughput_.throughput(target);
-  decision.samples_committed =
-      decision.throughput * std::max(0.0, T - stall);
-  decision.stall_s = std::min(stall, T);
+  IntervalAccountant::settle(decision, target, throughput_.throughput(target),
+                             stall, T);
   current_ = target;
   return decision;
 }

@@ -11,6 +11,7 @@
 #include "model/model_profile.h"
 #include "parallel/throughput_model.h"
 #include "runtime/cluster_sim.h"
+#include "runtime/interval_accountant.h"
 #include "runtime/parcae_policy.h"
 
 namespace parcae {
@@ -45,6 +46,7 @@ class HybridSpotPolicy final : public SpotTrainingPolicy {
   ThroughputModel throughput_;
   int core_depth_;
   ParallelConfig current_ = kIdleConfig;
+  IntervalAccountant accountant_;
 };
 
 }  // namespace parcae

@@ -1,5 +1,7 @@
 #include "baselines/ondemand_policy.h"
 
+#include "runtime/interval_accountant.h"
+
 namespace parcae {
 
 SpotTrace flat_trace(int instances, double duration_s,
@@ -16,9 +18,9 @@ IntervalDecision OnDemandPolicy::on_interval(int interval_index,
                                              double interval_s) {
   (void)interval_index;
   IntervalDecision decision;
-  decision.config = throughput_.best_config(event.available);
-  decision.throughput = throughput_.throughput(decision.config);
-  decision.samples_committed = decision.throughput * interval_s;
+  const ParallelConfig config = throughput_.best_config(event.available);
+  IntervalAccountant::settle(decision, config, throughput_.throughput(config),
+                             0.0, interval_s);
   return decision;
 }
 

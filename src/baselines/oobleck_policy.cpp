@@ -26,7 +26,7 @@ OobleckPolicy::OobleckPolicy(ModelProfile model, OobleckOptions options)
 
 void OobleckPolicy::reset() {
   current_ = kIdleConfig;
-  pending_stall_s_ = 0.0;
+  accountant_.reset();
   unsaved_samples_ = 0.0;
   train_since_save_s_ = 0.0;
 }
@@ -61,9 +61,9 @@ IntervalDecision OobleckPolicy::on_interval(int interval_index,
   // lineage: fall back to the periodic remote checkpoint (reload and
   // lose the unsaved window).
   if (event.preempted > 0 && current_.valid() && current_.dp <= 1) {
-    pending_stall_s_ += model_.parameters *
-                        options_.checkpoint_bytes_per_param /
-                        options_.storage_bandwidth_bytes_per_s;
+    accountant_.add_stall(model_.parameters *
+                          options_.checkpoint_bytes_per_param /
+                          options_.storage_bandwidth_bytes_per_s);
     decision.samples_lost = unsaved_samples_;
     unsaved_samples_ = 0.0;
     train_since_save_s_ = 0.0;
@@ -72,21 +72,20 @@ IntervalDecision OobleckPolicy::on_interval(int interval_index,
     if (current_.valid() && target.pp != current_.pp) {
       // Re-instantiating a different template re-shards the model —
       // planned ahead, but the bytes still move.
-      pending_stall_s_ +=
-          estimator_.pipeline_migration(current_, target).total();
-      decision.note = "template switch -> " + target.to_string();
+      accountant_.add_stall(
+          estimator_.pipeline_migration(current_, target).total());
+      decision.note = transition_note("template switch", target);
     } else if (event.preempted > 0 || target != current_) {
-      pending_stall_s_ += options_.recovery_stall_s;
+      accountant_.add_stall(options_.recovery_stall_s);
     }
   }
-  double stall = std::min(pending_stall_s_, T);
-  pending_stall_s_ -= stall;
+  const double stall = accountant_.charge(T);
 
-  decision.config = target;
+  IntervalAccountant::settle(decision, target,
+                             target.valid() ? throughput_.throughput(target)
+                                            : 0.0,
+                             stall, T);
   if (target.valid()) {
-    decision.throughput = throughput_.throughput(target);
-    decision.samples_committed =
-        decision.throughput * std::max(0.0, T - stall);
     // Periodic checkpoint bookkeeping (only matters at D=1).
     const double train_s = std::max(0.0, T - stall);
     train_since_save_s_ += train_s;
@@ -100,7 +99,6 @@ IntervalDecision OobleckPolicy::on_interval(int interval_index,
   } else {
     decision.note = "no template fits the available instances";
   }
-  decision.stall_s = std::min(stall, T);
   current_ = target;
   return decision;
 }

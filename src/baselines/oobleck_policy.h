@@ -17,6 +17,7 @@
 #include "model/model_profile.h"
 #include "parallel/throughput_model.h"
 #include "runtime/cluster_sim.h"
+#include "runtime/interval_accountant.h"
 
 namespace parcae {
 
@@ -61,7 +62,7 @@ class OobleckPolicy final : public SpotTrainingPolicy {
   CostEstimator estimator_;
   std::vector<int> templates_;
   ParallelConfig current_ = kIdleConfig;
-  double pending_stall_s_ = 0.0;
+  IntervalAccountant accountant_;
   double unsaved_samples_ = 0.0;
   double train_since_save_s_ = 0.0;
 };

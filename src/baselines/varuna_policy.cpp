@@ -16,7 +16,7 @@ void VarunaPolicy::reset() {
   current_ = kIdleConfig;
   unsaved_samples_ = 0.0;
   train_since_save_s_ = 0.0;
-  pending_stall_s_ = 0.0;
+  accountant_.reset();
 }
 
 double VarunaPolicy::checkpoint_save_time_s() const {
@@ -50,19 +50,17 @@ IntervalDecision VarunaPolicy::on_interval(int interval_index,
     const ParallelConfig target = throughput_.best_config(event.available);
     if (target != current_ || event.preempted > 0) {
       if (target.valid()) {
-        pending_stall_s_ += checkpoint_save_time_s()  // reload = same volume
-                            + options_.reconfigure_fixed_s;
+        accountant_.add_stall(
+            checkpoint_save_time_s()  // reload = same volume
+            + options_.reconfigure_fixed_s);
       }
       current_ = target;
     }
   }
 
   // Consume as much of the outstanding stall as fits this interval.
-  double stall = std::min(pending_stall_s_, T);
-  pending_stall_s_ -= stall;
+  double stall = accountant_.charge(T);
 
-  decision.config = current_;
-  double samples = 0.0;
   double tput = 0.0;
   if (current_.valid()) {
     tput = throughput_.throughput(current_);
@@ -79,15 +77,15 @@ IntervalDecision VarunaPolicy::on_interval(int interval_index,
         saves += 1.0;
       }
     }
-    const double save_stall = saves * save_time * options_.save_stall_fraction;
-    train_s = std::max(0.0, train_s - save_stall);
+    accountant_.add_stall(saves * save_time * options_.save_stall_fraction);
+    const double save_stall = accountant_.charge(train_s);
+    train_s -= save_stall;
     stall += save_stall;
-    samples = tput * train_s;
 
     // Update checkpoint bookkeeping: a completed save persists all
     // samples up to its point in time.
     train_since_save_s_ += train_s;
-    unsaved_samples_ += samples;
+    unsaved_samples_ += tput * train_s;
     if (saves > 0.0 && period > 0.0) {
       const double leftover = std::fmod(train_since_save_s_, period);
       train_since_save_s_ = leftover;
@@ -95,11 +93,9 @@ IntervalDecision VarunaPolicy::on_interval(int interval_index,
     }
   }
 
-  decision.stall_s = std::min(stall, T);
-  decision.throughput = tput;
-  decision.samples_committed = samples;
+  IntervalAccountant::settle(decision, current_, tput, stall, T);
   if (availability_changed && current_.valid())
-    decision.note = "morph -> " + current_.to_string();
+    decision.note = transition_note("morph", current_);
   else if (!current_.valid())
     decision.note = "suspended (no feasible pipeline)";
   return decision;

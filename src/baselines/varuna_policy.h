@@ -14,6 +14,7 @@
 #include "model/model_profile.h"
 #include "parallel/throughput_model.h"
 #include "runtime/cluster_sim.h"
+#include "runtime/interval_accountant.h"
 
 namespace parcae {
 
@@ -56,9 +57,9 @@ class VarunaPolicy final : public SpotTrainingPolicy {
   ParallelConfig current_ = kIdleConfig;
   double unsaved_samples_ = 0.0;
   double train_since_save_s_ = 0.0;
-  // Stall that did not fit in the interval it was incurred (large
-  // checkpoint reloads span several intervals for big models).
-  double pending_stall_s_ = 0.0;
+  // Large checkpoint reloads span several intervals for big models;
+  // the accountant carries the spillover.
+  IntervalAccountant accountant_;
 };
 
 }  // namespace parcae

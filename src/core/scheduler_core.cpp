@@ -1,0 +1,225 @@
+#include "core/scheduler_core.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+#include "predict/adaptive.h"
+#include "predict/guards.h"
+
+namespace parcae {
+
+SchedulerCore::SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
+                             const SpotTrace* oracle)
+    : model_(std::move(model)),
+      options_(options),
+      oracle_(oracle),
+      throughput_(model_, options.throughput),
+      planner_(CostEstimator(model_)),
+      optimizer_(&throughput_, CostEstimator(model_),
+                 LiveputOptimizerOptions{options.interval_s,
+                                         options.mc_trials, options.seed}),
+      predictor_(options.adaptive_predictor
+                     ? std::unique_ptr<AvailabilityPredictor>(
+                           AdaptivePredictor::standard_pool(
+                               static_cast<double>(options.max_instances)))
+                     : make_parcae_predictor(
+                           static_cast<double>(options.max_instances))) {
+  reset();
+}
+
+void SchedulerCore::reset() {
+  rng_ = Rng(options_.seed ^ 0xabcdef12345ull);
+  history_.clear();
+  current_ = kIdleConfig;
+  planned_next_ = kIdleConfig;
+  prev_available_ = 0;
+  migration_log_.clear();
+  telemetry_.clear();
+}
+
+int SchedulerCore::min_depth() const {
+  if (options_.min_depth_override > 0) return options_.min_depth_override;
+  return std::max(1, throughput_.min_pipeline_depth());
+}
+
+int SchedulerCore::max_depth() const {
+  if (options_.max_depth_override > 0) return options_.max_depth_override;
+  return model_.partition_units;
+}
+
+std::vector<int> SchedulerCore::predict(int interval_index) const {
+  const int I = options_.lookahead;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(I));
+  if (options_.mode == PredictionMode::kOracle && oracle_ != nullptr) {
+    const std::vector<int> series =
+        oracle_->availability_series(options_.interval_s);
+    for (int h = 1; h <= I; ++h) {
+      const std::size_t idx = std::min(
+          series.empty() ? std::size_t{0}
+                         : series.size() - 1,
+          static_cast<std::size_t>(interval_index + h));
+      out.push_back(series.empty() ? 0 : series[idx]);
+    }
+    return out;
+  }
+  // ARIMA (and reactive, which uses the forecast only for idle-state
+  // bookkeeping — its target ignores the future anyway).
+  const std::size_t h = std::min(
+      history_.size(), static_cast<std::size_t>(options_.history));
+  const std::span<const double> window(history_.data() + history_.size() - h,
+                                       h);
+  const std::vector<double> raw = predictor_->forecast(window, I);
+  for (double v : raw)
+    out.push_back(std::clamp(static_cast<int>(std::lround(v)), 0,
+                             options_.max_instances));
+  while (static_cast<int>(out.size()) < I)
+    out.push_back(out.empty() ? prev_available_ : out.back());
+  return out;
+}
+
+ClusterSnapshot SchedulerCore::observe_damage(
+    const AvailabilityObservation& observed, int prev_available) {
+  ClusterSnapshot snapshot;
+  snapshot.config = current_;
+  snapshot.newly_allocated = observed.allocated;
+  if (!current_.valid()) {
+    snapshot.idle_alive =
+        std::max(0, observed.available - observed.allocated);
+    return snapshot;
+  }
+  snapshot.alive_per_stage.assign(static_cast<std::size_t>(current_.pp),
+                                  current_.dp);
+  snapshot.idle_alive = std::max(0, prev_available - current_.instances());
+
+  // Map this interval's preemptions onto the running topology
+  // uniformly (§6.1). Multi-GPU instances lose `chunk` GPUs at once,
+  // all serving the same stage in different pipelines (§10.2).
+  int remaining = observed.preempted;
+  const int chunk = std::max(1, options_.preemption_chunk);
+  while (remaining > 0) {
+    const int kill = std::min(chunk, remaining);
+    remaining -= kill;
+    const int total = current_.instances() + snapshot.idle_alive;
+    if (total <= 0) break;
+    const auto pick =
+        static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(total)));
+    if (pick < current_.instances()) {
+      auto stage = static_cast<std::size_t>(pick % current_.pp);
+      int left = kill;
+      // Chunked kills drain replicas of one stage first (they share
+      // the preempted node), spilling to the next stage if exhausted.
+      while (left > 0) {
+        if (snapshot.alive_per_stage[stage] > 0) {
+          --snapshot.alive_per_stage[stage];
+          --left;
+        } else {
+          stage = (stage + 1) % snapshot.alive_per_stage.size();
+          bool any = false;
+          for (int a : snapshot.alive_per_stage) any = any || a > 0;
+          if (!any) break;
+        }
+      }
+    } else {
+      snapshot.idle_alive = std::max(0, snapshot.idle_alive - kill);
+    }
+  }
+  return snapshot;
+}
+
+SchedulerDecision SchedulerCore::step(int interval_index,
+                                      const AvailabilityObservation& observed,
+                                      double interval_s) {
+  SchedulerDecision decision;
+  const int available = observed.available;
+  const double now = interval_index * interval_s;
+  if (observed.preempted > 0 || observed.allocated > 0) {
+    telemetry_.record(now, EventCategory::kCloud,
+                      observed.preempted > 0 ? "preemption" : "allocation",
+                      {{"available", std::to_string(available)},
+                       {"preempted", std::to_string(observed.preempted)},
+                       {"allocated", std::to_string(observed.allocated)}});
+  }
+
+  // -- 1. Choose the target for this interval.
+  ParallelConfig desired;
+  if (options_.mode == PredictionMode::kReactive) {
+    desired = throughput_.best_config(available);
+  } else {
+    desired = planned_next_.valid() ? planned_next_
+                                    : throughput_.best_config(available);
+  }
+  const int max_pipelines =
+      std::max(1, model_.mini_batch / model_.micro_batch);
+  ParallelConfig adapted = adapt_configuration(
+      desired, available, min_depth(), max_depth(), max_pipelines);
+
+  // Depth-change hysteresis: a *voluntary* re-partition must clearly
+  // beat staying at the current depth (adding/dropping pipelines only).
+  if (options_.mode != PredictionMode::kReactive && current_.valid() &&
+      adapted.valid() && adapted.pp != current_.pp &&
+      observed.preempted == 0) {
+    const ParallelConfig keep = adapt_configuration(
+        current_, available, min_depth(), max_depth(), max_pipelines);
+    if (keep.valid() && keep.pp == current_.pp &&
+        throughput_.throughput(adapted) <
+            throughput_.throughput(keep) *
+                (1.0 + options_.depth_change_hysteresis)) {
+      telemetry_.record(now, EventCategory::kDecision,
+                        "hysteresis held depth",
+                        {{"proposed", adapted.to_string()},
+                         {"kept", keep.to_string()}});
+      adapted = keep;
+    }
+  }
+  if (adapted != current_) {
+    telemetry_.record(now, EventCategory::kDecision,
+                      "configuration change",
+                      {{"from", current_.valid() ? current_.to_string()
+                                                 : "idle"},
+                       {"to", adapted.valid() ? adapted.to_string()
+                                              : "idle"}});
+  }
+
+  // -- 2. Plan the live migration from the damaged current state.
+  const ClusterSnapshot snapshot = observe_damage(observed, prev_available_);
+  const MigrationPlan plan = planner_.plan(snapshot, adapted);
+  double stall = plan.stall_s();
+  if (options_.cost_noise_stddev > 0.0 && stall > 0.0) {
+    stall *= std::max(0.2, rng_.normal(1.0, options_.cost_noise_stddev));
+  }
+  if (plan.kind != MigrationKind::kNone &&
+      plan.kind != MigrationKind::kSuspend) {
+    migration_log_.push_back(
+        {interval_index, plan.kind, plan.stall_s(), stall});
+    telemetry_.record(
+        now,
+        plan.kind == MigrationKind::kRollback ? EventCategory::kCheckpoint
+                                              : EventCategory::kMigration,
+        migration_kind_name(plan.kind),
+        {{"to", adapted.valid() ? adapted.to_string() : "idle"},
+         {"stall_s", format_double(stall, 1)}});
+  }
+  decision.config = adapted;
+  decision.plan = plan;
+  decision.stall_s = stall;
+
+  // -- 3. Plan the next interval (Algorithm 1 lines 7-8).
+  history_.push_back(static_cast<double>(available));
+  current_ = adapted;
+  prev_available_ = available;
+  if (options_.mode != PredictionMode::kReactive) {
+    if (interval_index % std::max(1, options_.reoptimize_every) == 0) {
+      decision.forecast = predict(interval_index);
+      planned_next_ = optimizer_.advise(current_, available,
+                                        decision.forecast);
+    }
+    // Otherwise keep the previously planned target (Figure 11's lower
+    // prediction rates).
+  }
+  decision.planned_next = planned_next_;
+  return decision;
+}
+
+}  // namespace parcae

@@ -1,0 +1,161 @@
+// SchedulerCore: the single implementation of Parcae's decision loop
+// (Algorithm 1), shared by every executor backend.
+//
+// Each interval it
+//   1. adapts the previously planned configuration to the actual
+//      availability (§8 parallelization adaptation), holding the
+//      current pipeline depth through noisy forecasts (hysteresis),
+//   2. plans the live migration from the (possibly damaged) current
+//      configuration (§6) and estimates its stall,
+//   3. forecasts availability (§5) and runs the liveput optimizer
+//      (§7) to pick the next interval's configuration.
+//
+// The core is pure decision-making: it never touches a ledger and
+// never trains. Backends drive it and act on its advice:
+//   - ParcaePolicy (src/runtime/parcae_policy.*) charges the advised
+//     stall to the interval-quantized simulator's ledgers,
+//   - SpotTrainingDriver (src/runtime/spot_driver.*) executes the
+//     advised configuration as real migrations on the in-process
+//     agent cluster,
+//   - future backends (sharded or RPC executors) are one adapter each.
+//
+// Three prediction modes cover the paper's variants:
+//   kArima    — Parcae        (guarded ARIMA forecasts)
+//   kOracle   — Parcae(Ideal) (true future availability)
+//   kReactive — Parcae-Reactive (§10.4: liveput optimization disabled,
+//               throughput-optimal target + adaptation only)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/liveput_optimizer.h"
+#include "core/telemetry.h"
+#include "migration/planner.h"
+#include "model/model_profile.h"
+#include "parallel/throughput_model.h"
+#include "predict/predictor.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+
+enum class PredictionMode { kArima, kOracle, kReactive };
+
+struct SchedulerCoreOptions {
+  PredictionMode mode = PredictionMode::kArima;
+  int lookahead = 12;         // I: intervals the optimizer plans over
+  int history = 12;           // H: intervals of history fed to ARIMA
+  int reoptimize_every = 1;   // prediction rate (Figure 11)
+  // Use the backtest-selecting adaptive predictor pool instead of the
+  // paper's guarded ARIMA (an extension; see src/predict/adaptive.h).
+  bool adaptive_predictor = false;
+  int mc_trials = 256;
+  std::uint64_t seed = 123;
+  double interval_s = 60.0;
+  // Multiplicative jitter on actual migration stalls vs the
+  // estimator's prediction (Figure 18a); 0 = deterministic.
+  double cost_noise_stddev = 0.0;
+  // GPUs preempted together (Figure 10 multi-GPU instances).
+  int preemption_chunk = 1;
+  // Voluntary pipeline-depth changes (no preemption forcing them) must
+  // improve throughput by at least this fraction over keeping the
+  // current depth; re-planning every interval under noisy forecasts
+  // would otherwise thrash between depths (the paper's case study
+  // shows Parcae holding depth 7 for 8 intervals despite some unused
+  // instances, §10.4).
+  double depth_change_hysteresis = 0.15;
+  // Cluster capacity: bounds the predictor's guard rails and the
+  // forecast clamp (32 for the paper's cluster; the in-process driver
+  // uses 64).
+  int max_instances = 32;
+  // Pipeline-depth bounds for the §8 adaptation. 0 = derive from the
+  // model (memory-model minimum / partition_units); the real cluster
+  // overrides them with what its layers actually allow.
+  int min_depth_override = 0;
+  int max_depth_override = 0;
+  ThroughputModelOptions throughput;
+};
+
+// Availability change observed at an interval boundary (the cloud-side
+// inputs of Algorithm 1). Executor backends translate their own event
+// streams (trace diffs, preemption notices) into this.
+struct AvailabilityObservation {
+  int available = 0;    // instances available this interval
+  int preempted = 0;    // instances lost at this interval boundary
+  int allocated = 0;    // instances gained at this interval boundary
+};
+
+struct MigrationLogEntry {
+  int interval = 0;
+  MigrationKind kind = MigrationKind::kNone;
+  double estimated_s = 0.0;
+  double actual_s = 0.0;
+};
+
+// Everything the core decided for one interval.
+struct SchedulerDecision {
+  ParallelConfig config;    // configuration advised for this interval
+  MigrationPlan plan;       // migration realizing it from the damaged state
+  // Plan stall with the cost-noise jitter applied (what the migration
+  // will actually cost; backends charge or execute it).
+  double stall_s = 0.0;
+  // Optimizer advice for the next interval (what `config` will be
+  // adapted from next time).
+  ParallelConfig planned_next;
+  // Availability forecast issued this interval (empty when the
+  // optimizer was not re-run; Figure 11's lower prediction rates).
+  std::vector<int> forecast;
+};
+
+class SchedulerCore {
+ public:
+  // `oracle` must outlive the core when mode == kOracle (it supplies
+  // the true future availability).
+  SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
+                const SpotTrace* oracle = nullptr);
+
+  // Restores the pristine post-construction state (history, RNG,
+  // telemetry, migration log).
+  void reset();
+
+  // One pass of Algorithm 1 for interval `interval_index`.
+  SchedulerDecision step(int interval_index,
+                         const AvailabilityObservation& observed,
+                         double interval_s);
+
+  const SchedulerCoreOptions& options() const { return options_; }
+  const ModelProfile& model() const { return model_; }
+  const ThroughputModel& throughput_model() const { return throughput_; }
+  const std::vector<MigrationLogEntry>& migration_log() const {
+    return migration_log_;
+  }
+  // Structured audit trail of everything the scheduler saw and did.
+  const EventLog& telemetry() const { return telemetry_; }
+
+ private:
+  std::vector<int> predict(int interval_index) const;
+  ClusterSnapshot observe_damage(const AvailabilityObservation& observed,
+                                 int prev_available);
+  int min_depth() const;
+  int max_depth() const;
+
+  ModelProfile model_;
+  SchedulerCoreOptions options_;
+  const SpotTrace* oracle_;
+  ThroughputModel throughput_;
+  MigrationPlanner planner_;
+  LiveputOptimizer optimizer_;
+  std::unique_ptr<AvailabilityPredictor> predictor_;
+
+  // Mutable run state.
+  Rng rng_{0};
+  std::vector<double> history_;
+  ParallelConfig current_ = kIdleConfig;
+  ParallelConfig planned_next_ = kIdleConfig;
+  int prev_available_ = 0;
+  std::vector<MigrationLogEntry> migration_log_;
+  EventLog telemetry_;
+};
+
+}  // namespace parcae

@@ -1,0 +1,77 @@
+#include "core/telemetry.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace parcae {
+
+const char* event_category_name(EventCategory category) {
+  switch (category) {
+    case EventCategory::kCloud:
+      return "cloud";
+    case EventCategory::kPrediction:
+      return "prediction";
+    case EventCategory::kDecision:
+      return "decision";
+    case EventCategory::kMigration:
+      return "migration";
+    case EventCategory::kCheckpoint:
+      return "checkpoint";
+    case EventCategory::kWarning:
+      return "warning";
+  }
+  return "?";
+}
+
+void EventLog::record(double time_s, EventCategory category,
+                      std::string message,
+                      std::map<std::string, std::string> fields) {
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  TelemetryEvent event;
+  event.time_s = time_s;
+  event.category = category;
+  event.message = std::move(message);
+  event.fields = std::move(fields);
+  events_.push_back(std::move(event));
+}
+
+std::vector<const TelemetryEvent*> EventLog::by_category(
+    EventCategory category) const {
+  std::vector<const TelemetryEvent*> out;
+  for (const auto& event : events_)
+    if (event.category == category) out.push_back(&event);
+  return out;
+}
+
+std::map<EventCategory, std::size_t> EventLog::histogram() const {
+  std::map<EventCategory, std::size_t> out;
+  for (const auto& event : events_) ++out[event.category];
+  return out;
+}
+
+std::string EventLog::render(std::size_t last_n) const {
+  std::ostringstream os;
+  std::size_t start = 0;
+  if (last_n > 0 && events_.size() > last_n) start = events_.size() - last_n;
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    const auto& event = events_[i];
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%6.0fs] %-10s ", event.time_s,
+                  event_category_name(event.category));
+    os << head << event.message;
+    for (const auto& [key, value] : event.fields)
+      os << "  " << key << "=" << value;
+    os << '\n';
+  }
+  return os.str();
+}
+
+void EventLog::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace parcae

@@ -34,6 +34,8 @@
 #include "core/extended_search.h"          // IWYU pragma: export
 #include "core/liveput.h"                  // IWYU pragma: export
 #include "core/liveput_optimizer.h"        // IWYU pragma: export
+#include "core/scheduler_core.h"           // IWYU pragma: export
+#include "core/telemetry.h"                // IWYU pragma: export
 #include "migration/cost_model.h"          // IWYU pragma: export
 #include "migration/exact_preemption.h"    // IWYU pragma: export
 #include "migration/planner.h"             // IWYU pragma: export
@@ -43,12 +45,12 @@
 #include "runtime/checkpoint.h"            // IWYU pragma: export
 #include "runtime/cloud_provider.h"        // IWYU pragma: export
 #include "runtime/cluster_sim.h"           // IWYU pragma: export
+#include "runtime/interval_accountant.h"   // IWYU pragma: export
 #include "runtime/kv_store.h"              // IWYU pragma: export
 #include "runtime/parcae_policy.h"         // IWYU pragma: export
 #include "runtime/parcae_ps.h"             // IWYU pragma: export
 #include "runtime/sample_manager.h"        // IWYU pragma: export
 #include "runtime/spot_driver.h"           // IWYU pragma: export
-#include "runtime/telemetry.h"             // IWYU pragma: export
 #include "runtime/training_cluster.h"      // IWYU pragma: export
 
 // Baselines and analysis.

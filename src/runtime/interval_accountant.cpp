@@ -1,0 +1,33 @@
+#include "runtime/interval_accountant.h"
+
+#include <algorithm>
+
+namespace parcae {
+
+void IntervalAccountant::add_stall(double stall_s) {
+  pending_stall_s_ += std::max(0.0, stall_s);
+}
+
+double IntervalAccountant::charge(double budget_s) {
+  const double charged = std::clamp(pending_stall_s_, 0.0, budget_s);
+  pending_stall_s_ -= charged;
+  return charged;
+}
+
+void IntervalAccountant::settle(IntervalDecision& d,
+                                const ParallelConfig& config,
+                                double throughput, double stall_s,
+                                double interval_s) {
+  d.config = config;
+  d.stall_s = std::min(stall_s, interval_s);
+  d.throughput = throughput;
+  d.samples_committed =
+      throughput * std::max(0.0, interval_s - stall_s);
+}
+
+std::string transition_note(const std::string& verb,
+                            const ParallelConfig& to) {
+  return verb + " -> " + to.to_string();
+}
+
+}  // namespace parcae

@@ -1,0 +1,51 @@
+// Per-interval stall bookkeeping shared by every SpotTrainingPolicy.
+//
+// Migration and checkpoint stalls routinely outlast the scheduling
+// interval that incurred them (a GPT-3 checkpoint reload alone is
+// ~156 s against T = 60 s): the excess must carry into subsequent
+// intervals instead of being silently dropped. Each policy used to
+// hand-roll this spillover (or forget it); IntervalAccountant is the
+// one implementation. Policies add stalls as their events produce
+// them, charge at most one interval's worth per interval, and settle
+// the progress fields of the IntervalDecision from what remained.
+#pragma once
+
+#include <string>
+
+#include "parallel/parallel_config.h"
+#include "runtime/cluster_sim.h"
+
+namespace parcae {
+
+class IntervalAccountant {
+ public:
+  // Forget any outstanding stall (policy reset).
+  void reset() { pending_stall_s_ = 0.0; }
+
+  // Record a stall incurred now. May exceed the interval length; the
+  // excess drains over the following intervals.
+  void add_stall(double stall_s);
+
+  // Consume up to `budget_s` of the outstanding stall and return the
+  // amount consumed. Call once per interval with the interval length
+  // (or with the un-stalled remainder, for stalls added mid-interval).
+  double charge(double budget_s);
+
+  // Stall still waiting to drain into future intervals.
+  double pending_stall_s() const { return pending_stall_s_; }
+
+  // Fill the progress fields of `d`: the configuration run, the stall
+  // charged (clamped to the interval), the training throughput, and
+  // the samples committed in the un-stalled remainder.
+  static void settle(IntervalDecision& d, const ParallelConfig& config,
+                     double throughput, double stall_s, double interval_s);
+
+ private:
+  double pending_stall_s_ = 0.0;
+};
+
+// The "<verb> -> DxP" event note used across policies.
+std::string transition_note(const std::string& verb,
+                            const ParallelConfig& to);
+
+}  // namespace parcae

@@ -3,27 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
-#include "common/table.h"
-#include "predict/adaptive.h"
-#include "predict/guards.h"
 #include "runtime/pricing.h"
 
 namespace parcae {
 
 ParcaePolicy::ParcaePolicy(ModelProfile model, ParcaePolicyOptions options,
                            const SpotTrace* oracle)
-    : model_(std::move(model)),
-      options_(options),
-      oracle_(oracle),
-      throughput_(model_, options.throughput),
-      planner_(CostEstimator(model_)),
-      optimizer_(&throughput_, CostEstimator(model_),
-                 LiveputOptimizerOptions{options.interval_s,
-                                         options.mc_trials, options.seed}),
-      predictor_(options.adaptive_predictor
-                     ? std::unique_ptr<AvailabilityPredictor>(
-                           AdaptivePredictor::standard_pool(32.0))
-                     : make_parcae_predictor(32.0)) {}
+    : options_(options), core_(std::move(model), options, oracle) {}
 
 std::string ParcaePolicy::name() const {
   switch (options_.mode) {
@@ -38,218 +24,50 @@ std::string ParcaePolicy::name() const {
 }
 
 void ParcaePolicy::reset() {
-  rng_ = Rng(options_.seed ^ 0xabcdef12345ull);
-  history_.clear();
-  current_ = kIdleConfig;
-  planned_next_ = kIdleConfig;
-  prev_available_ = 0;
-  pending_stall_s_ = 0.0;
-  migration_log_.clear();
-  telemetry_.clear();
+  core_.reset();
+  accountant_.reset();
 }
 
 double ParcaePolicy::support_cost_usd_per_hour() const {
   return Pricing{}.ps_host_usd_per_hour * options_.ps_hosts;
 }
 
-std::vector<int> ParcaePolicy::predict(int interval_index) const {
-  const int I = options_.lookahead;
-  std::vector<int> out;
-  out.reserve(static_cast<std::size_t>(I));
-  if (options_.mode == PredictionMode::kOracle && oracle_ != nullptr) {
-    const std::vector<int> series =
-        oracle_->availability_series(options_.interval_s);
-    for (int h = 1; h <= I; ++h) {
-      const std::size_t idx = std::min(
-          series.empty() ? std::size_t{0}
-                         : series.size() - 1,
-          static_cast<std::size_t>(interval_index + h));
-      out.push_back(series.empty() ? 0 : series[idx]);
-    }
-    return out;
-  }
-  // ARIMA (and reactive, which uses the forecast only for idle-state
-  // bookkeeping — its target ignores the future anyway).
-  const std::size_t h = std::min(
-      history_.size(), static_cast<std::size_t>(options_.history));
-  const std::span<const double> window(history_.data() + history_.size() - h,
-                                       h);
-  const std::vector<double> raw = predictor_->forecast(window, I);
-  for (double v : raw)
-    out.push_back(
-        std::clamp(static_cast<int>(std::lround(v)), 0, 32));
-  while (static_cast<int>(out.size()) < I)
-    out.push_back(out.empty() ? prev_available_ : out.back());
-  return out;
-}
-
-ClusterSnapshot ParcaePolicy::observe_damage(const AvailabilityEvent& event,
-                                             int prev_available) {
-  ClusterSnapshot snapshot;
-  snapshot.config = current_;
-  snapshot.newly_allocated = event.allocated;
-  if (!current_.valid()) {
-    snapshot.idle_alive = std::max(0, event.available - event.allocated);
-    return snapshot;
-  }
-  snapshot.alive_per_stage.assign(static_cast<std::size_t>(current_.pp),
-                                  current_.dp);
-  snapshot.idle_alive = std::max(0, prev_available - current_.instances());
-
-  // Map this interval's preemptions onto the running topology
-  // uniformly (§6.1). Multi-GPU instances lose `chunk` GPUs at once,
-  // all serving the same stage in different pipelines (§10.2).
-  int remaining = event.preempted;
-  const int chunk = std::max(1, options_.preemption_chunk);
-  while (remaining > 0) {
-    const int kill = std::min(chunk, remaining);
-    remaining -= kill;
-    const int total = current_.instances() + snapshot.idle_alive;
-    if (total <= 0) break;
-    const auto pick =
-        static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(total)));
-    if (pick < current_.instances()) {
-      auto stage = static_cast<std::size_t>(pick % current_.pp);
-      int left = kill;
-      // Chunked kills drain replicas of one stage first (they share
-      // the preempted node), spilling to the next stage if exhausted.
-      while (left > 0) {
-        if (snapshot.alive_per_stage[stage] > 0) {
-          --snapshot.alive_per_stage[stage];
-          --left;
-        } else {
-          stage = (stage + 1) % snapshot.alive_per_stage.size();
-          bool any = false;
-          for (int a : snapshot.alive_per_stage) any = any || a > 0;
-          if (!any) break;
-        }
-      }
-    } else {
-      snapshot.idle_alive = std::max(0, snapshot.idle_alive - kill);
-    }
-  }
-  return snapshot;
-}
-
 IntervalDecision ParcaePolicy::on_interval(int interval_index,
                                            const AvailabilityEvent& event,
                                            double interval_s) {
-  IntervalDecision decision;
   const double T = interval_s;
-  const int available = event.available;
-  const double now = interval_index * T;
-  if (event.preempted > 0 || event.allocated > 0) {
-    telemetry_.record(now, EventCategory::kCloud,
-                      event.preempted > 0 ? "preemption" : "allocation",
-                      {{"available", std::to_string(available)},
-                       {"preempted", std::to_string(event.preempted)},
-                       {"allocated", std::to_string(event.allocated)}});
-  }
+  const SchedulerDecision advice = core_.step(
+      interval_index,
+      {event.available, event.preempted, event.allocated}, T);
 
-  // -- 1. Choose the target for this interval.
-  ParallelConfig desired;
-  if (options_.mode == PredictionMode::kReactive) {
-    desired = throughput_.best_config(available);
-  } else {
-    desired = planned_next_.valid() ? planned_next_
-                                    : throughput_.best_config(available);
-  }
-  const int min_depth = std::max(1, throughput_.min_pipeline_depth());
-  const int max_pipelines =
-      std::max(1, model_.mini_batch / model_.micro_batch);
-  ParallelConfig adapted = adapt_configuration(
-      desired, available, min_depth, model_.partition_units, max_pipelines);
-
-  // Depth-change hysteresis: a *voluntary* re-partition must clearly
-  // beat staying at the current depth (adding/dropping pipelines only).
-  if (options_.mode != PredictionMode::kReactive && current_.valid() &&
-      adapted.valid() && adapted.pp != current_.pp && event.preempted == 0) {
-    const ParallelConfig keep = adapt_configuration(
-        current_, available, min_depth, model_.partition_units,
-        max_pipelines);
-    if (keep.valid() && keep.pp == current_.pp &&
-        throughput_.throughput(adapted) <
-            throughput_.throughput(keep) *
-                (1.0 + options_.depth_change_hysteresis)) {
-      telemetry_.record(now, EventCategory::kDecision,
-                        "hysteresis held depth",
-                        {{"proposed", adapted.to_string()},
-                         {"kept", keep.to_string()}});
-      adapted = keep;
-    }
-  }
-  if (adapted != current_) {
-    telemetry_.record(now, EventCategory::kDecision,
-                      "configuration change",
-                      {{"from", current_.valid() ? current_.to_string()
-                                                 : "idle"},
-                       {"to", adapted.valid() ? adapted.to_string()
-                                              : "idle"}});
-  }
-
-  // -- 2. Live migration from the damaged current state.
-  const ClusterSnapshot snapshot = observe_damage(event, prev_available_);
-  const MigrationPlan plan = planner_.plan(snapshot, adapted);
-  double stall = plan.stall_s();
-  if (options_.cost_noise_stddev > 0.0 && stall > 0.0) {
-    stall *= std::max(0.2, rng_.normal(1.0, options_.cost_noise_stddev));
-  }
-  if (plan.kind != MigrationKind::kNone &&
-      plan.kind != MigrationKind::kSuspend) {
-    migration_log_.push_back(
-        {interval_index, plan.kind, plan.stall_s(), stall});
-    telemetry_.record(
-        now,
-        plan.kind == MigrationKind::kRollback ? EventCategory::kCheckpoint
-                                              : EventCategory::kMigration,
-        migration_kind_name(plan.kind),
-        {{"to", adapted.valid() ? adapted.to_string() : "idle"},
-         {"stall_s", format_double(stall, 1)}});
-  }
   // Large stalls spill into following intervals.
-  pending_stall_s_ += stall;
-  stall = std::min(pending_stall_s_, T);
-  pending_stall_s_ -= stall;
+  accountant_.add_stall(advice.stall_s);
+  const double stall = accountant_.charge(T);
 
-  // -- 3. Train for the remainder of the interval. ParcaePS gradient
-  // pushes lengthen every iteration slightly.
-  decision.config = adapted;
-  double samples = 0.0;
+  // Train for the remainder of the interval. ParcaePS gradient pushes
+  // lengthen every iteration slightly.
+  IntervalDecision decision;
+  const ParallelConfig& config = advice.config;
+  const ModelProfile& model = core_.model();
   double tput = 0.0;
-  if (adapted.valid()) {
-    const double iter = throughput_.iteration_time(adapted);
+  if (config.valid()) {
+    const double iter = core_.throughput_model().iteration_time(config);
     if (std::isfinite(iter) && iter > 0.0) {
-      const double iter_with_ps = iter + ps_cost_.sync_stall_s(
-                                             model_.parameters);
-      tput = static_cast<double>(model_.mini_batch) / iter_with_ps;
-      samples = tput * std::max(0.0, T - stall);
+      const double iter_with_ps =
+          iter + ps_cost_.sync_stall_s(model.parameters);
+      tput = static_cast<double>(model.mini_batch) / iter_with_ps;
     }
   }
+  IntervalAccountant::settle(decision, config, tput, stall, T);
   // A rollback loses only the in-flight mini-batch (ParcaePS holds an
   // up-to-date checkpoint); the sample manager re-leases it.
-  if (plan.kind == MigrationKind::kRollback && tput > 0.0)
-    decision.samples_lost = static_cast<double>(model_.mini_batch);
+  if (advice.plan.kind == MigrationKind::kRollback && tput > 0.0)
+    decision.samples_lost = static_cast<double>(model.mini_batch);
 
-  decision.stall_s = std::min(stall, T);
-  decision.throughput = tput;
-  decision.samples_committed = samples;
-  decision.note = plan.kind == MigrationKind::kNone
-                      ? ""
-                      : std::string(migration_kind_name(plan.kind)) + " -> " +
-                            adapted.to_string();
-
-  // -- 4. Plan the next interval (Algorithm 1 lines 7-8).
-  history_.push_back(static_cast<double>(available));
-  current_ = adapted;
-  prev_available_ = available;
-  if (options_.mode != PredictionMode::kReactive) {
-    if (interval_index % std::max(1, options_.reoptimize_every) == 0) {
-      const std::vector<int> predicted = predict(interval_index);
-      planned_next_ = optimizer_.advise(current_, available, predicted);
-    }
-    // Otherwise keep the previously planned target (Figure 11's lower
-    // prediction rates).
-  }
+  decision.note =
+      advice.plan.kind == MigrationKind::kNone
+          ? ""
+          : transition_note(migration_kind_name(advice.plan.kind), config);
   return decision;
 }
 

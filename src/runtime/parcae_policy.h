@@ -1,70 +1,25 @@
-// ParcaeScheduler's decision loop as a SpotTrainingPolicy
-// (Algorithm 1): each interval it
-//   1. adapts the previously planned configuration to the actual
-//      availability (§8 parallelization adaptation),
-//   2. plans and charges the live migration from the (possibly
-//      damaged) current configuration (§6),
-//   3. trains for the rest of the interval (ParcaePS gradient pushes
-//      slightly lengthen each iteration),
-//   4. forecasts availability (§5) and runs the liveput optimizer
-//      (§7) to pick the next interval's configuration.
-//
-// Three prediction modes cover the paper's variants:
-//   kArima    — Parcae        (guarded ARIMA forecasts)
-//   kOracle   — Parcae(Ideal) (true future availability)
-//   kReactive — Parcae-Reactive (§10.4: liveput optimization disabled,
-//               throughput-optimal target + adaptation only)
+// ParcaeScheduler's decision loop as a SpotTrainingPolicy: a thin
+// adapter that drives the shared SchedulerCore (Algorithm 1; see
+// src/core/scheduler_core.h) against the interval-quantized cluster
+// simulator. The core decides — forecast, liveput optimization, §8
+// adaptation, migration planning — and this adapter keeps the ledger
+// side: charging migration stalls to intervals (with spillover via
+// IntervalAccountant), ParcaePS gradient-push overhead on iteration
+// time, rollback sample loss, and the support-cost bill.
 #pragma once
 
-#include <cstdint>
 #include <memory>
 #include <vector>
 
-#include "core/liveput_optimizer.h"
-#include "migration/planner.h"
-#include "model/model_profile.h"
-#include "parallel/throughput_model.h"
-#include "predict/predictor.h"
+#include "core/scheduler_core.h"
 #include "runtime/cluster_sim.h"
+#include "runtime/interval_accountant.h"
 #include "runtime/parcae_ps.h"
-#include "runtime/telemetry.h"
 
 namespace parcae {
 
-enum class PredictionMode { kArima, kOracle, kReactive };
-
-struct ParcaePolicyOptions {
-  PredictionMode mode = PredictionMode::kArima;
-  int lookahead = 12;         // I: intervals the optimizer plans over
-  int history = 12;           // H: intervals of history fed to ARIMA
-  int reoptimize_every = 1;   // prediction rate (Figure 11)
-  // Use the backtest-selecting adaptive predictor pool instead of the
-  // paper's guarded ARIMA (an extension; see src/predict/adaptive.h).
-  bool adaptive_predictor = false;
-  int mc_trials = 256;
-  std::uint64_t seed = 123;
-  double interval_s = 60.0;
-  int ps_hosts = 2;           // on-demand c5.4xlarge instances
-  // Multiplicative jitter on actual migration stalls vs the
-  // estimator's prediction (Figure 18a); 0 = deterministic.
-  double cost_noise_stddev = 0.0;
-  // GPUs preempted together (Figure 10 multi-GPU instances).
-  int preemption_chunk = 1;
-  // Voluntary pipeline-depth changes (no preemption forcing them) must
-  // improve throughput by at least this fraction over keeping the
-  // current depth; re-planning every interval under noisy forecasts
-  // would otherwise thrash between depths (the paper's case study
-  // shows Parcae holding depth 7 for 8 intervals despite some unused
-  // instances, §10.4).
-  double depth_change_hysteresis = 0.15;
-  ThroughputModelOptions throughput;
-};
-
-struct MigrationLogEntry {
-  int interval = 0;
-  MigrationKind kind = MigrationKind::kNone;
-  double estimated_s = 0.0;
-  double actual_s = 0.0;
+struct ParcaePolicyOptions : SchedulerCoreOptions {
+  int ps_hosts = 2;  // on-demand c5.4xlarge instances
 };
 
 class ParcaePolicy final : public SpotTrainingPolicy {
@@ -82,35 +37,20 @@ class ParcaePolicy final : public SpotTrainingPolicy {
   double support_cost_usd_per_hour() const override;
 
   const std::vector<MigrationLogEntry>& migration_log() const {
-    return migration_log_;
+    return core_.migration_log();
   }
   // Structured audit trail of everything the scheduler saw and did.
-  const EventLog& telemetry() const { return telemetry_; }
-  const ThroughputModel& throughput_model() const { return throughput_; }
+  const EventLog& telemetry() const { return core_.telemetry(); }
+  const ThroughputModel& throughput_model() const {
+    return core_.throughput_model();
+  }
+  const SchedulerCore& scheduler() const { return core_; }
 
  private:
-  std::vector<int> predict(int interval_index) const;
-  ClusterSnapshot observe_damage(const AvailabilityEvent& event,
-                                 int prev_available);
-
-  ModelProfile model_;
   ParcaePolicyOptions options_;
-  const SpotTrace* oracle_;
-  ThroughputModel throughput_;
-  MigrationPlanner planner_;
-  LiveputOptimizer optimizer_;
+  SchedulerCore core_;
   PsCostModel ps_cost_;
-  std::unique_ptr<AvailabilityPredictor> predictor_;
-
-  // Mutable run state.
-  Rng rng_{0};
-  std::vector<double> history_;
-  ParallelConfig current_ = kIdleConfig;
-  ParallelConfig planned_next_ = kIdleConfig;
-  int prev_available_ = 0;
-  double pending_stall_s_ = 0.0;  // stall spilling into later intervals
-  std::vector<MigrationLogEntry> migration_log_;
-  EventLog telemetry_;
+  IntervalAccountant accountant_;
 };
 
 }  // namespace parcae

@@ -5,8 +5,6 @@
 
 #include <map>
 
-#include "predict/guards.h"
-
 namespace parcae {
 
 SpotTrainingDriver::SpotTrainingDriver(TrainingClusterOptions cluster_options,
@@ -16,12 +14,7 @@ SpotTrainingDriver::SpotTrainingDriver(TrainingClusterOptions cluster_options,
       options_(options),
       cluster_(cluster_options, dataset),
       profile_(derive_profile()),
-      throughput_(profile_, {}),
-      optimizer_(&throughput_, CostEstimator(profile_),
-                 LiveputOptimizerOptions{options.interval_s, 128,
-                                         options.seed}),
-      predictor_(make_parcae_predictor(64.0)),
-      rng_(options.seed ^ 0x77aaull) {}
+      core_(profile_, core_options()) {}
 
 ModelProfile SpotTrainingDriver::derive_profile() const {
   ModelProfile profile;
@@ -49,6 +42,19 @@ ModelProfile SpotTrainingDriver::derive_profile() const {
   return profile;
 }
 
+SchedulerCoreOptions SpotTrainingDriver::core_options() const {
+  SchedulerCoreOptions core = options_.scheduler;
+  core.interval_s = options_.interval_s;
+  core.lookahead = options_.lookahead;
+  core.history = options_.history;
+  core.seed = options_.seed;
+  // The toy cluster can split only as deep as it has layers, and (with
+  // ParcaePS restores) can always run a depth-1 pipeline.
+  core.min_depth_override = 1;
+  core.max_depth_override = cluster_.pipeline_depth_limit();
+  return core;
+}
+
 SpotDriverReport SpotTrainingDriver::run(const SpotTrace& trace) {
   TraceCloudProvider cloud(trace, options_.seed ^ 0x9e1ull);
   return run(cloud, trace.duration_s());
@@ -57,12 +63,8 @@ SpotDriverReport SpotTrainingDriver::run(const SpotTrace& trace) {
 SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
                                          double duration_s) {
   SpotDriverReport report;
-  std::vector<double> history;
-  ParallelConfig planned = kIdleConfig;
+  core_.reset();
 
-  const int max_depth = cluster_.pipeline_depth_limit();
-  const int max_pipelines =
-      std::max(1, profile_.mini_batch / profile_.micro_batch);
   const auto intervals =
       static_cast<int>(duration_s / options_.interval_s + 0.5);
 
@@ -77,31 +79,32 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
     // preemption at mini-batch boundaries), so a notice takes effect
     // at this interval's boundary.
     const double boundary = static_cast<double>(i) * options_.interval_s;
+    AvailabilityObservation observed;
     for (const CloudEvent& event : cloud.advance(boundary)) {
       if (event.kind == CloudEvent::Kind::kInstanceGranted) {
         const std::vector<int> agents = cluster_.allocate(1);
         instance_to_agent[event.instance_id] = agents.front();
+        ++observed.allocated;
       } else {
         const auto it = instance_to_agent.find(event.instance_id);
         if (it != instance_to_agent.end()) {
           cluster_.preempt({it->second});
           instance_to_agent.erase(it);
+          ++observed.preempted;
         }
       }
     }
-    const int target_n = cluster_.alive_count();
+    observed.available = cluster_.alive_count();
 
-    // -- adapt the planned configuration to reality (§8).
-    ParallelConfig desired =
-        planned.valid() ? planned : throughput_.best_config(target_n);
-    ParallelConfig adapted = adapt_configuration(
-        desired, target_n, /*min_depth=*/1, max_depth, max_pipelines);
-    if (adapted.valid() && adapted.pp > max_depth)
-      adapted = kIdleConfig;
+    // -- one pass of Algorithm 1: adapt the plan to reality, plan the
+    // migration, forecast and optimize the next interval.
+    const SchedulerDecision advice =
+        core_.step(i, observed, options_.interval_s);
+    report.advised.push_back(advice.config);
 
-    // -- execute the live migration on real parameters.
-    if (adapted != cluster_.config() || !cluster_.assignment_intact()) {
-      const MigrationKind kind = cluster_.reconfigure(adapted);
+    // -- execute the advised migration on real parameters.
+    if (advice.config != cluster_.config() || !cluster_.assignment_intact()) {
+      const MigrationKind kind = cluster_.reconfigure(advice.config);
       ++report.migrations_by_kind[static_cast<std::size_t>(kind)];
     }
     report.replicas_always_consistent =
@@ -115,26 +118,9 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
       report.final_loss = outcome->loss;
       if (outcome->epoch_finished) ++report.epochs_completed;
     }
-
-    // -- forecast and plan the next interval (§5, §7).
-    history.push_back(static_cast<double>(target_n));
-    const std::size_t h = std::min(
-        history.size(), static_cast<std::size_t>(options_.history));
-    const std::vector<double> forecast = predictor_->forecast(
-        std::span<const double>(history.data() + history.size() - h, h),
-        options_.lookahead);
-    std::vector<int> predicted;
-    for (double f : forecast)
-      predicted.push_back(std::clamp(static_cast<int>(std::lround(f)), 0,
-                                     64));
-    planned = optimizer_.advise(cluster_.config(), target_n, predicted);
-    // The optimizer reasons over the full O(N log N) space; the toy
-    // cluster can only split as deep as it has layers.
-    if (planned.valid() && planned.pp > max_depth)
-      planned = ParallelConfig{std::max(1, planned.instances() / max_depth),
-                               max_depth};
   }
   report.ps_rollbacks = cluster_.rollbacks();
+  report.telemetry = core_.telemetry();
   return report;
 }
 

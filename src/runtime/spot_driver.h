@@ -1,23 +1,25 @@
 // SpotTrainingDriver: the complete Parcae loop (Algorithm 1) running
 // against the *real* in-process training cluster.
 //
-// Every interval it (1) applies the trace's preemptions/allocations to
-// the cluster, (2) forecasts availability with the guarded ARIMA
-// predictor, (3) asks the liveput optimizer for the next
-// configuration (using a ModelProfile derived from the actual MLP so
-// the optimizer reasons about the very model being trained),
-// (4) adapts the advice to the actual availability (§8), (5) executes
-// the live migration on real parameters, and (6) trains. This is the
-// whole paper, end to end, at laptop scale.
+// The decision-making — guarded ARIMA forecasts, the liveput
+// optimizer, §8 adaptation, depth hysteresis, migration planning — is
+// the shared SchedulerCore (src/core/scheduler_core.h), the same
+// engine ParcaePolicy drives in the interval simulator; this driver is
+// the executor backend that turns its advice into *real* work: cloud
+// grants become cluster agents, preemption notices (after their grace
+// period) remove them, advised configurations are realized as live
+// migrations on actual parameters, and training runs for the rest of
+// each interval. The core reasons about a ModelProfile derived from
+// the actual MLP, so the optimizer reasons about the very model being
+// trained. This is the whole paper, end to end, at laptop scale.
 #pragma once
 
 #include <array>
 #include <memory>
+#include <vector>
 
-#include "core/liveput_optimizer.h"
-#include "migration/planner.h"
+#include "core/scheduler_core.h"
 #include "nn/dataset.h"
-#include "predict/predictor.h"
 #include "runtime/cloud_provider.h"
 #include "runtime/training_cluster.h"
 #include "trace/spot_trace.h"
@@ -32,6 +34,16 @@ struct SpotDriverOptions {
   // Instances the driver keeps requested from the cloud.
   int requested_instances = 32;
   std::uint64_t seed = 11;
+  // Remaining decision-engine knobs (mode, mc_trials, hysteresis,
+  // reoptimize_every, ...). The scalar fields above override their
+  // counterparts in here, and the pipeline-depth bounds are derived
+  // from the actual cluster.
+  SchedulerCoreOptions scheduler = [] {
+    SchedulerCoreOptions o;
+    o.mc_trials = 128;  // cheaper Monte-Carlo budget for the live loop
+    o.max_instances = 64;
+    return o;
+  }();
 };
 
 struct SpotDriverReport {
@@ -43,6 +55,13 @@ struct SpotDriverReport {
   bool replicas_always_consistent = true;
   // Executed migrations by kind (indexed by MigrationKind).
   std::array<int, 6> migrations_by_kind{};
+  // Configuration the scheduler advised each interval (what the
+  // cluster was reconfigured to).
+  std::vector<ParallelConfig> advised;
+  // The decision core's structured audit trail for the run: cloud
+  // events, optimizer choices, hysteresis holds, planned migrations —
+  // real-cluster runs are as auditable as simulated ones.
+  EventLog telemetry;
 
   int migrations(MigrationKind kind) const {
     return migrations_by_kind[static_cast<std::size_t>(kind)];
@@ -64,6 +83,10 @@ class SpotTrainingDriver {
   SpotDriverReport run(const SpotTrace& trace);
 
   TrainingCluster& cluster() { return cluster_; }
+  // The decision engine (exposed for the sim-vs-real equivalence
+  // tests) and the profile it reasons over.
+  const SchedulerCore& scheduler() const { return core_; }
+  const ModelProfile& profile() const { return profile_; }
 
  private:
   // A ModelProfile describing the actual MLP, so ThroughputModel /
@@ -71,15 +94,13 @@ class SpotTrainingDriver {
   // "seconds per iteration" scale; only relative throughputs matter
   // for configuration choice.
   ModelProfile derive_profile() const;
+  SchedulerCoreOptions core_options() const;
 
   TrainingClusterOptions cluster_options_;
   SpotDriverOptions options_;
   TrainingCluster cluster_;
   ModelProfile profile_;
-  ThroughputModel throughput_;
-  LiveputOptimizer optimizer_;
-  std::unique_ptr<AvailabilityPredictor> predictor_;
-  Rng rng_;
+  SchedulerCore core_;
 };
 
 }  // namespace parcae

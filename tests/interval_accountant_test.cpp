@@ -1,0 +1,115 @@
+// IntervalAccountant: the shared stall-spillover bookkeeping every
+// SpotTrainingPolicy charges through. The edge cases here used to be
+// hand-rolled (inconsistently) per policy: a stall exactly one
+// interval long, a stall spanning several intervals, and a new stall
+// arriving while an earlier one is still draining.
+#include <gtest/gtest.h>
+
+#include "baselines/varuna_policy.h"
+#include "model/model_profile.h"
+#include "runtime/interval_accountant.h"
+
+namespace parcae {
+namespace {
+
+constexpr double kT = 60.0;
+
+TEST(IntervalAccountant, StallEqualToIntervalConsumesItExactly) {
+  IntervalAccountant acc;
+  acc.add_stall(kT);
+  EXPECT_DOUBLE_EQ(acc.charge(kT), kT);
+  EXPECT_DOUBLE_EQ(acc.pending_stall_s(), 0.0);
+  // Nothing left for the next interval.
+  EXPECT_DOUBLE_EQ(acc.charge(kT), 0.0);
+}
+
+TEST(IntervalAccountant, StallLongerThanTwoIntervalsDrainsOverThree) {
+  IntervalAccountant acc;
+  acc.add_stall(2.5 * kT);
+  EXPECT_DOUBLE_EQ(acc.charge(kT), kT);
+  EXPECT_DOUBLE_EQ(acc.charge(kT), kT);
+  EXPECT_DOUBLE_EQ(acc.charge(kT), 0.5 * kT);
+  EXPECT_DOUBLE_EQ(acc.pending_stall_s(), 0.0);
+}
+
+TEST(IntervalAccountant, StallArrivingWhilePreviousDrainsAccumulates) {
+  IntervalAccountant acc;
+  acc.add_stall(1.5 * kT);
+  EXPECT_DOUBLE_EQ(acc.charge(kT), kT);  // 30 s still pending
+  acc.add_stall(45.0);                   // a second event mid-drain
+  EXPECT_DOUBLE_EQ(acc.pending_stall_s(), 75.0);
+  EXPECT_DOUBLE_EQ(acc.charge(kT), 60.0);
+  EXPECT_DOUBLE_EQ(acc.charge(kT), 15.0);
+  EXPECT_DOUBLE_EQ(acc.pending_stall_s(), 0.0);
+}
+
+TEST(IntervalAccountant, NegativeAndResetAreSafe) {
+  IntervalAccountant acc;
+  acc.add_stall(-5.0);
+  EXPECT_DOUBLE_EQ(acc.pending_stall_s(), 0.0);
+  acc.add_stall(100.0);
+  acc.reset();
+  EXPECT_DOUBLE_EQ(acc.pending_stall_s(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.charge(kT), 0.0);
+}
+
+TEST(IntervalAccountant, ChargeWithPartialBudget) {
+  // Policies that stall mid-interval charge against the remainder.
+  IntervalAccountant acc;
+  acc.add_stall(40.0);
+  EXPECT_DOUBLE_EQ(acc.charge(25.0), 25.0);
+  EXPECT_DOUBLE_EQ(acc.pending_stall_s(), 15.0);
+}
+
+TEST(IntervalAccountant, SettleFillsProgressFields) {
+  IntervalDecision d;
+  const ParallelConfig config{4, 7};
+  IntervalAccountant::settle(d, config, 10.0, 15.0, kT);
+  EXPECT_EQ(d.config, config);
+  EXPECT_DOUBLE_EQ(d.stall_s, 15.0);
+  EXPECT_DOUBLE_EQ(d.throughput, 10.0);
+  EXPECT_DOUBLE_EQ(d.samples_committed, 10.0 * (kT - 15.0));
+}
+
+TEST(IntervalAccountant, SettleClampsStallToInterval) {
+  IntervalDecision d;
+  IntervalAccountant::settle(d, ParallelConfig{2, 4}, 10.0, 80.0, kT);
+  EXPECT_DOUBLE_EQ(d.stall_s, kT);
+  EXPECT_DOUBLE_EQ(d.samples_committed, 0.0);
+}
+
+TEST(IntervalAccountant, TransitionNoteFormat) {
+  EXPECT_EQ(transition_note("morph", ParallelConfig{4, 7}), "morph -> 4x7");
+}
+
+TEST(IntervalAccountant, VarunaCheckpointReloadSpillsAcrossIntervals) {
+  // GPT-3's checkpoint reload (~156 s) plus the fixed reconfigure cost
+  // (~35 s) is ~3.2 scheduling intervals: the first three intervals
+  // must be fully stalled and the fourth partially (this spillover
+  // used to be truncated at one interval).
+  VarunaPolicy varuna(gpt3_profile());
+  varuna.reset();
+  AvailabilityEvent boot;
+  boot.available = 32;
+  boot.allocated = 32;
+  const IntervalDecision d0 = varuna.on_interval(0, boot, kT);
+  EXPECT_DOUBLE_EQ(d0.stall_s, kT);
+  EXPECT_DOUBLE_EQ(d0.samples_committed, 0.0);
+
+  AvailabilityEvent quiet;
+  quiet.available = 32;
+  for (int i = 1; i <= 2; ++i) {
+    const IntervalDecision d = varuna.on_interval(i, quiet, kT);
+    EXPECT_DOUBLE_EQ(d.stall_s, kT) << "interval " << i;
+    EXPECT_DOUBLE_EQ(d.samples_committed, 0.0) << "interval " << i;
+  }
+  // ~191 s total: the fourth interval drains the ~11 s remainder and
+  // finally trains.
+  const IntervalDecision d3 = varuna.on_interval(3, quiet, kT);
+  EXPECT_GT(d3.stall_s, 5.0);
+  EXPECT_LT(d3.stall_s, 20.0);
+  EXPECT_GT(d3.samples_committed, 0.0);
+}
+
+}  // namespace
+}  // namespace parcae

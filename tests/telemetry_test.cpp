@@ -5,7 +5,7 @@
 #include "model/model_profile.h"
 #include "runtime/cluster_sim.h"
 #include "runtime/parcae_policy.h"
-#include "runtime/telemetry.h"
+#include "core/telemetry.h"
 #include "trace/spot_trace.h"
 
 namespace parcae {
