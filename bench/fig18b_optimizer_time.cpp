@@ -7,6 +7,7 @@
 #include "core/liveput_optimizer.h"
 #include "migration/cost_model.h"
 #include "model/model_profile.h"
+#include "obs/metrics.h"
 #include "parallel/throughput_model.h"
 #include "trace/spot_trace.h"
 
@@ -16,8 +17,10 @@ namespace {
 void optimize_on_segment(benchmark::State& state, TraceSegment segment) {
   const ModelProfile model = gpt2_profile();
   const ThroughputModel tm(model, {});
+  obs::MetricsRegistry registry;
   LiveputOptimizer optimizer(&tm, CostEstimator(model),
-                             LiveputOptimizerOptions{60.0, 256, 17});
+                             LiveputOptimizerOptions{60.0, 256, 17,
+                                                     &registry});
   const SpotTrace trace = canonical_segment(segment);
   const std::vector<int> series = trace.availability_series();
   const ParallelConfig current = tm.best_config(series.front());
@@ -36,6 +39,12 @@ void optimize_on_segment(benchmark::State& state, TraceSegment segment) {
     benchmark::DoNotOptimize(plan.expected_samples);
   }
   state.SetLabel("paper: < 0.3 s per optimization (Figure 18b)");
+  // How much of the optimizer's work the Monte-Carlo cache absorbed.
+  state.counters["dp_runs"] = registry.counter_value("liveput_dp.runs");
+  state.counters["mc_samples"] =
+      registry.counter_value("mc_sampler.samples");
+  state.counters["mc_cache_hits"] =
+      registry.counter_value("mc_sampler.cache_hits");
 }
 
 void BM_LiveputOptimize_HA_DP(benchmark::State& state) {

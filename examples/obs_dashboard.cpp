@@ -1,0 +1,110 @@
+// Observability dashboard: run Parcae over a trace with every sink
+// attached and drop the artifacts a real operator would want.
+//
+//   obs_dashboard [trace] [outdir]
+//
+// Writes into outdir (default "."):
+//   run.trace.json  Chrome trace events — load in chrome://tracing or
+//                   https://ui.perfetto.dev to see predict / optimize /
+//                   plan-migration / execute-interval spans per interval
+//   metrics.csv     per-interval time series (one row per scheduling
+//                   interval: availability, live instances, liveput
+//                   estimate, throughput, stall, cumulative samples, $)
+//   events.jsonl    the scheduler's structured EventLog
+// and prints the metrics-registry snapshot as aligned tables.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/table.h"
+#include "obs/profile_span.h"
+#include "obs/timeseries.h"
+#include "runtime/parcae_policy.h"
+#include "trace/trace_io.h"
+
+using namespace parcae;
+
+namespace {
+
+std::optional<SpotTrace> resolve(const std::string& what) {
+  for (const SpotTrace& t : all_canonical_segments())
+    if (t.name() == what) return t;
+  if (what == "full-day") return full_day_trace();
+  std::string error;
+  auto trace = load_trace(what, &error);
+  if (!trace) std::fprintf(stderr, "cannot load '%s': %s\n", what.c_str(),
+                           error.c_str());
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string trace_name = argc > 1 ? argv[1] : "HA-DP";
+  const std::string outdir = argc > 2 ? argv[2] : ".";
+  const auto trace = resolve(trace_name);
+  if (!trace) return 1;
+
+  const ModelProfile model = model_by_name("GPT-2");
+
+  obs::MetricsRegistry registry;
+  obs::TraceWriter tracer;
+  obs::TimeSeriesRecorder series;
+
+  ParcaePolicyOptions popt;
+  popt.metrics = &registry;
+  popt.tracer = &tracer;
+  ParcaePolicy policy(model, popt);
+
+  SimulationOptions sim;
+  sim.units_per_sample = model.tokens_per_sample;
+  sim.record_timeline = false;
+  sim.metrics = &registry;
+  sim.tracer = &tracer;
+  sim.timeseries = &series;
+
+  const SimulationResult r = simulate(policy, *trace, sim);
+
+  std::printf("%s on %s: %s %ss committed (%s/s), $%.2f\n\n",
+              r.policy.c_str(), r.trace.c_str(),
+              format_si(r.committed_units, 2).c_str(),
+              model.sample_unit.c_str(),
+              format_si(r.avg_unit_throughput, 2).c_str(), r.total_cost_usd);
+  std::printf("%s", r.metrics.render().c_str());
+
+  std::error_code ec;
+  std::filesystem::create_directories(outdir, ec);
+  const std::string trace_path = outdir + "/run.trace.json";
+  const std::string csv_path = outdir + "/metrics.csv";
+  const std::string events_path = outdir + "/events.jsonl";
+  bool ok = true;
+  if (tracer.write_file(trace_path))
+    std::printf("\nwrote %s (%zu events)\n", trace_path.c_str(),
+                tracer.size());
+  else
+    ok = false;
+  if (series.write_csv(csv_path))
+    std::printf("wrote %s (%zu intervals x %zu columns)\n", csv_path.c_str(),
+                series.rows(), series.columns().size());
+  else
+    ok = false;
+  FILE* f = std::fopen(events_path.c_str(), "w");
+  if (f != nullptr) {
+    const std::string jsonl = policy.telemetry().to_jsonl();
+    std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s (%zu events)\n", events_path.c_str(),
+                policy.telemetry().size());
+  } else {
+    ok = false;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "cannot write artifacts into %s\n", outdir.c_str());
+    return 1;
+  }
+  std::printf(
+      "\nopen %s in chrome://tracing or https://ui.perfetto.dev to "
+      "browse the run\n",
+      trace_path.c_str());
+  return 0;
+}

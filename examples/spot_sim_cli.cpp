@@ -11,6 +11,11 @@
 //   lookahead=<int>        history=<int>      reoptimize=<int>
 //   mc_trials=<int>        hysteresis=<float> seed=<int>
 //   timeline=0|1
+//   metrics=0|1            print the metrics-registry snapshot
+//   metrics_csv=<file>     per-interval time series as CSV
+//   trace_json=<file>      Chrome trace events (chrome://tracing,
+//                          https://ui.perfetto.dev)
+//   events_jsonl=<file>    scheduler EventLog as JSONL (Parcae modes)
 //
 // Example:
 //   spot_sim_cli model=GPT-3 trace=LA-SP system=varuna
@@ -26,6 +31,8 @@
 #include "baselines/oobleck_policy.h"
 #include "baselines/varuna_policy.h"
 #include "common/table.h"
+#include "obs/profile_span.h"
+#include "obs/timeseries.h"
 #include "runtime/parcae_policy.h"
 #include "trace/trace_io.h"
 
@@ -100,6 +107,21 @@ int main(int argc, char** argv) {
   sim.units_per_sample = model.tokens_per_sample;
   sim.record_timeline = get(args, "timeline", "1") == "1";
 
+  // Observability sinks shared by the policy's SchedulerCore and the
+  // simulator so snapshots and spans land in one place.
+  obs::MetricsRegistry registry;
+  obs::TraceWriter tracer;
+  obs::TimeSeriesRecorder series;
+  const std::string metrics_csv = get(args, "metrics_csv", "");
+  const std::string trace_json = get(args, "trace_json", "");
+  const std::string events_jsonl = get(args, "events_jsonl", "");
+  sim.metrics = &registry;
+  if (!trace_json.empty()) sim.tracer = &tracer;
+  if (!metrics_csv.empty()) sim.timeseries = &series;
+  popt.metrics = &registry;
+  popt.tracer = sim.tracer;
+
+  const ParcaePolicy* parcae_policy = nullptr;
   if (system == "parcae") {
     policy = std::make_unique<ParcaePolicy>(model, popt);
   } else if (system == "ideal") {
@@ -128,6 +150,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown system '%s'\n", system.c_str());
     return 1;
   }
+  if (system == "parcae" || system == "ideal" || system == "reactive")
+    parcae_policy = static_cast<const ParcaePolicy*>(policy.get());
 
   const SimulationResult r = simulate(*policy, trace, sim);
 
@@ -157,6 +181,43 @@ int main(int argc, char** argv) {
       std::printf("  t=%3zu min  N=%2d  %-6s %s\n", i, rec.available,
                   rec.config.valid() ? rec.config.to_string().c_str() : "-",
                   rec.note.c_str());
+    }
+  }
+
+  if (get(args, "metrics", "0") == "1") {
+    std::printf("\nmetrics:\n%s", r.metrics.render().c_str());
+  }
+  if (!metrics_csv.empty()) {
+    if (series.write_csv(metrics_csv))
+      std::printf("wrote %s (%zu intervals)\n", metrics_csv.c_str(),
+                  series.rows());
+    else
+      std::fprintf(stderr, "cannot write %s\n", metrics_csv.c_str());
+  }
+  if (!trace_json.empty()) {
+    if (tracer.write_file(trace_json))
+      std::printf("wrote %s (%zu events)\n", trace_json.c_str(),
+                  tracer.size());
+    else
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+  }
+  if (!events_jsonl.empty()) {
+    if (parcae_policy == nullptr) {
+      std::fprintf(stderr,
+                   "events_jsonl: system '%s' keeps no EventLog "
+                   "(Parcae modes only)\n",
+                   system.c_str());
+    } else {
+      FILE* f = std::fopen(events_jsonl.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", events_jsonl.c_str());
+      } else {
+        const std::string jsonl = parcae_policy->telemetry().to_jsonl();
+        std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+        std::fclose(f);
+        std::printf("wrote %s (%zu events)\n", events_jsonl.c_str(),
+                    parcae_policy->telemetry().size());
+      }
     }
   }
   return 0;

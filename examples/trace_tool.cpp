@@ -5,12 +5,17 @@
 //   trace_tool gen    synthetic <events> <avg> <file.csv> [seed]
 //   trace_tool gen    market <bid> <file.csv> [seed]
 //   trace_tool plot   <file.csv | segment>
+//   trace_tool events <file.csv | segment> <out.jsonl>
 //
 // `plot` prints a terminal sparkline of the availability series.
+// `events` replays the trace through the Parcae scheduler and writes
+// its structured EventLog (preemptions, decisions, migrations) as
+// JSONL, one event per line.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "runtime/parcae_policy.h"
 #include "trace/spot_market.h"
 #include "trace/spot_trace.h"
 #include "trace/trace_analysis.h"
@@ -79,8 +84,27 @@ int usage() {
                "  trace_tool export <segment> <file.csv>\n"
                "  trace_tool gen synthetic <events> <avg> <file.csv> [seed]\n"
                "  trace_tool gen market <bid> <file.csv> [seed]\n"
-               "  trace_tool plot <file|segment>\n");
+               "  trace_tool plot <file|segment>\n"
+               "  trace_tool events <file|segment> <out.jsonl>\n");
   return 2;
+}
+
+int dump_events(const SpotTrace& trace, const char* path) {
+  ParcaePolicy policy(model_by_name("GPT-2"), ParcaePolicyOptions{});
+  SimulationOptions sim;
+  sim.record_timeline = false;
+  simulate(policy, trace, sim);
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  const std::string jsonl = policy.telemetry().to_jsonl();
+  std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu events, %zu dropped)\n", path,
+              policy.telemetry().size(), policy.telemetry().dropped());
+  return 0;
 }
 
 }  // namespace
@@ -97,6 +121,12 @@ int main(int argc, char** argv) {
     else
       plot(*trace);
     return 0;
+  }
+  if (command == "events") {
+    if (argc < 4) return usage();
+    const auto trace = resolve(argv[2]);
+    if (!trace) return 1;
+    return dump_events(*trace, argv[3]);
   }
   if (command == "export") {
     if (argc < 4) return usage();

@@ -65,6 +65,10 @@ std::vector<CellResult> run_matrix(const MatrixOptions& options) {
         SimulationOptions sim;
         sim.units_per_sample = model.tokens_per_sample;
         sim.record_timeline = false;
+        // Fresh registry per cell: cell.result.metrics never mixes
+        // instruments across the grid.
+        obs::MetricsRegistry cell_metrics;
+        sim.metrics = &cell_metrics;
         CellResult cell;
         cell.model = model.name;
         cell.trace = trace.name();

@@ -9,6 +9,7 @@ VarunaOptions CheckFreqPolicy::checkfreq_options() {
   options.save_stall_fraction = 0.04;
   // Restores still come from object storage: a preempted instance's
   // local snapshot cache disappears with it.
+  options.metric_prefix = "policy.CheckFreq";
   return options;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "runtime/pricing.h"
 
 namespace parcae {
@@ -12,7 +13,9 @@ HybridSpotPolicy::HybridSpotPolicy(ModelProfile model, HybridOptions options)
       throughput_(model_, options.throughput),
       core_depth_(options.core_depth > 0
                       ? options.core_depth
-                      : std::max(1, throughput_.min_pipeline_depth())) {}
+                      : std::max(1, throughput_.min_pipeline_depth())) {
+  accountant_.set_metrics(&obs::default_registry(), "policy.HybridSpot");
+}
 
 void HybridSpotPolicy::reset() {
   current_ = kIdleConfig;

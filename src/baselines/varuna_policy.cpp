@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "runtime/pricing.h"
 
 namespace parcae {
@@ -10,7 +11,9 @@ namespace parcae {
 VarunaPolicy::VarunaPolicy(ModelProfile model, VarunaOptions options)
     : model_(std::move(model)),
       options_(options),
-      throughput_(model_, options.throughput) {}
+      throughput_(model_, options.throughput) {
+  accountant_.set_metrics(&obs::default_registry(), options_.metric_prefix);
+}
 
 void VarunaPolicy::reset() {
   current_ = kIdleConfig;

@@ -11,6 +11,8 @@
 //     deepest minimum pipeline depth of the three systems.
 #pragma once
 
+#include <string>
+
 #include "model/model_profile.h"
 #include "parallel/throughput_model.h"
 #include "runtime/cluster_sim.h"
@@ -31,6 +33,9 @@ struct VarunaOptions {
   // Bytes of training state checkpointed per parameter (fp16 weights
   // + fp32 master + Adam moments).
   double checkpoint_bytes_per_param = 14.0;
+  // Prefix for the stall instruments in obs::default_registry();
+  // CheckFreq reuses this policy under its own name.
+  std::string metric_prefix = "policy.Varuna";
   ThroughputModelOptions throughput{
       NetworkModel{}, MemorySpec::varuna(), 0.5, 0.0, 1};
 };

@@ -1,11 +1,29 @@
 #include "common/log.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace parcae {
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+LogLevel env_or_default_level() {
+  LogLevel level = LogLevel::kWarn;
+  const char* env = std::getenv("PARCAE_LOG_LEVEL");
+  if (env != nullptr && !parse_log_level(env, level)) {
+    std::fprintf(stderr,
+                 "[WARN] PARCAE_LOG_LEVEL=%s not recognized "
+                 "(debug|info|warn|error|off); keeping warn\n",
+                 env);
+  }
+  return level;
+}
+
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> g_level{env_or_default_level()};
+  return g_level;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -24,12 +42,34 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() { return level_ref().load(); }
+
+bool parse_log_level(std::string_view name, LogLevel& out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "debug") {
+    out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    out = LogLevel::kError;
+  } else if (lower == "off" || lower == "none" || lower == "silent") {
+    out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

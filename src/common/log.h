@@ -5,14 +5,22 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace parcae {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Global log level; defaults to kWarn so tests and benches stay quiet.
+// Global log level; defaults to kWarn so tests and benches stay
+// quiet. The PARCAE_LOG_LEVEL environment variable (debug / info /
+// warn / error / off, case-insensitive) overrides the default at
+// first use; set_log_level() overrides both.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+// Parses a level name into `out`; returns false (leaving `out`
+// untouched) when the name is not recognized.
+bool parse_log_level(std::string_view name, LogLevel& out);
 
 void log_message(LogLevel level, const std::string& msg);
 

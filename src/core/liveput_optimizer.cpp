@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace parcae {
 
 LiveputOptimizer::LiveputOptimizer(const ThroughputModel* throughput,
@@ -13,7 +15,9 @@ LiveputOptimizer::LiveputOptimizer(const ThroughputModel* throughput,
     : throughput_(throughput),
       estimator_(std::move(estimator)),
       options_(options),
-      sampler_(options.seed, options.mc_trials) {}
+      sampler_(options.seed, options.mc_trials) {
+  sampler_.set_metrics(options.metrics);
+}
 
 double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
                                                  int n_from, ParallelConfig to,
@@ -74,6 +78,7 @@ LiveputPlan LiveputOptimizer::optimize(ParallelConfig current, int n_now,
   LiveputPlan plan;
   const auto I = predicted.size();
   if (I == 0) return plan;
+  if (options_.metrics) options_.metrics->counter("liveput_dp.runs").inc();
   const double T = options_.interval_s;
 
   // Per-interval configuration spaces (feasible configs + "suspended").

@@ -24,10 +24,17 @@
 
 namespace parcae {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 struct LiveputOptimizerOptions {
   double interval_s = 60.0;  // T: prediction/optimization interval
   int mc_trials = 256;       // Monte-Carlo trials per (D,P,idle,k)
   std::uint64_t seed = 7;
+  // Optional metrics sink (non-owning): DP run counters here, MC
+  // sampling latency in the PreemptionSampler.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct LiveputPlan {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/table.h"
+#include "obs/profile_span.h"
 #include "predict/adaptive.h"
 #include "predict/guards.h"
 
@@ -14,11 +15,13 @@ SchedulerCore::SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
     : model_(std::move(model)),
       options_(options),
       oracle_(oracle),
+      metrics_(options.metrics != nullptr ? options.metrics : &own_metrics_),
       throughput_(model_, options.throughput),
-      planner_(CostEstimator(model_)),
+      planner_(CostEstimator(model_), metrics_),
       optimizer_(&throughput_, CostEstimator(model_),
                  LiveputOptimizerOptions{options.interval_s,
-                                         options.mc_trials, options.seed}),
+                                         options.mc_trials, options.seed,
+                                         metrics_}),
       predictor_(options.adaptive_predictor
                      ? std::unique_ptr<AvailabilityPredictor>(
                            AdaptivePredictor::standard_pool(
@@ -36,6 +39,9 @@ void SchedulerCore::reset() {
   prev_available_ = 0;
   migration_log_.clear();
   telemetry_.clear();
+  // A fresh run starts a fresh core-owned registry; an injected one
+  // belongs to the caller and survives resets.
+  if (metrics_ == &own_metrics_) own_metrics_.clear();
 }
 
 int SchedulerCore::min_depth() const {
@@ -131,15 +137,29 @@ ClusterSnapshot SchedulerCore::observe_damage(
 SchedulerDecision SchedulerCore::step(int interval_index,
                                       const AvailabilityObservation& observed,
                                       double interval_s) {
+  obs::ProfileSpan step_span("scheduler.step", metrics_, options_.tracer,
+                             "scheduler");
   SchedulerDecision decision;
   const int available = observed.available;
   const double now = interval_index * interval_s;
+  metrics_->counter("scheduler.intervals").inc();
+  metrics_->gauge("scheduler.available").set(available);
   if (observed.preempted > 0 || observed.allocated > 0) {
     telemetry_.record(now, EventCategory::kCloud,
                       observed.preempted > 0 ? "preemption" : "allocation",
                       {{"available", std::to_string(available)},
                        {"preempted", std::to_string(observed.preempted)},
                        {"allocated", std::to_string(observed.allocated)}});
+    if (observed.preempted > 0) {
+      metrics_->counter("scheduler.preemptions_seen")
+          .add(observed.preempted);
+      if (options_.tracer) options_.tracer->instant("preemption", "cloud");
+    }
+    if (observed.allocated > 0) {
+      metrics_->counter("scheduler.allocations_seen")
+          .add(observed.allocated);
+      if (options_.tracer) options_.tracer->instant("allocation", "cloud");
+    }
   }
 
   // -- 1. Choose the target for this interval.
@@ -170,6 +190,7 @@ SchedulerDecision SchedulerCore::step(int interval_index,
                         "hysteresis held depth",
                         {{"proposed", adapted.to_string()},
                          {"kept", keep.to_string()}});
+      metrics_->counter("scheduler.hysteresis_suppressions").inc();
       adapted = keep;
     }
   }
@@ -180,11 +201,22 @@ SchedulerDecision SchedulerCore::step(int interval_index,
                                                  : "idle"},
                        {"to", adapted.valid() ? adapted.to_string()
                                               : "idle"}});
+    metrics_->counter("scheduler.config_changes").inc();
   }
 
   // -- 2. Plan the live migration from the damaged current state.
   const ClusterSnapshot snapshot = observe_damage(observed, prev_available_);
-  const MigrationPlan plan = planner_.plan(snapshot, adapted);
+  MigrationPlan plan;
+  {
+    obs::ProfileSpan plan_span("plan-migration", metrics_, options_.tracer,
+                               "scheduler");
+    plan = planner_.plan(snapshot, adapted);
+  }
+  if (plan.kind != MigrationKind::kNone) {
+    metrics_->counter("scheduler.migrations_planned").inc();
+    metrics_->histogram("scheduler.migration_stall_s")
+        .observe(plan.stall_s());
+  }
   double stall = plan.stall_s();
   if (options_.cost_noise_stddev > 0.0 && stall > 0.0) {
     stall *= std::max(0.2, rng_.normal(1.0, options_.cost_noise_stddev));
@@ -211,9 +243,19 @@ SchedulerDecision SchedulerCore::step(int interval_index,
   prev_available_ = available;
   if (options_.mode != PredictionMode::kReactive) {
     if (interval_index % std::max(1, options_.reoptimize_every) == 0) {
-      decision.forecast = predict(interval_index);
-      planned_next_ = optimizer_.advise(current_, available,
-                                        decision.forecast);
+      metrics_->counter("scheduler.reoptimizations").inc();
+      {
+        obs::ProfileSpan predict_span("predict", metrics_, options_.tracer,
+                                      "scheduler");
+        decision.forecast = predict(interval_index);
+      }
+      obs::ProfileSpan optimize_span("optimize", metrics_, options_.tracer,
+                                     "scheduler");
+      const LiveputPlan liveput = optimizer_.optimize(
+          current_, available, decision.forecast);
+      planned_next_ = liveput.next();
+      metrics_->gauge("scheduler.liveput_expected_samples")
+          .set(liveput.expected_samples);
     }
     // Otherwise keep the previously planned target (Figure 11's lower
     // prediction rates).

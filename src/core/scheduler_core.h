@@ -34,11 +34,16 @@
 #include "core/telemetry.h"
 #include "migration/planner.h"
 #include "model/model_profile.h"
+#include "obs/metrics.h"
 #include "parallel/throughput_model.h"
 #include "predict/predictor.h"
 #include "trace/spot_trace.h"
 
 namespace parcae {
+
+namespace obs {
+class TraceWriter;
+}  // namespace obs
 
 enum class PredictionMode { kArima, kOracle, kReactive };
 
@@ -75,6 +80,13 @@ struct SchedulerCoreOptions {
   int min_depth_override = 0;
   int max_depth_override = 0;
   ThroughputModelOptions throughput;
+  // Observability sinks (non-owning, both optional). With no registry
+  // injected the core records into one it owns — metrics are always
+  // on and metrics_snapshot() is never empty after a step. A tracer
+  // additionally emits predict/optimize/plan-migration spans as
+  // Chrome trace events.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceWriter* tracer = nullptr;
 };
 
 // Availability change observed at an interval boundary (the cloud-side
@@ -133,6 +145,18 @@ class SchedulerCore {
   // Structured audit trail of everything the scheduler saw and did.
   const EventLog& telemetry() const { return telemetry_; }
 
+  // The registry this core records into (the injected one, else the
+  // core-owned instance).
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  obs::TraceWriter* tracer() const { return options_.tracer; }
+  // Counters (preemptions seen, reoptimizations, migrations planned,
+  // hysteresis suppressions, ...) and latency histograms (optimizer,
+  // MC sampler, migration planner) accumulated so far.
+  obs::MetricsSnapshot metrics_snapshot() const {
+    return metrics_->snapshot();
+  }
+
  private:
   std::vector<int> predict(int interval_index) const;
   ClusterSnapshot observe_damage(const AvailabilityObservation& observed,
@@ -143,6 +167,10 @@ class SchedulerCore {
   ModelProfile model_;
   SchedulerCoreOptions options_;
   const SpotTrace* oracle_;
+  // Declared before the planner/optimizer so metrics_ is resolved
+  // when they capture it.
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_;
   ThroughputModel throughput_;
   MigrationPlanner planner_;
   LiveputOptimizer optimizer_;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/json_util.h"
+
 namespace parcae {
 
 const char* event_category_name(EventCategory category) {
@@ -26,7 +28,13 @@ const char* event_category_name(EventCategory category) {
 void EventLog::record(double time_s, EventCategory category,
                       std::string message,
                       std::map<std::string, std::string> fields) {
-  if (events_.size() == capacity_) {
+  // A zero-capacity log stores nothing: the event is dropped outright
+  // (popping an empty deque is UB, not eviction).
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  while (events_.size() >= capacity_) {
     events_.pop_front();
     ++dropped_;
   }
@@ -65,6 +73,24 @@ std::string EventLog::render(std::size_t last_n) const {
     for (const auto& [key, value] : event.fields)
       os << "  " << key << "=" << value;
     os << '\n';
+  }
+  return os.str();
+}
+
+std::string EventLog::to_jsonl() const {
+  std::ostringstream os;
+  for (const auto& event : events_) {
+    os << "{\"t\":" << event.time_s << ",\"category\":"
+       << obs::json_quote(event_category_name(event.category))
+       << ",\"message\":" << obs::json_quote(event.message)
+       << ",\"fields\":{";
+    bool first = true;
+    for (const auto& [key, value] : event.fields) {
+      if (!first) os << ',';
+      first = false;
+      os << obs::json_quote(key) << ':' << obs::json_quote(value);
+    }
+    os << "}}\n";
   }
   return os.str();
 }

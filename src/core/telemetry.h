@@ -59,6 +59,12 @@ class EventLog {
   // Human-readable rendering ("[ 120s] migration  pipeline -> 4x7 ...").
   std::string render(std::size_t last_n = 0) const;
 
+  // One JSON object per line, oldest first:
+  //   {"t":120,"category":"migration","message":"...","fields":{...}}
+  // Strings are escaped per RFC 8259 (quotes, backslashes, control
+  // characters), so messages with newlines or quotes stay one line.
+  std::string to_jsonl() const;
+
   void clear();
 
  private:

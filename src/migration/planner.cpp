@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace parcae {
 
 const char* migration_kind_name(MigrationKind kind) {
@@ -39,6 +41,21 @@ int ClusterSnapshot::min_alive_stage() const {
 
 MigrationPlan MigrationPlanner::plan(const ClusterSnapshot& snapshot,
                                      ParallelConfig target) const {
+  MigrationPlan result = plan_impl(snapshot, target);
+  if (metrics_) {
+    metrics_->counter("planner.plans").inc();
+    metrics_->counter(std::string("planner.plans.") +
+                      migration_kind_name(result.kind))
+        .inc();
+    if (result.kind != MigrationKind::kNone)
+      metrics_->histogram("planner.stall_estimate_s")
+          .observe(result.stall_s());
+  }
+  return result;
+}
+
+MigrationPlan MigrationPlanner::plan_impl(const ClusterSnapshot& snapshot,
+                                          ParallelConfig target) const {
   MigrationPlan plan;
   plan.from = snapshot.config;
   plan.to = target;

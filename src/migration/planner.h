@@ -17,6 +17,10 @@
 
 namespace parcae {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 enum class MigrationKind {
   kNone,         // same config, nothing lost
   kIntraStage,   // routing-only recovery
@@ -57,8 +61,12 @@ struct ClusterSnapshot {
 
 class MigrationPlanner {
  public:
-  explicit MigrationPlanner(CostEstimator estimator)
-      : estimator_(std::move(estimator)) {}
+  // `metrics`, when given, receives per-kind plan counters
+  // ("planner.plans.<kind>") and the histogram of estimated stalls
+  // ("planner.stall_estimate_s").
+  explicit MigrationPlanner(CostEstimator estimator,
+                            obs::MetricsRegistry* metrics = nullptr)
+      : estimator_(std::move(estimator)), metrics_(metrics) {}
 
   // Plans the transition from `snapshot` to `target`. `target` must
   // satisfy target.instances() <= snapshot.alive_total(); callers
@@ -70,7 +78,11 @@ class MigrationPlanner {
   const CostEstimator& estimator() const { return estimator_; }
 
  private:
+  MigrationPlan plan_impl(const ClusterSnapshot& snapshot,
+                          ParallelConfig target) const;
+
   CostEstimator estimator_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 // The §8 parallelization-adaptation step: adjusts a desired target to

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/profile_span.h"
+
 namespace parcae {
 
 PreemptionDraw sample_preemption(ParallelConfig config, int idle, int k,
@@ -40,8 +42,13 @@ const PreemptionSummary& PreemptionSampler::summarize(ParallelConfig config,
                                                       int idle, int k) {
   const auto key = std::make_tuple(config.dp, config.pp, idle, k);
   auto it = cache_.find(key);
-  if (it == cache_.end())
+  if (it == cache_.end()) {
+    obs::ProfileSpan span("mc_sampler.sample", metrics_);
     it = cache_.emplace(key, compute(config, idle, k)).first;
+    if (metrics_) metrics_->counter("mc_sampler.samples").inc();
+  } else if (metrics_) {
+    metrics_->counter("mc_sampler.cache_hits").inc();
+  }
   return it->second;
 }
 

@@ -26,6 +26,10 @@
 
 namespace parcae {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 // One sampled preemption outcome on a D x P grid with idle spares.
 struct PreemptionDraw {
   std::vector<int> alive_per_stage;  // size P, each in [0, D]
@@ -64,11 +68,17 @@ class PreemptionSampler {
 
   int trials() const { return trials_; }
 
+  // Optional metrics sink: cache-miss sampling latency lands in the
+  // histogram "mc_sampler.sample.ms" (the paper's "offline" sampling
+  // step), hits/misses in counters.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   PreemptionSummary compute(ParallelConfig config, int idle, int k);
 
   Rng rng_;
   int trials_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::map<std::tuple<int, int, int, int>, PreemptionSummary> cache_;
 };
 

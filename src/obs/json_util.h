@@ -1,0 +1,18 @@
+// JSON string escaping shared by the observability exporters (Chrome
+// trace events, time-series JSONL) and the EventLog JSONL export.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace parcae::obs {
+
+// Escapes the contents of `s` for embedding inside a JSON string
+// literal (no surrounding quotes added): quotes, backslashes, and
+// control characters become their \-sequences.
+std::string json_escape(std::string_view s);
+
+// `s` escaped and wrapped in double quotes.
+std::string json_quote(std::string_view s);
+
+}  // namespace parcae::obs

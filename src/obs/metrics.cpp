@@ -1,0 +1,223 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/table.h"
+
+namespace parcae::obs {
+
+namespace {
+// Smallest bucket bound and per-bucket growth factor (2^(1/8)).
+constexpr double kMinBound = 1e-6;
+const double kGrowth = std::pow(2.0, 1.0 / 8.0);
+const double kInvLogGrowth = 1.0 / std::log(kGrowth);
+}  // namespace
+
+int Histogram::bucket_index(double value) {
+  if (!(value > kMinBound)) return 0;  // underflow (and NaN) bucket
+  const int idx =
+      1 + static_cast<int>(std::floor(std::log(value / kMinBound) *
+                                      kInvLogGrowth));
+  return std::clamp(idx, 1, kBuckets);
+}
+
+double Histogram::bucket_value(int index) {
+  if (index <= 0) return kMinBound;
+  // Geometric midpoint of [kMinBound*g^(i-1), kMinBound*g^i].
+  return kMinBound * std::pow(kGrowth, static_cast<double>(index) - 0.5);
+}
+
+void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+// Requires mu_ held.
+double Histogram::quantile_locked(double q) const {
+  if (count_ == 0) return 0.0;
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(
+             std::clamp(q, 0.0, 1.0) * static_cast<double>(count_))));
+  // The first and last ranks are tracked exactly.
+  if (target <= 1) return min_;
+  if (target >= count_) return max_;
+  std::uint64_t cum = 0;
+  for (int i = 0; i <= kBuckets; ++i) {
+    cum += buckets_[static_cast<std::size_t>(i)];
+    if (cum >= target) return std::clamp(bucket_value(i), min_, max_);
+  }
+  return max_;
+}
+
+double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quantile_locked(q);
+}
+
+HistogramStats Histogram::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramStats s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.sum = sum_;
+  s.mean = sum_ / static_cast<double>(count_);
+  s.min = min_;
+  s.max = max_;
+  s.p50 = quantile_locked(0.50);
+  s.p95 = quantile_locked(0.95);
+  s.p99 = quantile_locked(0.99);
+  return s;
+}
+
+double MetricsSnapshot::counter_or(const std::string& name,
+                                   double fallback) const {
+  const auto it = counters.find(name);
+  return it == counters.end() ? fallback : it->second;
+}
+
+double MetricsSnapshot::gauge_or(const std::string& name,
+                                 double fallback) const {
+  const auto it = gauges.find(name);
+  return it == gauges.end() ? fallback : it->second;
+}
+
+std::string MetricsSnapshot::render() const {
+  std::string out;
+  if (!counters.empty() || !gauges.empty()) {
+    TextTable t({"metric", "kind", "value"});
+    for (const auto& [name, value] : counters)
+      t.row().add(name).add("counter").add(value, 3);
+    for (const auto& [name, value] : gauges)
+      t.row().add(name).add("gauge").add(value, 3);
+    out += t.to_string();
+  }
+  if (!histograms.empty()) {
+    if (!out.empty()) out += "\n";
+    TextTable t({"histogram", "count", "mean", "p50", "p95", "p99", "max"});
+    for (const auto& [name, h] : histograms)
+      t.row()
+          .add(name)
+          .add(static_cast<long long>(h.count))
+          .add(h.mean, 4)
+          .add(h.p50, 4)
+          .add(h.p95, 4)
+          .add(h.p99, 4)
+          .add(h.max, 4);
+    out += t.to_string();
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_csv() const {
+  TextTable t({"kind", "name", "count", "sum", "mean", "p50", "p95", "p99",
+               "max"});
+  for (const auto& [name, value] : counters)
+    t.row().add("counter").add(name).add(1).add(value, 6).add("").add("")
+        .add("").add("").add("");
+  for (const auto& [name, value] : gauges)
+    t.row().add("gauge").add(name).add(1).add(value, 6).add("").add("")
+        .add("").add("").add("");
+  for (const auto& [name, h] : histograms)
+    t.row()
+        .add("histogram")
+        .add(name)
+        .add(static_cast<long long>(h.count))
+        .add(h.sum, 6)
+        .add(h.mean, 6)
+        .add(h.p50, 6)
+        .add(h.p95, 6)
+        .add(h.p99, 6)
+        .add(h.max, 6);
+  return t.to_csv();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.try_emplace(std::string(name)).first->second;
+}
+
+double MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0.0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c.value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g.value();
+  for (const auto& [name, h] : histograms_) snap.histograms[name] = h.stats();
+  return snap;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace parcae::obs

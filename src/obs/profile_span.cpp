@@ -1,0 +1,98 @@
+#include "obs/profile_span.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json_util.h"
+
+namespace parcae::obs {
+
+TraceWriter::TraceWriter() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceWriter::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void TraceWriter::push(std::string_view name, std::string_view cat,
+                       char phase, double value) {
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = std::string(cat);
+  event.phase = phase;
+  event.ts_us = now_us();
+  event.value = value;
+  events_.push_back(std::move(event));
+}
+
+void TraceWriter::begin(std::string_view name, std::string_view cat) {
+  push(name, cat, 'B', 0.0);
+}
+
+void TraceWriter::end(std::string_view name, std::string_view cat) {
+  push(name, cat, 'E', 0.0);
+}
+
+void TraceWriter::instant(std::string_view name, std::string_view cat) {
+  push(name, cat, 'i', 0.0);
+}
+
+void TraceWriter::counter(std::string_view name, double value) {
+  push(name, "counter", 'C', value);
+}
+
+std::string TraceWriter::to_json() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[96];
+  for (const TraceEvent& e : events_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":" + json_quote(e.name) +
+           ",\"cat\":" + json_quote(e.cat) + ",\"ph\":\"";
+    out += e.phase;
+    out += "\"";
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"pid\":1,\"tid\":1",
+                  e.ts_us);
+    out += buf;
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    if (e.phase == 'C') {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.9g}", e.value);
+      out += buf;
+    }
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool TraceWriter::write_file(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json() << "\n";
+  return static_cast<bool>(os);
+}
+
+ProfileSpan::ProfileSpan(std::string_view name, MetricsRegistry* metrics,
+                         TraceWriter* trace, std::string_view cat)
+    : name_(name),
+      cat_(cat),
+      metrics_(metrics),
+      trace_(trace),
+      start_(std::chrono::steady_clock::now()) {
+  if (trace_) trace_->begin(name_, cat_);
+}
+
+double ProfileSpan::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+ProfileSpan::~ProfileSpan() {
+  if (metrics_) metrics_->histogram(name_ + ".ms").observe(elapsed_ms());
+  if (trace_) trace_->end(name_, cat_);
+}
+
+}  // namespace parcae::obs

@@ -1,0 +1,84 @@
+// RAII profiling spans and Chrome trace-event export.
+//
+// A ProfileSpan times a scope, records the elapsed milliseconds into
+// a histogram named "<name>.ms" in a MetricsRegistry, and (when a
+// TraceWriter is attached) emits a begin/end event pair so the whole
+// run — intervals, ARIMA fits, Monte-Carlo sampling, the liveput DP,
+// migration planning and execution — renders as a timeline in
+// chrome://tracing or https://ui.perfetto.dev. Both sinks are
+// optional; with neither attached a span is two clock reads.
+//
+// TraceWriter collects events in memory and serializes them as the
+// Chrome trace-event JSON object format ({"traceEvents": [...]}).
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace parcae::obs {
+
+// One Chrome trace event. `phase` is the trace-event ph field:
+// 'B'/'E' duration begin/end, 'i' instant, 'C' counter.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char phase = 'i';
+  double ts_us = 0.0;   // microseconds since the writer's epoch
+  double value = 0.0;   // counter events only
+};
+
+class TraceWriter {
+ public:
+  TraceWriter();
+
+  void begin(std::string_view name, std::string_view cat);
+  void end(std::string_view name, std::string_view cat);
+  void instant(std::string_view name, std::string_view cat);
+  void counter(std::string_view name, double value);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  // {"traceEvents": [...], "displayTimeUnit": "ms"} — loadable by
+  // chrome://tracing and Perfetto.
+  std::string to_json() const;
+  bool write_file(const std::string& path) const;
+
+ private:
+  double now_us() const;
+  void push(std::string_view name, std::string_view cat, char phase,
+            double value);
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<TraceEvent> events_;
+};
+
+// Scoped timer: histogram "<name>.ms" on destruction, plus a B/E pair
+// in `trace` when attached. Nest freely; nesting renders as stacked
+// slices on the timeline.
+class ProfileSpan {
+ public:
+  explicit ProfileSpan(std::string_view name,
+                       MetricsRegistry* metrics = nullptr,
+                       TraceWriter* trace = nullptr,
+                       std::string_view cat = "parcae");
+  ~ProfileSpan();
+  ProfileSpan(const ProfileSpan&) = delete;
+  ProfileSpan& operator=(const ProfileSpan&) = delete;
+
+  double elapsed_ms() const;
+
+ private:
+  std::string name_;
+  std::string cat_;
+  MetricsRegistry* metrics_;
+  TraceWriter* trace_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace parcae::obs

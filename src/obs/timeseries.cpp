@@ -1,0 +1,105 @@
+#include "obs/timeseries.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "obs/json_util.h"
+
+namespace parcae::obs {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+std::string format_cell(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+}  // namespace
+
+void TimeSeriesRecorder::begin_row() {
+  rows_.emplace_back(columns_.size(), kNaN);
+}
+
+std::size_t TimeSeriesRecorder::column_index(std::string_view column) {
+  const auto it = index_.find(column);
+  if (it != index_.end()) return it->second;
+  const std::size_t idx = columns_.size();
+  columns_.emplace_back(column);
+  index_.emplace(columns_.back(), idx);
+  return idx;
+}
+
+void TimeSeriesRecorder::set(std::string_view column, double value) {
+  if (rows_.empty()) begin_row();
+  const std::size_t idx = column_index(column);
+  std::vector<double>& row = rows_.back();
+  if (row.size() <= idx) row.resize(idx + 1, kNaN);
+  row[idx] = value;
+}
+
+double TimeSeriesRecorder::at(std::size_t row, std::string_view column) const {
+  const auto it = index_.find(column);
+  if (row >= rows_.size() || it == index_.end()) return kNaN;
+  const std::vector<double>& r = rows_[row];
+  return it->second < r.size() ? r[it->second] : kNaN;
+}
+
+std::string TimeSeriesRecorder::to_csv() const {
+  std::string out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ",";
+    out += columns_[c];
+  }
+  out += "\n";
+  for (const std::vector<double>& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c) out += ",";
+      const double v = c < row.size() ? row[c] : kNaN;
+      if (!std::isnan(v)) out += format_cell(v);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string TimeSeriesRecorder::to_jsonl() const {
+  std::string out;
+  for (const std::vector<double>& row : rows_) {
+    out += "{";
+    bool first = true;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const double v = c < row.size() ? row[c] : kNaN;
+      if (std::isnan(v)) continue;
+      if (!first) out += ",";
+      first = false;
+      out += json_quote(columns_[c]) + ":" + format_cell(v);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+bool TimeSeriesRecorder::write_csv(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_csv();
+  return static_cast<bool>(os);
+}
+
+bool TimeSeriesRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_jsonl();
+  return static_cast<bool>(os);
+}
+
+void TimeSeriesRecorder::clear() {
+  columns_.clear();
+  index_.clear();
+  rows_.clear();
+}
+
+}  // namespace parcae::obs

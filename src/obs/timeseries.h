@@ -1,0 +1,48 @@
+// Columnar per-interval time series.
+//
+// The simulator (and any other interval-driven backend) samples a few
+// scalars every scheduling interval — live instances, the liveput
+// estimate, effective throughput, stall seconds, dollars spent — into
+// named columns. Rows align 1:1 with scheduling intervals, and the
+// whole series exports as CSV (one row per interval, for plotting)
+// or JSONL (one object per interval). Columns may appear mid-run;
+// earlier rows hold NaN for them and export as empty cells.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcae::obs {
+
+class TimeSeriesRecorder {
+ public:
+  // Start the next row (call once per interval, before set()).
+  void begin_row();
+  // Set `column` in the current row, creating the column on first use.
+  // A set() before any begin_row() starts row 0 implicitly.
+  void set(std::string_view column, double value);
+
+  std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+  // NaN when the cell was never set.
+  double at(std::size_t row, std::string_view column) const;
+
+  std::string to_csv() const;
+  std::string to_jsonl() const;
+  bool write_csv(const std::string& path) const;
+  bool write_jsonl(const std::string& path) const;
+
+  void clear();
+
+ private:
+  std::size_t column_index(std::string_view column);
+
+  std::vector<std::string> columns_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace parcae::obs

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/log.h"
+#include "obs/profile_span.h"
+#include "obs/timeseries.h"
 
 namespace parcae {
 
@@ -14,6 +16,12 @@ SimulationResult simulate(SpotTrainingPolicy& policy, const SpotTrace& trace,
   result.policy = policy.name();
   result.trace = trace.name();
   result.duration_s = trace.duration_s();
+
+  obs::MetricsRegistry local_metrics;
+  obs::MetricsRegistry* metrics =
+      options.metrics != nullptr ? options.metrics : &local_metrics;
+  obs::TraceWriter* tracer = options.tracer;
+  obs::TimeSeriesRecorder* series_out = options.timeseries;
 
   policy.reset();
 
@@ -35,8 +43,17 @@ SimulationResult simulate(SpotTrainingPolicy& policy, const SpotTrace& trace,
     event.allocated = std::max(0, series[i] - prev_available);
     prev_available = series[i];
 
-    IntervalDecision d =
-        policy.on_interval(static_cast<int>(i), event, T);
+    IntervalDecision d;
+    {
+      obs::ProfileSpan interval_span("execute-interval", metrics, tracer,
+                                     "sim");
+      d = policy.on_interval(static_cast<int>(i), event, T);
+    }
+    metrics->counter("sim.intervals").inc();
+    if (event.preempted > 0)
+      metrics->counter("sim.preemptions").add(event.preempted);
+    if (event.allocated > 0)
+      metrics->counter("sim.allocations").add(event.allocated);
 
     // Clamp to physical limits.
     d.stall_s = std::clamp(d.stall_s, 0.0, T);
@@ -83,6 +100,32 @@ SimulationResult simulate(SpotTrainingPolicy& policy, const SpotTrace& trace,
       rec.note = d.note;
       result.timeline.push_back(std::move(rec));
     }
+    metrics->counter("sim.stall_s").add(d.stall_s);
+    if (tracer != nullptr) {
+      tracer->counter("available", static_cast<double>(event.available));
+      tracer->counter("live_instances",
+                      static_cast<double>(d.config.instances()));
+      tracer->counter("cumulative_samples", committed);
+    }
+    if (series_out != nullptr) {
+      series_out->begin_row();
+      series_out->set("t_s", static_cast<double>(i) * T);
+      series_out->set("available", event.available);
+      series_out->set("live_instances", d.config.instances());
+      // Populated only when the policy's SchedulerCore shares the
+      // injected registry; 0 otherwise (the query never creates it).
+      series_out->set(
+          "liveput_expected_samples",
+          metrics->gauge_value("scheduler.liveput_expected_samples"));
+      series_out->set("throughput",
+                      (d.samples_committed - d.samples_lost) / T);
+      series_out->set("stall_s", d.stall_s);
+      series_out->set("cumulative_samples", committed);
+      series_out->set("cost_usd",
+                      result.spot_cost_usd +
+                          policy.support_cost_usd_per_hour() *
+                              static_cast<double>(i + 1) * T / 3600.0);
+    }
     if (!d.note.empty()) {
       PARCAE_DEBUG << "[" << policy.name() << "] t=" << i << " " << d.note;
     }
@@ -101,6 +144,9 @@ SimulationResult simulate(SpotTrainingPolicy& policy, const SpotTrace& trace,
       result.committed_units > 0.0
           ? result.total_cost_usd / result.committed_units
           : std::numeric_limits<double>::infinity();
+  metrics->gauge("sim.committed_samples").set(result.committed_samples);
+  metrics->gauge("sim.total_cost_usd").set(result.total_cost_usd);
+  result.metrics = metrics->snapshot();
   return result;
 }
 

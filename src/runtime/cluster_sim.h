@@ -13,11 +13,17 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "parallel/parallel_config.h"
 #include "runtime/pricing.h"
 #include "trace/spot_trace.h"
 
 namespace parcae {
+
+namespace obs {
+class TraceWriter;
+class TimeSeriesRecorder;
+}  // namespace obs
 
 // What a policy decided/experienced during one interval.
 struct IntervalDecision {
@@ -95,6 +101,10 @@ struct SimulationResult {
   // USD per unit (token/image); infinity when nothing was committed.
   double cost_per_unit = 0.0;
   std::vector<IntervalRecord> timeline;
+  // Everything recorded during the run: simulator-side instruments
+  // plus whatever the policy wrote into the shared registry (the
+  // injected one, else a run-local instance).
+  obs::MetricsSnapshot metrics;
 };
 
 struct SimulationOptions {
@@ -104,6 +114,14 @@ struct SimulationOptions {
   bool record_timeline = true;
   bool instances_are_ondemand = false;  // the on-demand baseline
   int gpus_per_instance = 1;            // Fig 10: multi-GPU instances
+  // Observability sinks (non-owning, all optional). Inject the same
+  // registry into the policy (SchedulerCoreOptions::metrics) to get
+  // one merged snapshot and the liveput-estimate column in the time
+  // series. The recorder gains one row per scheduling interval; the
+  // tracer gains execute-interval spans and per-interval counters.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceWriter* tracer = nullptr;
+  obs::TimeSeriesRecorder* timeseries = nullptr;
 };
 
 // Runs `policy` over `trace` and returns the integrated result.

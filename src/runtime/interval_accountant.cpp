@@ -1,16 +1,33 @@
 #include "runtime/interval_accountant.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
 
 namespace parcae {
 
+void IntervalAccountant::set_metrics(obs::MetricsRegistry* registry,
+                                     std::string prefix) {
+  metrics_ = registry;
+  prefix_ = std::move(prefix);
+}
+
 void IntervalAccountant::add_stall(double stall_s) {
-  pending_stall_s_ += std::max(0.0, stall_s);
+  stall_s = std::max(0.0, stall_s);
+  pending_stall_s_ += stall_s;
+  if (metrics_ != nullptr && stall_s > 0.0) {
+    metrics_->counter(prefix_ + ".stall_events").inc();
+    metrics_->counter(prefix_ + ".stall_s").add(stall_s);
+    metrics_->histogram(prefix_ + ".stall_event_s").observe(stall_s);
+  }
 }
 
 double IntervalAccountant::charge(double budget_s) {
   const double charged = std::clamp(pending_stall_s_, 0.0, budget_s);
   pending_stall_s_ -= charged;
+  if (metrics_ != nullptr)
+    metrics_->gauge(prefix_ + ".pending_stall_s").set(pending_stall_s_);
   return charged;
 }
 

@@ -17,8 +17,20 @@
 
 namespace parcae {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class IntervalAccountant {
  public:
+  // Route stall accounting into `registry` (non-owning; nullptr
+  // detaches) under `prefix`, e.g. "policy.Varuna":
+  //   <prefix>.stall_events   counter: stalls incurred
+  //   <prefix>.stall_s        counter: total stall seconds incurred
+  //   <prefix>.stall_event_s  histogram: per-event stall size
+  //   <prefix>.pending_stall_s gauge: spillover still draining
+  void set_metrics(obs::MetricsRegistry* registry, std::string prefix);
+
   // Forget any outstanding stall (policy reset).
   void reset() { pending_stall_s_ = 0.0; }
 
@@ -42,6 +54,8 @@ class IntervalAccountant {
 
  private:
   double pending_stall_s_ = 0.0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string prefix_;
 };
 
 // The "<verb> -> DxP" event note used across policies.

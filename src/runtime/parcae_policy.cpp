@@ -9,7 +9,9 @@ namespace parcae {
 
 ParcaePolicy::ParcaePolicy(ModelProfile model, ParcaePolicyOptions options,
                            const SpotTrace* oracle)
-    : options_(options), core_(std::move(model), options, oracle) {}
+    : options_(options), core_(std::move(model), options, oracle) {
+  accountant_.set_metrics(&core_.metrics(), "policy." + name());
+}
 
 std::string ParcaePolicy::name() const {
   switch (options_.mode) {
@@ -63,6 +65,15 @@ IntervalDecision ParcaePolicy::on_interval(int interval_index,
   // up-to-date checkpoint); the sample manager re-leases it.
   if (advice.plan.kind == MigrationKind::kRollback && tput > 0.0)
     decision.samples_lost = static_cast<double>(model.mini_batch);
+
+  if (advice.plan.kind != MigrationKind::kNone &&
+      advice.plan.kind != MigrationKind::kSuspend) {
+    core_.metrics().counter("scheduler.migrations_executed").inc();
+    core_.metrics()
+        .counter(std::string("scheduler.migrations_executed.") +
+                 migration_kind_name(advice.plan.kind))
+        .inc();
+  }
 
   decision.note =
       advice.plan.kind == MigrationKind::kNone

@@ -5,6 +5,8 @@
 
 #include <map>
 
+#include "obs/profile_span.h"
+
 namespace parcae {
 
 SpotTrainingDriver::SpotTrainingDriver(TrainingClusterOptions cluster_options,
@@ -72,7 +74,10 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
   // Cloud instance id -> cluster agent id.
   std::map<int, int> instance_to_agent;
 
+  obs::MetricsRegistry& metrics = core_.metrics();
   for (int i = 0; i < intervals; ++i) {
+    obs::ProfileSpan interval_span("execute-interval", &metrics,
+                                   core_.tracer(), "driver");
     ++report.intervals;
     // -- cloud events for this interval. The grace period is long
     // enough to finish the in-flight mini-batch (the paper enforces
@@ -104,13 +109,23 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
 
     // -- execute the advised migration on real parameters.
     if (advice.config != cluster_.config() || !cluster_.assignment_intact()) {
+      obs::ProfileSpan reconfigure_span("reconfigure", &metrics,
+                                        core_.tracer(), "driver");
       const MigrationKind kind = cluster_.reconfigure(advice.config);
       ++report.migrations_by_kind[static_cast<std::size_t>(kind)];
+      if (kind != MigrationKind::kNone && kind != MigrationKind::kSuspend) {
+        metrics.counter("scheduler.migrations_executed").inc();
+        metrics
+            .counter(std::string("scheduler.migrations_executed.") +
+                     migration_kind_name(kind))
+            .inc();
+      }
     }
     report.replicas_always_consistent =
         report.replicas_always_consistent && cluster_.replicas_consistent();
 
     // -- train.
+    obs::ProfileSpan train_span("train", &metrics, core_.tracer(), "driver");
     for (int it = 0; it < options_.iterations_per_interval; ++it) {
       const auto outcome = cluster_.train_iteration();
       if (!outcome) break;
@@ -121,6 +136,7 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
   }
   report.ps_rollbacks = cluster_.rollbacks();
   report.telemetry = core_.telemetry();
+  report.metrics = core_.metrics_snapshot();
   return report;
 }
 

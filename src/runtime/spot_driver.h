@@ -62,6 +62,9 @@ struct SpotDriverReport {
   // events, optimizer choices, hysteresis holds, planned migrations —
   // real-cluster runs are as auditable as simulated ones.
   EventLog telemetry;
+  // Counters and latency histograms accumulated by the decision core
+  // and the driver (reconfigure/train spans, executed migrations).
+  obs::MetricsSnapshot metrics;
 
   int migrations(MigrationKind kind) const {
     return migrations_by_kind[static_cast<std::size_t>(kind)];

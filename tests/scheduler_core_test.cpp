@@ -210,5 +210,68 @@ TEST(SchedulerCore, GoldenFigure09aAndFigure13OnGpt2HighAvailDense) {
   EXPECT_NEAR(full.committed_samples / varuna.committed_samples, 3.03, 0.01);
 }
 
+// ---------------------------------------------------------------------------
+// Observability: every run produces a non-empty metrics snapshot.
+
+TEST(SchedulerCore, MetricsSnapshotCoversDecisionsAndLatencies) {
+  const ModelProfile m = gpt2_profile();
+  const SpotTrace trace = canonical_segment(TraceSegment::kHighAvailDense);
+  ParcaePolicy policy(m, {});
+  SimulationOptions sim;
+  sim.units_per_sample = m.tokens_per_sample;
+  simulate(policy, trace, sim);
+
+  const obs::MetricsSnapshot snap = policy.scheduler().metrics_snapshot();
+  ASSERT_FALSE(snap.empty());
+  // Decision counters: HA-DP has preemptions, every interval
+  // re-optimizes, migrations happen, and hysteresis holds depth at
+  // least once (the Figure 15 case study).
+  EXPECT_GT(snap.counter_or("scheduler.preemptions_seen"), 0.0);
+  EXPECT_GT(snap.counter_or("scheduler.reoptimizations"), 0.0);
+  EXPECT_GT(snap.counter_or("scheduler.migrations_planned"), 0.0);
+  EXPECT_GT(snap.counter_or("scheduler.migrations_executed"), 0.0);
+  EXPECT_GT(snap.counter_or("scheduler.hysteresis_suppressions"), 0.0);
+  // Latency histograms from the optimizer and the MC sampler.
+  EXPECT_GT(snap.histograms.at("optimize.ms").count, 0u);
+  EXPECT_GT(snap.histograms.at("mc_sampler.sample.ms").count, 0u);
+  // Without an injected registry the core owns one, and reset()
+  // starts it fresh.
+  policy.reset();
+  EXPECT_TRUE(policy.scheduler().metrics_snapshot().empty());
+}
+
+TEST(SchedulerCore, InjectedRegistrySurvivesReset) {
+  obs::MetricsRegistry registry;
+  SchedulerCoreOptions options;
+  options.metrics = &registry;
+  SchedulerCore core(gpt2_profile(), options);
+  core.step(0, {28, 0, 28}, 60.0);
+  EXPECT_GT(registry.counter_value("scheduler.intervals"), 0.0);
+  core.reset();
+  // An injected registry belongs to the caller: reset() must not wipe
+  // it (concurrent consumers may still be reading).
+  EXPECT_GT(registry.counter_value("scheduler.intervals"), 0.0);
+}
+
+TEST(SpotDriver, ReportCarriesMetricsSnapshot) {
+  const auto ds = nn::make_blobs(128, 12, 4, 0.5, 7);
+  TrainingClusterOptions cluster;
+  cluster.layer_sizes = {12, 32, 24, 4};
+  cluster.epoch_size = ds.size();
+  cluster.batch_size = 32;
+  cluster.initial_instances = 0;
+  const SpotTrace trace = SpotTrace::from_minute_series(
+      "obs", {4, 6, 5, 3, 6, 8, 2, 5}, 8);
+  SpotDriverOptions options;
+  options.requested_instances = 8;
+  options.iterations_per_interval = 1;
+  SpotTrainingDriver driver(cluster, &ds, options);
+  const SpotDriverReport report = driver.run(trace);
+  ASSERT_FALSE(report.metrics.empty());
+  EXPECT_DOUBLE_EQ(report.metrics.counter_or("scheduler.intervals"), 8.0);
+  EXPECT_EQ(report.metrics.histograms.at("execute-interval.ms").count, 8u);
+  EXPECT_EQ(report.metrics.histograms.at("train.ms").count, 8u);
+}
+
 }  // namespace
 }  // namespace parcae

@@ -2,6 +2,8 @@
 // ParcaePolicy decision loop.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "model/model_profile.h"
 #include "runtime/cluster_sim.h"
 #include "runtime/parcae_policy.h"
@@ -55,6 +57,67 @@ TEST(EventLog, RenderLastN) {
   EXPECT_EQ(tail.find("msg7"), std::string::npos);
   EXPECT_NE(tail.find("msg8"), std::string::npos);
   EXPECT_NE(tail.find("msg9"), std::string::npos);
+}
+
+TEST(EventLog, ZeroCapacityDropsEverythingWithoutStoring) {
+  EventLog log(0);
+  for (int i = 0; i < 4; ++i)
+    log.record(i, EventCategory::kDecision, "x");
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped(), 4u);
+  EXPECT_TRUE(log.events().empty());
+  EXPECT_TRUE(log.render().empty());
+}
+
+TEST(EventLog, DroppedCountsAcrossRepeatedWraparound) {
+  EventLog log(2);
+  for (int i = 0; i < 100; ++i)
+    log.record(i, EventCategory::kDecision, std::to_string(i));
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 98u);
+  EXPECT_EQ(log.events().front().message, "98");
+  EXPECT_EQ(log.events().back().message, "99");
+}
+
+TEST(EventLog, RenderLastNLargerThanSizeRendersAll) {
+  EventLog log;
+  for (int i = 0; i < 3; ++i)
+    log.record(i, EventCategory::kDecision, "msg" + std::to_string(i));
+  const std::string all = log.render(100);
+  EXPECT_NE(all.find("msg0"), std::string::npos);
+  EXPECT_NE(all.find("msg2"), std::string::npos);
+  EXPECT_EQ(all, log.render());
+}
+
+TEST(EventLog, ByCategoryPointersStayValidAfterEvictions) {
+  EventLog log(4);
+  for (int i = 0; i < 16; ++i)
+    log.record(i, EventCategory::kMigration, "m" + std::to_string(i));
+  // Pointers taken *after* the evictions reference live events; they
+  // must stay usable while no further record() happens.
+  const auto migrations = log.by_category(EventCategory::kMigration);
+  ASSERT_EQ(migrations.size(), 4u);
+  EXPECT_EQ(migrations.front()->message, "m12");
+  EXPECT_EQ(migrations.back()->message, "m15");
+  for (const TelemetryEvent* event : migrations)
+    EXPECT_EQ(event->category, EventCategory::kMigration);
+}
+
+TEST(EventLog, ToJsonlEscapesAndStaysOneLinePerEvent) {
+  EventLog log;
+  log.record(60.0, EventCategory::kWarning, "quote \" backslash \\ tab \t",
+             {{"multi\nline", "ctrl \x01 char"}});
+  log.record(120.0, EventCategory::kMigration, "plain", {{"to", "3x8"}});
+  const std::string jsonl = log.to_jsonl();
+  // Exactly one '\n' per event, and none embedded in the payload.
+  EXPECT_EQ(std::count(jsonl.begin(), jsonl.end(), '\n'), 2);
+  EXPECT_NE(jsonl.find("\\\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\\\\"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\t"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\n"), std::string::npos);
+  EXPECT_NE(jsonl.find("\\u0001"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"category\":\"warning\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"to\":\"3x8\""), std::string::npos);
 }
 
 TEST(ParcaePolicyTelemetry, AuditTrailCoversCloudDecisionsAndMigrations) {
