@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Threshold comparison of two google-benchmark JSON files.
+
+Usage:
+    compare.py BASELINE.json CURRENT.json [--threshold 2.0]
+
+Exits non-zero when any benchmark present in BOTH files regressed by
+more than --threshold x in real_time. Benchmarks present in only one
+file are reported but never fail the check (the suite may grow or
+retire cases). Times are normalized across time_unit fields.
+
+The committed baseline under bench/baselines/ is machine-relative:
+re-record it (bench/run_benches.sh --rebaseline) when moving to new
+hardware instead of comparing across machines.
+"""
+import argparse
+import json
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"]
+        out[name] = b["real_time"] * UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=2.0,
+                        help="fail when current > threshold * baseline "
+                             "(default 2.0)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("compare.py: no common benchmarks between "
+              f"{args.baseline} and {args.current}", file=sys.stderr)
+        return 2
+
+    failures = []
+    width = max(len(n) for n in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  ratio")
+    for name in shared:
+        ratio = cur[name] / base[name] if base[name] > 0 else float("inf")
+        flag = ""
+        if ratio > args.threshold:
+            failures.append(name)
+            flag = f"  REGRESSION (> {args.threshold:.2f}x)"
+        print(f"{name:<{width}}  {base[name] / 1e6:>10.3f}ms  "
+              f"{cur[name] / 1e6:>10.3f}ms  {ratio:5.2f}x{flag}")
+
+    for name in sorted(set(base) - set(cur)):
+        print(f"note: '{name}' only in baseline (retired?)")
+    for name in sorted(set(cur) - set(base)):
+        print(f"note: '{name}' only in current (new; no baseline yet)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.2f}x: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.2f}x "
+          f"({len(shared)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

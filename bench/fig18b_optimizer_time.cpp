@@ -14,13 +14,14 @@
 namespace parcae {
 namespace {
 
-void optimize_on_segment(benchmark::State& state, TraceSegment segment) {
+void optimize_on_segment(benchmark::State& state, TraceSegment segment,
+                         int threads = 1) {
   const ModelProfile model = gpt2_profile();
   const ThroughputModel tm(model, {});
   obs::MetricsRegistry registry;
   LiveputOptimizer optimizer(&tm, CostEstimator(model),
                              LiveputOptimizerOptions{60.0, 256, 17,
-                                                     &registry});
+                                                     &registry, threads});
   const SpotTrace trace = canonical_segment(segment);
   const std::vector<int> series = trace.availability_series();
   const ParallelConfig current = tm.best_config(series.front());
@@ -39,12 +40,14 @@ void optimize_on_segment(benchmark::State& state, TraceSegment segment) {
     benchmark::DoNotOptimize(plan.expected_samples);
   }
   state.SetLabel("paper: < 0.3 s per optimization (Figure 18b)");
-  // How much of the optimizer's work the Monte-Carlo cache absorbed.
+  // How much of the optimizer's work the caches absorbed.
   state.counters["dp_runs"] = registry.counter_value("liveput_dp.runs");
   state.counters["mc_samples"] =
       registry.counter_value("mc_sampler.samples");
   state.counters["mc_cache_hits"] =
       registry.counter_value("mc_sampler.cache_hits");
+  state.counters["edge_cache_hits"] =
+      registry.counter_value("liveput_dp.edge_cache_hits");
 }
 
 void BM_LiveputOptimize_HA_DP(benchmark::State& state) {
@@ -64,6 +67,18 @@ BENCHMARK(BM_LiveputOptimize_HA_DP)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LiveputOptimize_HA_SP)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LiveputOptimize_LA_DP)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LiveputOptimize_LA_SP)->Unit(benchmark::kMillisecond);
+
+// Threaded DP variants: the candidate loop fans out over a ThreadPool
+// (plans stay bit-identical; see docs/performance.md). On a 1-core
+// machine these degrade gracefully to roughly the serial numbers.
+void BM_LiveputOptimize_HA_DP_T8(benchmark::State& state) {
+  optimize_on_segment(state, TraceSegment::kHighAvailDense, 8);
+}
+void BM_LiveputOptimize_LA_SP_T8(benchmark::State& state) {
+  optimize_on_segment(state, TraceSegment::kLowAvailSparse, 8);
+}
+BENCHMARK(BM_LiveputOptimize_HA_DP_T8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LiveputOptimize_LA_SP_T8)->Unit(benchmark::kMillisecond);
 
 // The whole-policy decision step (predict + optimize + plan) must also
 // stay far below the 60 s interval.

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Bench-regression harness for the liveput decision path (Figure 18b).
+#
+#   bench/run_benches.sh               run + compare against the
+#                                      committed baseline (fails on a
+#                                      > $THRESHOLD x regression)
+#   bench/run_benches.sh --rebaseline  run + overwrite the baseline
+#                                      (do this once per machine, and
+#                                      whenever an intentional perf
+#                                      change lands)
+#
+# Emits BENCH_optimizer_time.json (google-benchmark JSON) at the repo
+# root; the committed reference lives in bench/baselines/. Builds the
+# `release-bench` CMake preset (pure Release) so numbers are not
+# polluted by RelWithDebInfo assertions in dependencies.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${THRESHOLD:-2.0}"
+MIN_TIME="${MIN_TIME:-0.1}"
+OUT=BENCH_optimizer_time.json
+BASELINE=bench/baselines/BENCH_optimizer_time.json
+
+cmake --preset release-bench >/dev/null
+cmake --build --preset release-bench --target fig18b_optimizer_time
+
+./build-release/bench/fig18b_optimizer_time \
+    --benchmark_out="${OUT}" \
+    --benchmark_out_format=json \
+    --benchmark_min_time="${MIN_TIME}"
+
+if [[ "${1:-}" == "--rebaseline" ]]; then
+    mkdir -p "$(dirname "${BASELINE}")"
+    cp "${OUT}" "${BASELINE}"
+    echo "baseline rewritten: ${BASELINE}"
+    exit 0
+fi
+
+if [[ ! -f "${BASELINE}" ]]; then
+    echo "no committed baseline at ${BASELINE}; run with --rebaseline first" >&2
+    exit 1
+fi
+
+python3 bench/compare.py "${BASELINE}" "${OUT}" --threshold "${THRESHOLD}"

@@ -10,6 +10,10 @@
 //          hybrid|elastic|ondemand
 //   lookahead=<int>        history=<int>      reoptimize=<int>
 //   mc_trials=<int>        hysteresis=<float> seed=<int>
+//   threads=<int>          liveput-DP worker threads (also --threads=N;
+//                          0 = auto: PARCAE_THREADS env var, else
+//                          hardware concurrency; default 1 = serial.
+//                          Results are bit-identical at any count.)
 //   timeline=0|1
 //   metrics=0|1            print the metrics-registry snapshot
 //   metrics_csv=<file>     per-interval time series as CSV
@@ -31,6 +35,7 @@
 #include "baselines/oobleck_policy.h"
 #include "baselines/varuna_policy.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "obs/profile_span.h"
 #include "obs/timeseries.h"
 #include "runtime/parcae_policy.h"
@@ -43,7 +48,9 @@ namespace {
 std::map<std::string, std::string> parse_args(int argc, char** argv) {
   std::map<std::string, std::string> args;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept GNU-style spellings (--threads=8) for every key.
+    arg.erase(0, arg.find_first_not_of('-'));
     const auto eq = arg.find('=');
     if (eq == std::string::npos) continue;
     args[arg.substr(0, eq)] = arg.substr(eq + 1);
@@ -100,6 +107,13 @@ int main(int argc, char** argv) {
   popt.mc_trials = std::stoi(get(args, "mc_trials", "256"));
   popt.depth_change_hysteresis = std::stod(get(args, "hysteresis", "0.15"));
   popt.seed = std::stoull(get(args, "seed", "123"));
+  // threads: explicit value wins (0 = auto-resolve); with no flag the
+  // PARCAE_THREADS env var applies, else the serial default of 1.
+  const std::string threads_arg = get(args, "threads", "");
+  popt.threads = threads_arg.empty() ? ThreadPool::env_threads(1)
+                                     : std::stoi(threads_arg);
+  const int threads_shown =
+      popt.threads == 1 ? 1 : ThreadPool::resolve(popt.threads);
 
   const std::string system = get(args, "system", "parcae");
   std::unique_ptr<SpotTrainingPolicy> policy;
@@ -157,6 +171,9 @@ int main(int argc, char** argv) {
 
   std::printf("system:           %s\n", r.policy.c_str());
   std::printf("model:            %s\n", model.name.c_str());
+  if (parcae_policy != nullptr)
+    std::printf("decision threads: %d%s\n", threads_shown,
+                threads_shown == 1 ? " (serial)" : "");
   std::printf("trace:            %s (%.0f min, avg %.2f instances)\n",
               r.trace.c_str(), r.duration_s / 60.0,
               trace.stats().avg_instances);

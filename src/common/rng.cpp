@@ -108,17 +108,25 @@ std::uint64_t Rng::poisson(double lambda) {
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
-  assert(k <= n);
-  std::vector<std::size_t> pool(n);
-  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  std::vector<std::size_t> pool;
   std::vector<std::size_t> out;
+  sample_without_replacement(n, k, pool, out);
+  return out;
+}
+
+void Rng::sample_without_replacement(std::size_t n, std::size_t k,
+                                     std::vector<std::size_t>& pool,
+                                     std::vector<std::size_t>& out) {
+  assert(k <= n);
+  pool.resize(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  out.clear();
   out.reserve(k);
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t j = i + static_cast<std::size_t>(uniform_int(n - i));
     std::swap(pool[i], pool[j]);
     out.push_back(pool[i]);
   }
-  return out;
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }

@@ -61,6 +61,14 @@ class Rng {
   std::vector<std::size_t> sample_without_replacement(std::size_t n,
                                                       std::size_t k);
 
+  // Allocation-free overload for hot loops: `pool` is refilled with
+  // [0, n) and `out` with the k victims, reusing their capacity.
+  // Consumes exactly the same generator draws as the allocating
+  // overload, so sequences are bit-identical for a given seed.
+  void sample_without_replacement(std::size_t n, std::size_t k,
+                                  std::vector<std::size_t>& pool,
+                                  std::vector<std::size_t>& out);
+
   // Derive an independent child generator (for parallel components
   // that must not share a stream).
   Rng fork();

@@ -1,0 +1,96 @@
+// Fixed-size worker pool for the decision path's embarrassingly
+// parallel loops (liveput DP candidates, experiment-matrix cells).
+//
+// Design constraints, in order:
+//   1. Determinism. parallel_for(n, body) indexes every task; bodies
+//      write results by index, so the output layout is identical at
+//      any thread count. When several bodies throw, the exception
+//      with the lowest index is the one rethrown.
+//   2. No surprises at threads == 1. A pool of size 1 spawns no
+//      worker threads at all: submit() and parallel_for() run inline
+//      on the caller, byte-for-byte the serial code path.
+//   3. Caller participation. parallel_for's calling thread drains the
+//      same index counter as the workers, so a pool of size T applies
+//      T CPUs (T-1 workers + the caller), and nested/reentrant use
+//      cannot deadlock (the caller always makes progress itself).
+//
+// Thread-count resolution follows one convention everywhere:
+// `resolve(requested)` returns `requested` when > 0, else the
+// PARCAE_THREADS environment variable when set to a positive integer,
+// else std::thread::hardware_concurrency(). Decision paths *inside* a
+// policy default to 1 (bit-identical legacy behavior unless opted
+// in); the experiment matrix defaults to resolve(0).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace parcae {
+
+class ThreadPool {
+ public:
+  // `threads` <= 0 resolves via resolve(threads).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Tasks executed so far (parallel_for bodies + submitted tasks);
+  // callers mirror this into the "threadpool.tasks" metric.
+  std::uint64_t tasks_run() const {
+    return tasks_run_.load(std::memory_order_relaxed);
+  }
+
+  // Run `fn` on a worker (inline when the pool has no workers) and
+  // expose its result — or its exception — through the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task, this] {
+      (*task)();
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    });
+    return future;
+  }
+
+  // Invoke body(0) .. body(n-1), returning after all complete. Bodies
+  // run concurrently in unspecified order; anything they write must be
+  // disjoint per index. If bodies throw, the lowest-index exception is
+  // rethrown (deterministically) after the loop finishes.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  static int hardware_threads();
+  // PARCAE_THREADS when set to a positive integer, else `fallback`.
+  static int env_threads(int fallback);
+  // requested > 0 -> requested; else env_threads(hardware_threads()).
+  static int resolve(int requested);
+
+ private:
+  void enqueue(std::function<void()> fn);
+  void worker_loop();
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;  // threads_ - 1 of them
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::atomic<std::uint64_t> tasks_run_{0};
+};
+
+}  // namespace parcae

@@ -4,10 +4,27 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace parcae {
+namespace {
+
+// Packed memo key: 10 bits per config dimension, 12 bits for idle and
+// k — far beyond the 32-64 instance clusters this system models.
+std::uint64_t transition_key(ParallelConfig from, int idle,
+                             ParallelConfig to, int k) {
+  auto field = [](int v) {
+    return static_cast<std::uint64_t>(static_cast<unsigned>(v));
+  };
+  return (field(from.dp) << 54) | (field(from.pp) << 44) |
+         (field(to.dp) << 34) | (field(to.pp) << 24) |
+         (field(idle) << 12) | field(k);
+}
+
+}  // namespace
 
 LiveputOptimizer::LiveputOptimizer(const ThroughputModel* throughput,
                                    CostEstimator estimator,
@@ -15,9 +32,12 @@ LiveputOptimizer::LiveputOptimizer(const ThroughputModel* throughput,
     : throughput_(throughput),
       estimator_(std::move(estimator)),
       options_(options),
-      sampler_(options.seed, options.mc_trials) {
+      sampler_(options.seed, options.mc_trials),
+      threads_(options.threads == 1 ? 1 : ThreadPool::resolve(options.threads)) {
   sampler_.set_metrics(options.metrics);
 }
+
+LiveputOptimizer::~LiveputOptimizer() = default;
 
 double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
                                                  int n_from, ParallelConfig to,
@@ -32,6 +52,38 @@ double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
 
   if (k == 0 && to == from) return 0.0;
 
+  const std::uint64_t key = transition_key(from, idle, to, k);
+  if (threads_ == 1) {
+    // Serial path: no concurrent callers, skip the lock entirely.
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    memo_misses_.fetch_add(1, std::memory_order_relaxed);
+    const double cost = transition_cost(from, idle, to, k);
+    memo_.emplace(key, cost);
+    return cost;
+  }
+  {
+    std::shared_lock<std::shared_mutex> lock(memo_mu_);
+    const auto it = memo_.find(key);
+    if (it != memo_.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  memo_misses_.fetch_add(1, std::memory_order_relaxed);
+  const double cost = transition_cost(from, idle, to, k);
+  {
+    std::unique_lock<std::shared_mutex> lock(memo_mu_);
+    memo_.emplace(key, cost);
+  }
+  return cost;
+}
+
+double LiveputOptimizer::transition_cost(ParallelConfig from, int idle,
+                                         ParallelConfig to, int k) {
   const PreemptionSummary& s = sampler_.summarize(from, idle, k);
 
   if (to.pp != from.pp) {
@@ -49,6 +101,15 @@ double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
   const double rollback_cost = estimator_.checkpoint_rollback(to).total();
   // Expected inter-stage moves to assemble to.dp pipelines:
   // E[sum_s max(0, dp' - a_s)] = P * sum_a P(a) * max(0, dp' - a).
+  //
+  // This re-derives the expectation from the per-stage marginal
+  // instead of reading PreemptionSummary::expected_inter_moves[to.dp]
+  // on purpose: expected_inter_moves is indexed only up to the
+  // *source* depth D, while a same-depth transition may grow width
+  // (to.dp > from.dp, e.g. after allocations), and the two summation
+  // orders differ in final ulps, which would nudge DP tie-breaks and
+  // shift golden outputs. The linearity identity between the two is
+  // pinned by Preemption.InterMovesMatchStageAliveDerivation.
   double expected_moves = 0.0;
   for (std::size_t a = 0; a < s.stage_alive_prob.size(); ++a)
     expected_moves += s.stage_alive_prob[a] *
@@ -73,6 +134,35 @@ double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
   return cost;
 }
 
+void LiveputOptimizer::warm_transition(ParallelConfig from, int n_from,
+                                       int k) {
+  if (!from.valid()) return;  // resume-from-suspension needs no summary
+  const int idle = std::max(0, n_from - from.instances());
+  const int kk = std::clamp(k, 0, from.instances() + idle);
+  sampler_.warm(from, idle, kk);
+}
+
+void LiveputOptimizer::flush_metrics() {
+  if (options_.metrics == nullptr) return;
+  const std::uint64_t hits = memo_hits_.load(std::memory_order_relaxed);
+  const std::uint64_t misses = memo_misses_.load(std::memory_order_relaxed);
+  if (hits != flushed_hits_)
+    options_.metrics->counter("liveput_dp.edge_cache_hits")
+        .add(static_cast<double>(hits - flushed_hits_));
+  if (misses != flushed_misses_)
+    options_.metrics->counter("liveput_dp.edge_cache_misses")
+        .add(static_cast<double>(misses - flushed_misses_));
+  flushed_hits_ = hits;
+  flushed_misses_ = misses;
+  if (pool_) {
+    const std::uint64_t tasks = pool_->tasks_run();
+    if (tasks != flushed_tasks_)
+      options_.metrics->counter("threadpool.tasks")
+          .add(static_cast<double>(tasks - flushed_tasks_));
+    flushed_tasks_ = tasks;
+  }
+}
+
 LiveputPlan LiveputOptimizer::optimize(ParallelConfig current, int n_now,
                                        const std::vector<int>& predicted) {
   LiveputPlan plan;
@@ -81,35 +171,53 @@ LiveputPlan LiveputOptimizer::optimize(ParallelConfig current, int n_now,
   if (options_.metrics) options_.metrics->counter("liveput_dp.runs").inc();
   const double T = options_.interval_s;
 
-  // Per-interval configuration spaces (feasible configs + "suspended").
-  std::vector<std::vector<ParallelConfig>> space(I);
+  // Per-interval configuration spaces (feasible configs + "suspended"),
+  // enumerated once per distinct N and cached across optimize() calls
+  // (forecasts repeat values heavily; enumeration itself walks the
+  // whole (D, P) grid through the memory model).
+  std::vector<const std::vector<ParallelConfig>*> space(I);
   for (std::size_t i = 0; i < I; ++i) {
-    space[i] = throughput_->enumerate_configs(predicted[i]);
-    space[i].push_back(kIdleConfig);
+    auto it = space_cache_.find(predicted[i]);
+    if (it == space_cache_.end()) {
+      std::vector<ParallelConfig> configs =
+          throughput_->enumerate_configs(predicted[i]);
+      configs.push_back(kIdleConfig);
+      it = space_cache_.emplace(predicted[i], std::move(configs)).first;
+    }
+    space[i] = &it->second;
   }
+
+  const bool parallel = threads_ > 1;
+  if (parallel && !pool_) pool_ = std::make_unique<ThreadPool>(threads_);
 
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   std::vector<std::vector<double>> best(I);
   std::vector<std::vector<int>> parent(I);
 
   for (std::size_t i = 0; i < I; ++i) {
-    best[i].assign(space[i].size(), kNegInf);
-    parent[i].assign(space[i].size(), -1);
+    const std::vector<ParallelConfig>& cur_space = *space[i];
+    best[i].assign(cur_space.size(), kNegInf);
+    parent[i].assign(cur_space.size(), -1);
     const int n_prev = i == 0 ? n_now : predicted[i - 1];
     const int n_cur = predicted[i];
     const int k = std::max(0, n_prev - n_cur);
-    for (std::size_t j = 0; j < space[i].size(); ++j) {
-      const ParallelConfig& cand = space[i][j];
+
+    // One candidate column of the DP. Writes only best[i][j] /
+    // parent[i][j]; the inner predecessor scan stays serial so
+    // max/tie-breaking is identical at any thread count.
+    auto eval_candidate = [&](std::size_t j) {
+      const ParallelConfig& cand = cur_space[j];
       const double tput = throughput_->throughput(cand);
       if (i == 0) {
         const double mig = expected_migration_cost(current, n_now, cand, k);
         best[0][j] = tput * std::max(0.0, T - mig);
-        continue;
+        return;
       }
-      for (std::size_t jj = 0; jj < space[i - 1].size(); ++jj) {
+      const std::vector<ParallelConfig>& prev_space = *space[i - 1];
+      for (std::size_t jj = 0; jj < prev_space.size(); ++jj) {
         if (best[i - 1][jj] == kNegInf) continue;
         const double mig =
-            expected_migration_cost(space[i - 1][jj], n_prev, cand, k);
+            expected_migration_cost(prev_space[jj], n_prev, cand, k);
         const double value =
             best[i - 1][jj] + tput * std::max(0.0, T - mig);
         if (value > best[i][j]) {
@@ -117,20 +225,46 @@ LiveputPlan LiveputOptimizer::optimize(ParallelConfig current, int n_now,
           parent[i][j] = static_cast<int>(jj);
         }
       }
+    };
+
+    if (parallel && cur_space.size() > 1) {
+      // Pre-warm the MC sampler cache serially, visiting sources in
+      // the exact order the serial DP would first touch them (the
+      // candidate loop hits every valid predecessor at its first
+      // valid candidate), so rng_ consumption — and every summary —
+      // is bit-identical to the threads=1 path. cur_space.size() > 1
+      // guarantees a valid candidate exists (the idle sentinel is
+      // appended last); with only the sentinel no summary is ever
+      // requested, matching the serial path's skips.
+      if (i == 0) {
+        warm_transition(current, n_now, k);
+      } else {
+        const std::vector<ParallelConfig>& prev_space = *space[i - 1];
+        for (std::size_t jj = 0; jj < prev_space.size(); ++jj) {
+          if (best[i - 1][jj] == kNegInf) continue;
+          warm_transition(prev_space[jj], n_prev, k);
+        }
+      }
+      sampler_.set_frozen(true);
+      pool_->parallel_for(cur_space.size(), eval_candidate);
+      sampler_.set_frozen(false);
+    } else {
+      for (std::size_t j = 0; j < cur_space.size(); ++j) eval_candidate(j);
     }
   }
 
   // argmax over final interval, then backtrack.
   std::size_t arg = 0;
-  for (std::size_t j = 1; j < space[I - 1].size(); ++j)
+  for (std::size_t j = 1; j < space[I - 1]->size(); ++j)
     if (best[I - 1][j] > best[I - 1][arg]) arg = j;
   plan.expected_samples = std::max(0.0, best[I - 1][arg]);
   plan.configs.assign(I, kIdleConfig);
   int cursor = static_cast<int>(arg);
   for (std::size_t i = I; i-- > 0;) {
-    plan.configs[i] = space[i][static_cast<std::size_t>(cursor)];
+    plan.configs[i] = (*space[i])[static_cast<std::size_t>(cursor)];
     cursor = i > 0 ? parent[i][static_cast<std::size_t>(cursor)] : -1;
   }
+  flush_metrics();
   return plan;
 }
 

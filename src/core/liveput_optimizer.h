@@ -13,9 +13,27 @@
 // cost follow §7.2 (depth change -> pipeline migration; otherwise the
 // cheaper of intra-/inter-stage, with the wipe-out probability charged
 // as a ParcaePS rollback).
+//
+// Performance layer (the paper's < 0.3 s/optimization budget,
+// Figure 18b):
+//   - every evaluated DP edge (from, idle, to, k) is memoized, so
+//     repeated interval pairs — ubiquitous under flat forecasts and
+//     across the scheduler's once-a-minute re-optimizations — cost a
+//     hash lookup instead of re-running the mixture arithmetic;
+//   - with options.threads > 1 the candidate loop over c' runs on a
+//     ThreadPool. Each candidate's inner scan over predecessors stays
+//     serial, so max/tie-breaking — and therefore every plan — is
+//     bit-identical at any thread count. The MC sampler cache is
+//     pre-warmed serially in the exact order the serial DP would
+//     first touch each key, keeping RNG consumption (and thus all
+//     summaries) unchanged, then frozen for lock-free parallel reads.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "migration/cost_model.h"
@@ -23,6 +41,8 @@
 #include "parallel/throughput_model.h"
 
 namespace parcae {
+
+class ThreadPool;
 
 namespace obs {
 class MetricsRegistry;
@@ -35,6 +55,11 @@ struct LiveputOptimizerOptions {
   // Optional metrics sink (non-owning): DP run counters here, MC
   // sampling latency in the PreemptionSampler.
   obs::MetricsRegistry* metrics = nullptr;
+  // Worker threads for the DP candidate loop. 1 (the default) is the
+  // serial legacy path; 0 resolves to PARCAE_THREADS / hardware
+  // concurrency (ThreadPool::resolve). Results are bit-identical at
+  // any thread count.
+  int threads = 1;
 };
 
 struct LiveputPlan {
@@ -53,6 +78,9 @@ class LiveputOptimizer {
   LiveputOptimizer(const ThroughputModel* throughput,
                    CostEstimator estimator,
                    LiveputOptimizerOptions options = {});
+  ~LiveputOptimizer();
+  LiveputOptimizer(const LiveputOptimizer&) = delete;
+  LiveputOptimizer& operator=(const LiveputOptimizer&) = delete;
 
   // `current`: configuration running now (may be kIdleConfig when
   // suspended). `n_now`: instances available now. `predicted`: the
@@ -66,16 +94,57 @@ class LiveputOptimizer {
 
   // Expected migration stall for transitioning c -> c' while k of the
   // N_from instances get preempted (exposed for tests and benches).
+  // Memoized on (from, idle, to, clamped k).
   double expected_migration_cost(ParallelConfig from, int n_from,
                                  ParallelConfig to, int preemptions);
 
   const ThroughputModel& throughput_model() const { return *throughput_; }
 
+  // DP worker threads after resolution (1 = serial).
+  int threads() const { return threads_; }
+
+  // Transition-cost memo telemetry (also flushed to the metrics
+  // registry as liveput_dp.edge_cache_{hits,misses} after each
+  // optimize() call).
+  std::uint64_t edge_cache_hits() const {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t edge_cache_misses() const {
+    return memo_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
+  // The mixture arithmetic behind expected_migration_cost, after the
+  // trivial cases are peeled off; `idle`/`k` are already normalized.
+  double transition_cost(ParallelConfig from, int idle, ParallelConfig to,
+                         int k);
+  // Serially populate the sampler cache for one DP edge's source so
+  // the parallel candidate loop only ever reads it.
+  void warm_transition(ParallelConfig from, int n_from, int k);
+  void flush_metrics();
+
   const ThroughputModel* throughput_;
   CostEstimator estimator_;
   LiveputOptimizerOptions options_;
   PreemptionSampler sampler_;
+  int threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // created on first threaded run
+
+  // Transition-cost memo: packed (from, idle, to, k) -> expected
+  // stall seconds. Guarded for the parallel candidate loop; keys
+  // evaluated concurrently within one interval are distinct, so a
+  // value is computed exactly once.
+  std::shared_mutex memo_mu_;
+  std::unordered_map<std::uint64_t, double> memo_;
+  // Config-space cache: N -> enumerate_configs(N) + idle sentinel.
+  // Only touched serially (space resolution happens before the
+  // parallel candidate loop).
+  std::unordered_map<int, std::vector<ParallelConfig>> space_cache_;
+  std::atomic<std::uint64_t> memo_hits_{0};
+  std::atomic<std::uint64_t> memo_misses_{0};
+  std::uint64_t flushed_hits_ = 0;
+  std::uint64_t flushed_misses_ = 0;
+  std::uint64_t flushed_tasks_ = 0;
 };
 
 }  // namespace parcae

@@ -21,7 +21,7 @@ SchedulerCore::SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
       optimizer_(&throughput_, CostEstimator(model_),
                  LiveputOptimizerOptions{options.interval_s,
                                          options.mc_trials, options.seed,
-                                         metrics_}),
+                                         metrics_, options.threads}),
       predictor_(options.adaptive_predictor
                      ? std::unique_ptr<AvailabilityPredictor>(
                            AdaptivePredictor::standard_pool(

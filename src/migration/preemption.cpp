@@ -9,18 +9,26 @@ namespace parcae {
 
 PreemptionDraw sample_preemption(ParallelConfig config, int idle, int k,
                                  Rng& rng) {
+  PreemptionDraw draw;
+  PreemptionScratch scratch;
+  sample_preemption(config, idle, k, rng, draw, scratch);
+  return draw;
+}
+
+void sample_preemption(ParallelConfig config, int idle, int k, Rng& rng,
+                       PreemptionDraw& draw, PreemptionScratch& scratch) {
   assert(config.valid());
   assert(idle >= 0);
   const int total = config.instances() + idle;
-  PreemptionDraw draw;
   draw.alive_per_stage.assign(static_cast<std::size_t>(config.pp), config.dp);
   draw.idle_alive = idle;
   const int kills = std::clamp(k, 0, total);
   // Instance index layout: [0, D*P) are grid cells (stage = i % P),
   // [D*P, D*P+idle) are spares. Uniform preemption over all of them.
-  const auto victims = rng.sample_without_replacement(
-      static_cast<std::size_t>(total), static_cast<std::size_t>(kills));
-  for (std::size_t v : victims) {
+  rng.sample_without_replacement(static_cast<std::size_t>(total),
+                                 static_cast<std::size_t>(kills),
+                                 scratch.pool, scratch.victims);
+  for (std::size_t v : scratch.victims) {
     if (v < static_cast<std::size_t>(config.instances())) {
       const auto stage = static_cast<std::size_t>(
           v % static_cast<std::size_t>(config.pp));
@@ -32,7 +40,6 @@ PreemptionDraw sample_preemption(ParallelConfig config, int idle, int k,
   draw.min_alive_stage =
       *std::min_element(draw.alive_per_stage.begin(),
                         draw.alive_per_stage.end());
-  return draw;
 }
 
 PreemptionSampler::PreemptionSampler(std::uint64_t seed, int trials)
@@ -43,6 +50,8 @@ const PreemptionSummary& PreemptionSampler::summarize(ParallelConfig config,
   const auto key = std::make_tuple(config.dp, config.pp, idle, k);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    assert(!frozen_ && "PreemptionSampler: cache miss while frozen for "
+                       "concurrent reads (warm-up missed a key)");
     obs::ProfileSpan span("mc_sampler.sample", metrics_);
     it = cache_.emplace(key, compute(config, idle, k)).first;
     if (metrics_) metrics_->counter("mc_sampler.samples").inc();
@@ -50,6 +59,15 @@ const PreemptionSummary& PreemptionSampler::summarize(ParallelConfig config,
     metrics_->counter("mc_sampler.cache_hits").inc();
   }
   return it->second;
+}
+
+void PreemptionSampler::warm(ParallelConfig config, int idle, int k) {
+  const auto key = std::make_tuple(config.dp, config.pp, idle, k);
+  if (cache_.find(key) != cache_.end()) return;
+  assert(!frozen_);
+  obs::ProfileSpan span("mc_sampler.sample", metrics_);
+  cache_.emplace(key, compute(config, idle, k));
+  if (metrics_) metrics_->counter("mc_sampler.samples").inc();
 }
 
 PreemptionSummary PreemptionSampler::compute(ParallelConfig config, int idle,
@@ -67,8 +85,12 @@ PreemptionSummary PreemptionSampler::compute(ParallelConfig config, int idle,
     s.expected_alive = config.instances() + idle;
     return s;
   }
+  // One draw + scratch pair reused across all trials: the MC loop
+  // performs no per-trial heap allocation after the first iteration.
+  PreemptionDraw draw;
+  PreemptionScratch scratch;
   for (int t = 0; t < trials_; ++t) {
-    const PreemptionDraw draw = sample_preemption(config, idle, k, rng_);
+    sample_preemption(config, idle, k, rng_, draw, scratch);
     s.intra_pipelines_prob[static_cast<std::size_t>(draw.min_alive_stage)] +=
         1.0;
     s.expected_intra_pipelines += draw.min_alive_stage;

@@ -41,6 +41,19 @@ struct PreemptionDraw {
 PreemptionDraw sample_preemption(ParallelConfig config, int idle, int k,
                                  Rng& rng);
 
+// Reusable buffers for the allocation-free sampling overload below
+// (the Fisher-Yates pool and the victim list).
+struct PreemptionScratch {
+  std::vector<std::size_t> pool;
+  std::vector<std::size_t> victims;
+};
+
+// Allocation-free overload: writes the draw into `draw` reusing its
+// capacity. Consumes exactly the same RNG draws as the allocating
+// overload — sequences and summaries are bit-identical per seed.
+void sample_preemption(ParallelConfig config, int idle, int k, Rng& rng,
+                       PreemptionDraw& draw, PreemptionScratch& scratch);
+
 struct PreemptionSummary {
   // P(intra-stage-recoverable pipelines == d), d in [0, D].
   std::vector<double> intra_pipelines_prob;
@@ -73,11 +86,25 @@ class PreemptionSampler {
   // step), hits/misses in counters.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  // Ensure (config, idle, k)'s summary is cached, computing it now if
+  // absent. Unlike summarize(), a hit records no cache-hit metric —
+  // this is the pre-warm step the parallel liveput DP runs serially
+  // (in the same order the serial DP would first touch each key, so
+  // RNG consumption and therefore every summary stays bit-identical)
+  // before freezing the sampler for lock-free concurrent reads.
+  void warm(ParallelConfig config, int idle, int k);
+
+  // While frozen, any cache miss asserts: concurrent summarize()
+  // callers may only read. Guards the parallel DP phase against a
+  // warm-up gap racing on rng_ and cache_.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+
  private:
   PreemptionSummary compute(ParallelConfig config, int idle, int k);
 
   Rng rng_;
   int trials_;
+  bool frozen_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::map<std::tuple<int, int, int, int>, PreemptionSummary> cache_;
 };

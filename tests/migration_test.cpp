@@ -99,6 +99,48 @@ TEST(PreemptionSampler, CachesSummaries) {
   EXPECT_EQ(a, b);  // same object from the cache
 }
 
+TEST(PreemptionSampler, WarmPopulatesCacheWithIdenticalSummaries) {
+  // warm() must consume the RNG exactly like a summarize() miss would,
+  // so a warmed sampler and a cold one agree bit-for-bit.
+  PreemptionSampler cold(11, 128);
+  PreemptionSampler warmed(11, 128);
+  warmed.warm({3, 4}, 2, 5);
+  warmed.set_frozen(true);  // reads only from here on
+  const PreemptionSummary& a = cold.summarize({3, 4}, 2, 5);
+  const PreemptionSummary& b = warmed.summarize({3, 4}, 2, 5);
+  warmed.set_frozen(false);
+  EXPECT_EQ(a.intra_pipelines_prob, b.intra_pipelines_prob);
+  EXPECT_EQ(a.expected_inter_moves, b.expected_inter_moves);
+  EXPECT_EQ(a.stage_alive_prob, b.stage_alive_prob);
+  EXPECT_EQ(a.stage_wipeout_prob, b.stage_wipeout_prob);
+  EXPECT_EQ(a.expected_alive, b.expected_alive);
+}
+
+TEST(Preemption, InterMovesMatchStageAliveDerivation) {
+  // The liveput optimizer re-derives E[moves to reach d' pipelines]
+  // from the per-stage marginal stage_alive_prob instead of reading
+  // expected_inter_moves[d'] (which only covers d' <= the source
+  // depth). By linearity of expectation the two must agree wherever
+  // both are defined:
+  //   E[sum_s max(0, d' - a_s)] = P * sum_a P(a) * max(0, d' - a).
+  PreemptionSampler sampler(21, 512);
+  for (const ParallelConfig config :
+       {ParallelConfig{4, 7}, ParallelConfig{3, 9}, ParallelConfig{2, 13}}) {
+    const PreemptionSummary& s = sampler.summarize(config, 3, 6);
+    for (int d = 0; d <= config.dp; ++d) {
+      double derived = 0.0;
+      for (std::size_t a = 0; a < s.stage_alive_prob.size(); ++a)
+        derived += s.stage_alive_prob[a] *
+                   std::max(0.0, static_cast<double>(d) -
+                                     static_cast<double>(a));
+      derived *= static_cast<double>(config.pp);
+      EXPECT_NEAR(s.expected_inter_moves[static_cast<std::size_t>(d)],
+                  derived, 1e-9)
+          << config.dp << "x" << config.pp << " d'=" << d;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Cost estimator: Table 4 magnitudes.
 
