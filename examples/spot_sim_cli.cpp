@@ -16,6 +16,10 @@
 //                          Results are bit-identical at any count.)
 //   timeline=0|1
 //   metrics=0|1            print the metrics-registry snapshot
+//   faults=<spec>          fault-injection spec (docs/robustness.md),
+//                          e.g. faults=sim.unpredicted_preempt:prob=0.1
+//                          (the PARCAE_FAULTS env var is the fallback)
+//   faults_seed=<int>      injector seed (default: seed ^ 0xfa017)
 //   metrics_csv=<file>     per-interval time series as CSV
 //   trace_json=<file>      Chrome trace events (chrome://tracing,
 //                          https://ui.perfetto.dev)
@@ -24,10 +28,12 @@
 // Example:
 //   spot_sim_cli model=GPT-3 trace=LA-SP system=varuna
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <string>
 
 #include "baselines/bamboo_policy.h"
+#include "common/fault.h"
 #include "baselines/checkfreq_policy.h"
 #include "baselines/elastic_dp_policy.h"
 #include "baselines/hybrid_policy.h"
@@ -135,6 +141,27 @@ int main(int argc, char** argv) {
   popt.metrics = &registry;
   popt.tracer = sim.tracer;
 
+  // Fault injection: the faults= key wins, the PARCAE_FAULTS env var
+  // is the fallback. An armed injector drives the simulator's
+  // sim.unpredicted_preempt point.
+  FaultInjector faults(std::stoull(
+      get(args, "faults_seed",
+          std::to_string(std::stoull(get(args, "seed", "123")) ^ 0xfa017ull))));
+  std::string fault_spec = get(args, "faults", "");
+  if (fault_spec.empty()) {
+    const char* env = std::getenv("PARCAE_FAULTS");
+    if (env != nullptr) fault_spec = env;
+  }
+  if (!fault_spec.empty()) {
+    std::string error;
+    if (!faults.arm_from_spec(fault_spec, &error)) {
+      std::fprintf(stderr, "bad fault spec '%s': %s\n", fault_spec.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    sim.faults = &faults;
+  }
+
   const ParcaePolicy* parcae_policy = nullptr;
   if (system == "parcae") {
     policy = std::make_unique<ParcaePolicy>(model, popt);
@@ -189,6 +216,16 @@ int main(int argc, char** argv) {
       "%.1f lost, %.1f unutilized\n",
       r.gpu_hours.effective, r.gpu_hours.redundant, r.gpu_hours.handling,
       r.gpu_hours.lost, r.gpu_hours.unutilized);
+  if (faults.armed()) {
+    const auto counter = [&r](const std::string& name) {
+      const auto it = r.metrics.counters.find(name);
+      return it == r.metrics.counters.end() ? 0.0 : it->second;
+    };
+    std::printf("faults:           %llu injected, %.0f unpredicted preempts\n",
+                static_cast<unsigned long long>(faults.total_fired()),
+                counter("sim.unpredicted_preempts"));
+    std::printf("  armed points:   %s\n", faults.describe().c_str());
+  }
 
   if (sim.record_timeline) {
     std::printf("\ntimeline (intervals with events):\n");

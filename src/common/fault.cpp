@@ -1,0 +1,193 @@
+#include "common/fault.h"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace parcae {
+namespace {
+
+// Stable 64-bit hash of the point name (FNV-1a), mixed into the
+// injector seed so each point owns an independent stream.
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+bool parse_u64(std::string_view text, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_int(std::string_view text, int& out) {
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+bool parse_double(std::string_view text, double& out) {
+  // std::from_chars<double> is not universally available; strtod on a
+  // bounded copy.
+  const std::string copy(text);
+  char* end = nullptr;
+  out = std::strtod(copy.c_str(), &end);
+  return end == copy.c_str() + copy.size() && !copy.empty();
+}
+
+}  // namespace
+
+InjectedFault::InjectedFault(std::string point, std::uint64_t hit)
+    : std::runtime_error("injected fault at '" + point + "' (hit " +
+                         std::to_string(hit) + ")"),
+      point_(std::move(point)),
+      hit_(hit) {}
+
+FaultInjector::FaultInjector(std::uint64_t seed)
+    : seed_(seed), pick_rng_(seed ^ 0x7061726361655f66ull) {}
+
+void FaultInjector::arm(const std::string& point, FaultTrigger trigger) {
+  Point p;
+  p.trigger = trigger;
+  p.rng = Rng(seed_ ^ hash_name(point));
+  points_[point] = std::move(p);
+}
+
+void FaultInjector::disarm(const std::string& point) { points_.erase(point); }
+
+bool FaultInjector::arm_from_spec(const std::string& spec,
+                                  std::string* error) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string_view part(spec.data() + begin, end - begin);
+    begin = end + 1;
+    if (part.empty()) continue;
+
+    const std::size_t colon = part.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      if (error != nullptr)
+        *error = "expected 'point:options' in '" + std::string(part) + "'";
+      return false;
+    }
+    const std::string name(part.substr(0, colon));
+    FaultTrigger trigger;
+    std::string_view options = part.substr(colon + 1);
+    bool any = false;
+    while (!options.empty()) {
+      std::size_t comma = options.find(',');
+      if (comma == std::string_view::npos) comma = options.size();
+      const std::string_view option = options.substr(0, comma);
+      options.remove_prefix(
+          comma == options.size() ? comma : comma + 1);
+      if (option.empty()) continue;
+      const std::size_t eq = option.find('=');
+      const std::string_view key = option.substr(0, eq);
+      const std::string_view value =
+          eq == std::string_view::npos ? std::string_view()
+                                       : option.substr(eq + 1);
+      bool ok = true;
+      if (key == "once" && eq == std::string_view::npos) {
+        trigger.one_shot = true;
+      } else if (key == "prob") {
+        ok = parse_double(value, trigger.probability) &&
+             trigger.probability >= 0.0 && trigger.probability <= 1.0;
+      } else if (key == "nth") {
+        ok = parse_u64(value, trigger.nth) && trigger.nth > 0;
+      } else if (key == "max") {
+        ok = parse_u64(value, trigger.max_fires) && trigger.max_fires > 0;
+      } else if (key == "window") {
+        const std::size_t dash = value.find('-');
+        ok = dash != std::string_view::npos &&
+             parse_int(value.substr(0, dash), trigger.window_begin) &&
+             parse_int(value.substr(dash + 1), trigger.window_end) &&
+             trigger.window_end >= trigger.window_begin;
+      } else {
+        ok = false;
+      }
+      if (!ok) {
+        if (error != nullptr)
+          *error = "bad option '" + std::string(option) + "' for point '" +
+                   name + "'";
+        return false;
+      }
+      any = true;
+    }
+    if (!any) {
+      if (error != nullptr)
+        *error = "point '" + name + "' has no trigger options";
+      return false;
+    }
+    arm(name, trigger);
+  }
+  return true;
+}
+
+bool FaultInjector::should_fire(std::string_view point) {
+  const auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  if (p.disarmed) return false;
+  ++p.hits;
+  const FaultTrigger& t = p.trigger;
+  if (interval_ < t.window_begin ||
+      (t.window_end >= 0 && interval_ > t.window_end))
+    return false;
+  if (t.max_fires > 0 && p.fires >= t.max_fires) return false;
+
+  bool fire = false;
+  if (t.nth > 0 && p.hits == t.nth) fire = true;
+  // The probability draw happens whenever armed (even when nth already
+  // decided), keeping each point's stream a pure function of its hit
+  // count.
+  if (t.probability > 0.0 && p.rng.uniform() < t.probability) fire = true;
+  if (!fire) return false;
+
+  ++p.fires;
+  ++total_fired_;
+  if (t.one_shot) p.disarmed = true;
+  if (metrics_ != nullptr) {
+    metrics_->counter("fault.injected").inc();
+    metrics_->counter("fault.injected." + std::string(point)).inc();
+  }
+  return true;
+}
+
+void FaultInjector::maybe_throw(std::string_view point) {
+  if (!should_fire(point)) return;
+  const auto it = points_.find(point);
+  throw InjectedFault(std::string(point),
+                      it == points_.end() ? 0 : it->second.hits);
+}
+
+std::uint64_t FaultInjector::pick(std::uint64_t n) {
+  return n == 0 ? 0 : pick_rng_.uniform_int(n);
+}
+
+std::uint64_t FaultInjector::hits(std::string_view point) const {
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fired(std::string_view point) const {
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::string FaultInjector::describe() const {
+  std::string out;
+  for (const auto& [name, point] : points_) {
+    if (!out.empty()) out += ", ";
+    out += name;
+    if (point.disarmed) out += " (spent)";
+  }
+  return out;
+}
+
+}  // namespace parcae

@@ -1,0 +1,44 @@
+#include "common/retry.h"
+
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace parcae {
+
+double RetryOptions::backoff_for_attempt(int attempt) const {
+  if (attempt <= 1) return 0.0;
+  const double raw =
+      initial_backoff_s * std::pow(backoff_multiplier, attempt - 2);
+  return std::min(raw, max_backoff_s);
+}
+
+namespace detail {
+
+bool retry_admits_another(const RetryOptions& options, int attempt,
+                          double& backoff_accum) {
+  if (attempt >= options.max_attempts) return false;
+  const double delay = options.backoff_for_attempt(attempt + 1);
+  if (backoff_accum + delay > options.budget_s) return false;
+  backoff_accum += delay;
+  return true;
+}
+
+void count_attempt(obs::MetricsRegistry* metrics, std::string_view name,
+                   int attempt) {
+  if (metrics == nullptr) return;
+  metrics->counter("retry.attempts").inc();
+  if (attempt > 1) {
+    metrics->counter("retry.retries").inc();
+    metrics->counter("retry." + std::string(name) + ".retries").inc();
+  }
+}
+
+void count_exhausted(obs::MetricsRegistry* metrics, std::string_view name) {
+  if (metrics == nullptr) return;
+  metrics->counter("retry.exhausted").inc();
+  metrics->counter("retry." + std::string(name) + ".exhausted").inc();
+}
+
+}  // namespace detail
+}  // namespace parcae

@@ -1,0 +1,84 @@
+// Deterministic retry with exponential backoff, for the runtime's
+// recoverable operations (ParcaePS gradient pushes, KvStore writes).
+//
+// The backoff schedule is a pure function of the options — no jitter,
+// no wall clock — so a seeded fault schedule recovers identically on
+// every run. Delays are *virtual*: the runtime here is in-process and
+// interval-quantized, so with_retry accumulates the backoff it would
+// have slept (callers charge it to their stall ledgers if they care)
+// instead of blocking the test suite. Two budgets bound an attempt
+// storm: max_attempts and a total backoff budget in (virtual)
+// seconds; when both are spent the last exception is rethrown
+// unchanged, so callers see the real failure, not a wrapper.
+//
+// Every retry and exhaustion is counted into the attached registry:
+//   retry.attempts / retry.retries / retry.exhausted
+//   retry.<name>.retries / retry.<name>.exhausted
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace parcae {
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+struct RetryOptions {
+  int max_attempts = 4;            // total tries, including the first
+  double initial_backoff_s = 0.05;  // delay before the 2nd attempt
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 2.0;      // per-delay cap
+  double budget_s = 10.0;          // total virtual backoff budget
+
+  // Virtual delay before attempt `attempt` (1-based; the first
+  // attempt is free). Deterministic:
+  //   min(initial * multiplier^(attempt-2), max_backoff_s)
+  double backoff_for_attempt(int attempt) const;
+};
+
+// What a with_retry call did (mostly a test/telemetry hook).
+struct RetryStats {
+  int attempts = 0;
+  double backoff_s = 0.0;  // total virtual delay accumulated
+};
+
+namespace detail {
+// Non-template bookkeeping shared by every with_retry instantiation.
+// Returns true while another attempt is allowed after a failure on
+// attempt `attempt` (1-based), accumulating the virtual backoff.
+bool retry_admits_another(const RetryOptions& options, int attempt,
+                          double& backoff_accum);
+void count_attempt(obs::MetricsRegistry* metrics, std::string_view name,
+                   int attempt);
+void count_exhausted(obs::MetricsRegistry* metrics, std::string_view name);
+}  // namespace detail
+
+// Invokes `fn` until it returns without throwing, retrying failures on
+// the deterministic backoff schedule. When the attempt or backoff
+// budget is exhausted the last exception propagates to the caller.
+template <typename F>
+auto with_retry(const RetryOptions& options, std::string_view name,
+                obs::MetricsRegistry* metrics, F&& fn,
+                RetryStats* stats = nullptr) -> decltype(fn()) {
+  double backoff_accum = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    detail::count_attempt(metrics, name, attempt);
+    if (stats != nullptr) stats->attempts = attempt;
+    try {
+      return fn();
+    } catch (...) {
+      if (!detail::retry_admits_another(options, attempt, backoff_accum)) {
+        detail::count_exhausted(metrics, name);
+        if (stats != nullptr) stats->backoff_s = backoff_accum;
+        throw;  // rethrow the last error unchanged
+      }
+      if (stats != nullptr) stats->backoff_s = backoff_accum;
+    }
+  }
+}
+
+}  // namespace parcae

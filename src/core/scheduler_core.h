@@ -149,6 +149,9 @@ class SchedulerCore {
   }
   // Structured audit trail of everything the scheduler saw and did.
   const EventLog& telemetry() const { return telemetry_; }
+  // Mutable access for executor backends (the spot driver's cluster
+  // appends fault/recovery events into the same trail).
+  EventLog& event_log() { return telemetry_; }
 
   // The registry this core records into (the injected one, else the
   // core-owned instance).

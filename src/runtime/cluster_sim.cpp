@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/fault.h"
 #include "common/log.h"
 #include "obs/profile_span.h"
 #include "obs/timeseries.h"
@@ -33,15 +34,28 @@ SimulationResult simulate(SpotTrainingPolicy& policy, const SpotTrace& trace,
           ? options.pricing.ondemand_gpu_usd_per_second()
           : options.pricing.spot_gpu_usd_per_second();
 
+  if (options.faults != nullptr) options.faults->set_metrics(metrics);
+
   double committed = 0.0;
   int prev_available = series.empty() ? 0 : series.front();
 
   for (std::size_t i = 0; i < series.size(); ++i) {
+    int avail = series[i];
+    if (options.faults != nullptr) {
+      options.faults->set_interval(static_cast<int>(i));
+      // An unpredicted preemption: one instance beyond the trace
+      // disappears at this boundary, blind-siding the forecaster.
+      if (avail > 0 &&
+          options.faults->should_fire("sim.unpredicted_preempt")) {
+        --avail;
+        metrics->counter("sim.unpredicted_preempts").inc();
+      }
+    }
     AvailabilityEvent event;
-    event.available = series[i];
-    event.preempted = std::max(0, prev_available - series[i]);
-    event.allocated = std::max(0, series[i] - prev_available);
-    prev_available = series[i];
+    event.available = avail;
+    event.preempted = std::max(0, prev_available - avail);
+    event.allocated = std::max(0, avail - prev_available);
+    prev_available = avail;
 
     IntervalDecision d;
     {

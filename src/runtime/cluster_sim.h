@@ -20,6 +20,8 @@
 
 namespace parcae {
 
+class FaultInjector;
+
 namespace obs {
 class TraceWriter;
 class TimeSeriesRecorder;
@@ -122,6 +124,12 @@ struct SimulationOptions {
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceWriter* tracer = nullptr;
   obs::TimeSeriesRecorder* timeseries = nullptr;
+  // Fault injection (non-owning, optional). Each interval where the
+  // "sim.unpredicted_preempt" point fires, one instance vanishes
+  // beyond what the trace says — a preemption no forecaster saw
+  // coming. The injector is rewired to the run's registry so its
+  // fault.* counters land in the result snapshot.
+  FaultInjector* faults = nullptr;
 };
 
 // Runs `policy` over `trace` and returns the integrated result.

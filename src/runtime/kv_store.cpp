@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
+
 namespace parcae {
 
 std::uint64_t KvStore::put(const std::string& key, std::string value) {
+  if (faults_ != nullptr) faults_->maybe_throw("kv.put");
   KvEntry entry;
   {
     std::lock_guard lock(mutex_);
@@ -13,6 +16,31 @@ std::uint64_t KvStore::put(const std::string& key, std::string value) {
     slot.value = std::move(value);
     slot.version = revision_;
     entry = slot;
+  }
+  notify(key, entry);
+  return entry.version;
+}
+
+std::uint64_t KvStore::put_with_lease(const std::string& key,
+                                      std::string value,
+                                      std::uint64_t lease_id) {
+  if (faults_ != nullptr) faults_->maybe_throw("kv.put");
+  KvEntry entry;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = leases_.find(lease_id);
+    if (it == leases_.end()) return 0;
+    ++revision_;
+    auto& slot = data_[key];
+    // Re-homing a key onto a different lease detaches it from the old
+    // one lazily: expiry skips keys whose entry names another lease.
+    slot.value = std::move(value);
+    slot.version = revision_;
+    slot.lease = lease_id;
+    entry = slot;
+    auto& keys = it->second.keys;
+    if (std::find(keys.begin(), keys.end(), key) == keys.end())
+      keys.push_back(key);
   }
   notify(key, entry);
   return entry.version;
@@ -27,6 +55,7 @@ std::optional<KvEntry> KvStore::get(const std::string& key) const {
 
 bool KvStore::cas(const std::string& key, std::uint64_t expected_version,
                   std::string value) {
+  if (faults_ != nullptr) faults_->maybe_throw("kv.cas");
   KvEntry entry;
   {
     std::lock_guard lock(mutex_);
@@ -43,9 +72,26 @@ bool KvStore::cas(const std::string& key, std::uint64_t expected_version,
   return true;
 }
 
+std::optional<KvEntry> KvStore::erase_locked(const std::string& key) {
+  const auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  KvEntry tombstone = it->second;
+  data_.erase(it);
+  ++revision_;
+  tombstone.version = revision_;
+  tombstone.deleted = true;
+  return tombstone;
+}
+
 bool KvStore::erase(const std::string& key) {
-  std::lock_guard lock(mutex_);
-  return data_.erase(key) > 0;
+  std::optional<KvEntry> tombstone;
+  {
+    std::lock_guard lock(mutex_);
+    tombstone = erase_locked(key);
+  }
+  if (!tombstone) return false;
+  notify(key, *tombstone);
+  return true;
 }
 
 std::vector<std::string> KvStore::list(const std::string& prefix) const {
@@ -74,6 +120,83 @@ void KvStore::unwatch(std::uint64_t watch_id) {
 std::uint64_t KvStore::revision() const {
   std::lock_guard lock(mutex_);
   return revision_;
+}
+
+std::uint64_t KvStore::lease_grant(double ttl_s) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t id = next_lease_id_++;
+  leases_[id] = Lease{ttl_s, now_s_ + ttl_s, {}};
+  return id;
+}
+
+bool KvStore::lease_keepalive(std::uint64_t lease_id) {
+  if (faults_ != nullptr) faults_->maybe_throw("kv.keepalive");
+  std::lock_guard lock(mutex_);
+  const auto it = leases_.find(lease_id);
+  if (it == leases_.end()) return false;
+  it->second.deadline_s = now_s_ + it->second.ttl_s;
+  return true;
+}
+
+bool KvStore::lease_revoke(std::uint64_t lease_id) {
+  std::vector<std::pair<std::string, KvEntry>> tombstones;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = leases_.find(lease_id);
+    if (it == leases_.end()) return false;
+    for (const std::string& key : it->second.keys) {
+      const auto entry = data_.find(key);
+      if (entry == data_.end() || entry->second.lease != lease_id) continue;
+      if (auto tombstone = erase_locked(key))
+        tombstones.emplace_back(key, std::move(*tombstone));
+    }
+    leases_.erase(it);
+  }
+  for (const auto& [key, entry] : tombstones) notify(key, entry);
+  return true;
+}
+
+bool KvStore::lease_alive(std::uint64_t lease_id) const {
+  std::lock_guard lock(mutex_);
+  return leases_.find(lease_id) != leases_.end();
+}
+
+double KvStore::now() const {
+  std::lock_guard lock(mutex_);
+  return now_s_;
+}
+
+void KvStore::expire_due_leases_locked(
+    std::vector<std::pair<std::string, KvEntry>>& tombstones) {
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    if (it->second.deadline_s > now_s_) {
+      ++it;
+      continue;
+    }
+    for (const std::string& key : it->second.keys) {
+      const auto entry = data_.find(key);
+      if (entry == data_.end() || entry->second.lease != it->first) continue;
+      if (auto tombstone = erase_locked(key))
+        tombstones.emplace_back(key, std::move(*tombstone));
+    }
+    ++leases_expired_;
+    it = leases_.erase(it);
+  }
+}
+
+void KvStore::advance_clock(double dt_s) {
+  std::vector<std::pair<std::string, KvEntry>> tombstones;
+  {
+    std::lock_guard lock(mutex_);
+    now_s_ += dt_s;
+    expire_due_leases_locked(tombstones);
+  }
+  for (const auto& [key, entry] : tombstones) notify(key, entry);
+}
+
+std::uint64_t KvStore::leases_expired() const {
+  std::lock_guard lock(mutex_);
+  return leases_expired_;
 }
 
 void KvStore::notify(const std::string& key, const KvEntry& entry) {

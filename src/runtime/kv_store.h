@@ -2,9 +2,22 @@
 //
 // The real Parcae coordinates ParcaeScheduler and ParcaeAgents through
 // etcd (§9); this substrate provides the same primitives the runtime
-// needs — versioned puts, gets, compare-and-swap, prefix listing, and
-// watch callbacks — so scheduler/agent interactions go through an
-// explicit rendezvous layer rather than direct method calls.
+// needs — versioned puts, gets, compare-and-swap, prefix listing,
+// watch callbacks, and TTL leases with heartbeats — so scheduler/agent
+// interactions go through an explicit rendezvous layer rather than
+// direct method calls.
+//
+// Liveness: agents attach their keys to a lease and renew it with
+// lease_keepalive() while alive. The store runs on a *logical* clock
+// (advance_clock(), driven by the executor's interval loop); when a
+// lease's TTL lapses its keys are erased and watchers see a tombstone
+// (KvEntry::deleted). Unpredicted agent death is thereby *detected*
+// through lease expiry — the way etcd tells a real scheduler — rather
+// than told to the scheduler by the test harness.
+//
+// Fault injection: an attached FaultInjector can make put/cas/
+// keepalive throw at the "kv.put" / "kv.cas" / "kv.keepalive" points
+// (before any state changes), so callers exercise their retry paths.
 #pragma once
 
 #include <cstdint>
@@ -17,9 +30,16 @@
 
 namespace parcae {
 
+class FaultInjector;
+
 struct KvEntry {
   std::string value;
   std::uint64_t version = 0;  // store-wide revision of the last write
+  std::uint64_t lease = 0;    // owning lease id; 0 = no lease
+  // Tombstone marker: true only on watch notifications for a deletion
+  // (explicit erase or lease expiry); `version` then carries the
+  // revision of the deletion and `value` the last value.
+  bool deleted = false;
 };
 
 class KvStore {
@@ -30,28 +50,71 @@ class KvStore {
   // Writes `value`; returns the new revision.
   std::uint64_t put(const std::string& key, std::string value);
 
+  // put() with the key attached to `lease_id`; the key dies with the
+  // lease. Returns 0 (writing nothing) when the lease is not alive.
+  std::uint64_t put_with_lease(const std::string& key, std::string value,
+                               std::uint64_t lease_id);
+
   std::optional<KvEntry> get(const std::string& key) const;
 
   // Atomic compare-and-swap on the entry's version (0 = create only).
-  // Returns true and writes when the expected version matches.
+  // Returns true and writes when the expected version matches. A key
+  // deleted by lease expiry has no version, so a CAS against its old
+  // version fails — stale agents cannot resurrect their state.
   bool cas(const std::string& key, std::uint64_t expected_version,
            std::string value);
 
-  // Deletes a key; returns whether it existed.
+  // Deletes a key; returns whether it existed. Deletion is a write:
+  // it bumps the store revision and notifies watchers with a
+  // tombstone entry.
   bool erase(const std::string& key);
 
   // All keys with the given prefix, sorted.
   std::vector<std::string> list(const std::string& prefix) const;
 
-  // Registers a callback fired on every put/cas touching `prefix`.
-  // Returns a watch id usable with unwatch().
+  // Registers a callback fired on every put/cas/erase (including
+  // lease-expiry erases) touching `prefix`. Returns a watch id usable
+  // with unwatch().
   std::uint64_t watch(const std::string& prefix, WatchCallback callback);
   void unwatch(std::uint64_t watch_id);
 
   std::uint64_t revision() const;
 
+  // ---- leases (liveness) --------------------------------------------
+  // Grants a lease expiring `ttl_s` logical seconds from now().
+  std::uint64_t lease_grant(double ttl_s);
+  // Heartbeat: pushes the expiry back to now() + its TTL. False when
+  // the lease is unknown or already expired (a dead agent cannot
+  // revive itself; it must re-register).
+  bool lease_keepalive(std::uint64_t lease_id);
+  // Immediate expiry: erases the lease's keys (tombstone notify).
+  bool lease_revoke(std::uint64_t lease_id);
+  bool lease_alive(std::uint64_t lease_id) const;
+
+  // Logical clock. advance_clock() expires every lease whose deadline
+  // passed, erasing its keys with tombstone notifications.
+  double now() const;
+  void advance_clock(double dt_s);
+  // Leases that have expired (not revoked) since construction.
+  std::uint64_t leases_expired() const;
+
+  // Non-owning; nullptr disables injection. See the fault points in
+  // the header comment.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
+  struct Lease {
+    double ttl_s = 0.0;
+    double deadline_s = 0.0;
+    std::vector<std::string> keys;
+  };
+
   void notify(const std::string& key, const KvEntry& entry);
+  // Erases `key` under the lock, returning the tombstone to notify
+  // with (nullopt when the key did not exist).
+  std::optional<KvEntry> erase_locked(const std::string& key);
+  void expire_due_leases_locked(std::vector<std::pair<std::string, KvEntry>>&
+                                    tombstones);
 
   mutable std::mutex mutex_;
   std::map<std::string, KvEntry> data_;
@@ -62,6 +125,11 @@ class KvStore {
   };
   std::map<std::uint64_t, Watch> watches_;
   std::uint64_t next_watch_id_ = 1;
+  std::map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_lease_id_ = 1;
+  double now_s_ = 0.0;
+  std::uint64_t leases_expired_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace parcae

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/fault.h"
+
 namespace parcae {
 
 ParcaePs::ParcaePs(std::vector<float> initial, float lr, float beta1,
@@ -22,6 +24,9 @@ void ParcaePs::restore(const std::vector<float>& parameters,
 }
 
 void ParcaePs::push_gradients(const std::vector<float>& grads) {
+  // Fail before any mutation: a caller's retry re-pushes the same
+  // gradient without double-applying it.
+  if (faults_ != nullptr) faults_->maybe_throw("ps.push");
   assert(grads.size() == params_.size());
   grads_.raw() = grads;
   std::vector<nn::ParamRef> refs{{&params_, &grads_}};

@@ -22,6 +22,8 @@
 
 namespace parcae {
 
+class FaultInjector;
+
 class ParcaePs {
  public:
   // `initial` — the trainer's initial flat parameters; the PS applies
@@ -46,11 +48,17 @@ class ParcaePs {
   // Serialized optimizer state, for full-state restore.
   std::vector<float> optimizer_state() const { return adam_.state(); }
 
+  // Non-owning; nullptr disables injection. An armed "ps.push" point
+  // makes push_gradients throw *before* touching any state, so a
+  // retried push never double-applies a gradient.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   nn::Matrix params_;  // [1, n]
   nn::Matrix grads_;   // [1, n] scratch
   nn::Adam adam_;
   long long version_ = 0;
+  FaultInjector* faults_ = nullptr;
 };
 
 // Simulation-level cost accounting for ParcaePS traffic.

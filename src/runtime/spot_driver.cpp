@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include <map>
 
@@ -9,14 +11,52 @@
 
 namespace parcae {
 
+namespace {
+
+// Lease TTLs must track the driver's interval (heartbeats fire once
+// per interval; 2.5 intervals tolerates one dropped heartbeat before a
+// false-positive expiry). Callers who set a TTL explicitly keep it.
+TrainingClusterOptions tuned_cluster_options(TrainingClusterOptions options,
+                                             const SpotDriverOptions& driver) {
+  if (options.agent_lease_ttl_s == TrainingClusterOptions{}.agent_lease_ttl_s)
+    options.agent_lease_ttl_s = 2.5 * driver.interval_s;
+  return options;
+}
+
+}  // namespace
+
 SpotTrainingDriver::SpotTrainingDriver(TrainingClusterOptions cluster_options,
                                        const nn::Dataset* dataset,
                                        SpotDriverOptions options)
-    : cluster_options_(cluster_options),
+    : cluster_options_(tuned_cluster_options(cluster_options, options)),
       options_(options),
-      cluster_(cluster_options, dataset),
+      cluster_(cluster_options_, dataset),
       profile_(derive_profile()),
-      core_(profile_, core_options()) {}
+      core_(profile_, core_options()) {
+  faults_ = options_.faults;
+  if (faults_ == nullptr) {
+    if (const char* spec = std::getenv("PARCAE_FAULTS");
+        spec != nullptr && *spec != '\0') {
+      auto injector = std::make_unique<FaultInjector>(options_.seed ^ 0xfa017ull);
+      std::string error;
+      if (injector->arm_from_spec(spec, &error)) {
+        owned_faults_ = std::move(injector);
+        faults_ = owned_faults_.get();
+      } else {
+        std::fprintf(stderr, "spot_driver: PARCAE_FAULTS ignored: %s\n",
+                     error.c_str());
+      }
+    }
+  }
+  // The cluster shares the core's registry and event log so one
+  // report/dashboard covers decisions and fault recoveries alike.
+  cluster_.set_metrics(&core_.metrics());
+  cluster_.set_event_log(&core_.event_log());
+  if (faults_ != nullptr) {
+    faults_->set_metrics(&core_.metrics());
+    cluster_.set_fault_injector(faults_);
+  }
+}
 
 ModelProfile SpotTrainingDriver::derive_profile() const {
   ModelProfile profile;
@@ -57,6 +97,15 @@ SchedulerCoreOptions SpotTrainingDriver::core_options() const {
   return core;
 }
 
+ParallelConfig SpotTrainingDriver::clamp_to_alive(ParallelConfig advice,
+                                                  int alive) {
+  if (!advice.valid() || alive <= 0) return kIdleConfig;
+  ParallelConfig clamped = advice;
+  clamped.pp = std::min(clamped.pp, alive);
+  clamped.dp = std::min(clamped.dp, alive / clamped.pp);
+  return clamped.valid() ? clamped : kIdleConfig;
+}
+
 SpotDriverReport SpotTrainingDriver::run(const SpotTrace& trace) {
   TraceCloudProvider cloud(trace, options_.seed ^ 0x9e1ull);
   return run(cloud, trace.duration_s());
@@ -75,15 +124,49 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
   std::map<int, int> instance_to_agent;
 
   obs::MetricsRegistry& metrics = core_.metrics();
+
+  // Tombstones of agent/ keys observed while the kv clock advances are
+  // lease expiries — the only channel through which a silent kill()
+  // surfaces (§8): the dead agent wrote nothing, its heartbeats just
+  // stopped. (Graceful preemptions tombstone too, but outside the
+  // advance_clock window, so they never land in this vector.)
+  std::vector<std::string> expired_keys;
+  const std::uint64_t watch_id = cluster_.kv().watch(
+      "agent/", [&expired_keys](const std::string& key, const KvEntry& entry) {
+        if (entry.deleted) expired_keys.push_back(key);
+      });
+
   for (int i = 0; i < intervals; ++i) {
     obs::ProfileSpan interval_span("execute-interval", &metrics,
                                    core_.tracer(), "driver");
     ++report.intervals;
+    const double boundary = static_cast<double>(i) * options_.interval_s;
+    if (faults_ != nullptr) faults_->set_interval(i);
+    cluster_.set_time(boundary);
+
+    // -- liveness. Advance the lease clock (expiring agents whose
+    // heartbeats stopped since last interval), then renew everyone
+    // still alive. Detected deaths join the preemption count the core
+    // adapts to — the scheduler learns of them the same way it would
+    // from a (late) preemption notice.
+    expired_keys.clear();
+    if (i > 0) cluster_.kv().advance_clock(options_.interval_s);
+    const int detected_deaths = static_cast<int>(expired_keys.size());
+    for (const std::string& key : expired_keys) {
+      metrics.counter("driver.lease_expiries_detected").inc();
+      core_.event_log().record(
+          boundary, EventCategory::kWarning,
+          "silent agent death detected via lease expiry", {{"key", key}});
+    }
+    cluster_.heartbeat();
+
     // -- cloud events for this interval. The grace period is long
     // enough to finish the in-flight mini-batch (the paper enforces
     // preemption at mini-batch boundaries), so a notice takes effect
-    // at this interval's boundary.
-    const double boundary = static_cast<double>(i) * options_.interval_s;
+    // at this interval's boundary. A notice for an agent a fault
+    // already killed silently turns the silent death graceful (the
+    // lease is revoked, so it won't be reported again at expiry); it
+    // only counts as a preemption if the kv still thought it alive.
     AvailabilityObservation observed;
     for (const CloudEvent& event : cloud.advance(boundary)) {
       if (event.kind == CloudEvent::Kind::kInstanceGranted) {
@@ -93,13 +176,27 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
       } else {
         const auto it = instance_to_agent.find(event.instance_id);
         if (it != instance_to_agent.end()) {
+          const auto record =
+              cluster_.kv().get("agent/" + std::to_string(it->second));
           cluster_.preempt({it->second});
           instance_to_agent.erase(it);
-          ++observed.preempted;
+          if (record.has_value() && record->value != "preempted")
+            ++observed.preempted;
         }
       }
     }
-    observed.available = cluster_.alive_count();
+    observed.preempted += detected_deaths;
+    // The scheduler observes availability through the KvStore — the
+    // registered agent records — not through ground truth: a silently
+    // killed agent stays "available" here until its lease expires (or
+    // a notice arrives), which is precisely why the execution path
+    // below clamps the advice to the agents actually alive.
+    int kv_available = 0;
+    for (const std::string& key : cluster_.kv().list("agent/")) {
+      const auto record = cluster_.kv().get(key);
+      if (record.has_value() && record->value != "preempted") ++kv_available;
+    }
+    observed.available = kv_available;
 
     // -- one pass of Algorithm 1: adapt the plan to reality, plan the
     // migration, forecast and optimize the next interval.
@@ -107,11 +204,29 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
         core_.step(i, observed, options_.interval_s);
     report.advised.push_back(advice.config);
 
-    // -- execute the advised migration on real parameters.
-    if (advice.config != cluster_.config() || !cluster_.assignment_intact()) {
+    // -- graceful degradation: reconfigure() must never be handed more
+    // instances than are alive (unpredicted kills can race the core's
+    // view). Shrink the advice to fit; when even 1x1 won't fit, hold
+    // at idle — the state stays safe in ParcaePS — and resume when the
+    // cloud grants capacity back.
+    ParallelConfig target =
+        clamp_to_alive(advice.config, cluster_.alive_count());
+    if (target != advice.config) {
+      metrics.counter("driver.advice_clamped").inc();
+      core_.event_log().record(
+          boundary, EventCategory::kWarning,
+          "advised config infeasible; degraded to fit alive agents",
+          {{"advised", advice.config.to_string()},
+           {"executed", target.to_string()}});
+    }
+    if (!target.valid() && advice.config.valid())
+      metrics.counter("driver.paused_intervals").inc();
+
+    // -- execute the (possibly degraded) migration on real parameters.
+    if (target != cluster_.config() || !cluster_.assignment_intact()) {
       obs::ProfileSpan reconfigure_span("reconfigure", &metrics,
                                         core_.tracer(), "driver");
-      const MigrationKind kind = cluster_.reconfigure(advice.config);
+      const MigrationKind kind = cluster_.reconfigure(target);
       ++report.migrations_by_kind[static_cast<std::size_t>(kind)];
       if (kind != MigrationKind::kNone && kind != MigrationKind::kSuspend) {
         metrics.counter("scheduler.migrations_executed").inc();
@@ -124,19 +239,51 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
     report.replicas_always_consistent =
         report.replicas_always_consistent && cluster_.replicas_consistent();
 
-    // -- train.
+    // -- train. A nullopt with a broken assignment is a zero-grace
+    // kill that landed mid-iteration: the sample lease was already
+    // abandoned (exactly-once holds), so re-plan around the hole and
+    // keep going within the same interval. Each failed pass consumes
+    // one iteration slot, so this converges.
     obs::ProfileSpan train_span("train", &metrics, core_.tracer(), "driver");
     for (int it = 0; it < options_.iterations_per_interval; ++it) {
       const auto outcome = cluster_.train_iteration();
-      if (!outcome) break;
+      if (!outcome) {
+        if (!cluster_.assignment_intact()) {
+          metrics.counter("driver.kill_recoveries").inc();
+          const ParallelConfig retry_target =
+              clamp_to_alive(cluster_.config(), cluster_.alive_count());
+          const MigrationKind kind = cluster_.reconfigure(retry_target);
+          ++report.migrations_by_kind[static_cast<std::size_t>(kind)];
+          report.replicas_always_consistent =
+              report.replicas_always_consistent &&
+              cluster_.replicas_consistent();
+          if (retry_target.valid()) continue;
+          metrics.counter("driver.paused_intervals").inc();
+        }
+        break;  // suspended, or the epoch pool is exhausted
+      }
       ++report.iterations;
       report.final_loss = outcome->loss;
       if (outcome->epoch_finished) ++report.epochs_completed;
     }
   }
+  cluster_.kv().unwatch(watch_id);
+
   report.ps_rollbacks = cluster_.rollbacks();
   report.telemetry = core_.telemetry();
   report.metrics = core_.metrics_snapshot();
+  const auto counter = [&metrics](const char* name) {
+    return static_cast<long long>(metrics.counter(name).value() + 0.5);
+  };
+  report.faults_injected = counter("fault.injected");
+  report.unpredicted_kills_survived = counter("cluster.unpredicted_kills");
+  report.mid_iteration_kills = counter("cluster.mid_iteration_kills");
+  report.migrations_aborted = counter("cluster.migrations_aborted");
+  report.ps_push_retries = counter("retry.ps.push.retries");
+  report.ps_refreshes = counter("cluster.ps_refreshes");
+  report.paused_intervals = counter("driver.paused_intervals");
+  report.lease_expirations =
+      static_cast<long long>(cluster_.kv().leases_expired());
   return report;
 }
 

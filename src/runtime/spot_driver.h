@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/scheduler_core.h"
 #include "nn/dataset.h"
 #include "runtime/cloud_provider.h"
@@ -44,6 +45,12 @@ struct SpotDriverOptions {
     o.max_instances = 64;
     return o;
   }();
+  // Fault injection (docs/robustness.md). Non-owning; when null, the
+  // driver consults the PARCAE_FAULTS environment variable and — if it
+  // holds a valid spec — builds its own injector from `seed`. The
+  // injector is forwarded to the cluster (kill points), the KvStore
+  // (kv.* points) and every ParcaePS replica (ps.push).
+  FaultInjector* faults = nullptr;
 };
 
 struct SpotDriverReport {
@@ -65,6 +72,24 @@ struct SpotDriverReport {
   // Counters and latency histograms accumulated by the decision core
   // and the driver (reconfigure/train spans, executed migrations).
   obs::MetricsSnapshot metrics;
+  // §8 robustness accounting (all zero unless a FaultInjector fired).
+  long long faults_injected = 0;
+  // Zero-grace kills the run absorbed without crashing, and the subset
+  // that landed mid-iteration (lease abandoned, batch re-leased).
+  long long unpredicted_kills_survived = 0;
+  long long mid_iteration_kills = 0;
+  // Migrations whose slot-fill was interrupted by a kill and recovered
+  // via the ParcaePS rollback path (or suspended when infeasible).
+  long long migrations_aborted = 0;
+  // ParcaePS pushes that needed a retry, and pushes whose retries were
+  // exhausted (PS refreshed from the trainer's post-update state).
+  long long ps_push_retries = 0;
+  long long ps_refreshes = 0;
+  // Silent deaths detected through KvStore lease expiry.
+  long long lease_expirations = 0;
+  // Intervals the driver had to hold at idle because faults drove the
+  // alive count below the advised (min viable) configuration.
+  long long paused_intervals = 0;
 
   int migrations(MigrationKind kind) const {
     return migrations_by_kind[static_cast<std::size_t>(kind)];
@@ -98,12 +123,19 @@ class SpotTrainingDriver {
   // for configuration choice.
   ModelProfile derive_profile() const;
   SchedulerCoreOptions core_options() const;
+  // Largest sub-configuration of `advice` that `alive` agents can run
+  // (shrink dp first, then pp); kIdleConfig when even 1x1 won't fit.
+  static ParallelConfig clamp_to_alive(ParallelConfig advice, int alive);
 
   TrainingClusterOptions cluster_options_;
   SpotDriverOptions options_;
   TrainingCluster cluster_;
   ModelProfile profile_;
   SchedulerCore core_;
+  // Driver-owned injector built from PARCAE_FAULTS when the caller
+  // didn't supply one; faults_ points at whichever is active.
+  std::unique_ptr<FaultInjector> owned_faults_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace parcae

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "nn/mlp.h"
+#include "obs/metrics.h"
 
 namespace parcae {
 namespace {
@@ -48,9 +49,11 @@ std::vector<int> TrainingCluster::allocate(int count) {
     ParcaeAgent agent;
     agent.id = next_agent_id_++;
     agent.alive = true;
+    agent.lease = kv_.lease_grant(options_.agent_lease_ttl_s);
     ids.push_back(agent.id);
+    kv_put_retried("agent/" + std::to_string(agent.id), "spare",
+                   agent.lease);
     agents_.push_back(std::move(agent));
-    kv_.put("agent/" + std::to_string(ids.back()), "spare");
   }
   return ids;
 }
@@ -58,14 +61,121 @@ std::vector<int> TrainingCluster::allocate(int count) {
 void TrainingCluster::preempt(const std::vector<int>& agent_ids) {
   for (int id : agent_ids) {
     for (auto& agent : agents_) {
+      if (agent.id != id) continue;
+      // A notice can arrive for an agent a fault already killed
+      // silently; the notice is authoritative, so clean up its stale
+      // coordination state instead of waiting for the lease to expire.
+      if (!agent.alive && agent.lease == 0) continue;
+      agent.alive = false;
+      agent.module.reset();
+      agent.optimizer.reset();
+      agent.pipeline = agent.stage = -1;
+      // Graceful: the scheduler was told, so the coordination state is
+      // cleaned up eagerly (revoke erases the leased key with a
+      // tombstone; the record is then rewritten lease-free).
+      kv_.lease_revoke(agent.lease);
+      agent.lease = 0;
+      kv_put_retried("agent/" + std::to_string(id), "preempted");
+    }
+  }
+}
+
+void TrainingCluster::kill(const std::vector<int>& agent_ids) {
+  for (int id : agent_ids) {
+    for (auto& agent : agents_) {
       if (agent.id != id || !agent.alive) continue;
       agent.alive = false;
       agent.module.reset();
       agent.optimizer.reset();
       agent.pipeline = agent.stage = -1;
-      kv_.put("agent/" + std::to_string(id), "preempted");
+      // Silent death: no KvStore write, no lease revocation. The
+      // heartbeats stop and the lease expires on its own — that
+      // expiry is how the rest of the system finds out.
+      count("cluster.unpredicted_kills");
     }
   }
+}
+
+int TrainingCluster::kill_random_alive() {
+  std::vector<int> candidates;
+  for (const auto& agent : agents_)
+    if (agent.assigned()) candidates.push_back(agent.id);
+  if (candidates.empty())
+    for (const auto& agent : agents_)
+      if (agent.alive) candidates.push_back(agent.id);
+  if (candidates.empty() || faults_ == nullptr) return -1;
+  const int victim = candidates[static_cast<std::size_t>(
+      faults_->pick(candidates.size()))];
+  kill({victim});
+  return victim;
+}
+
+void TrainingCluster::set_fault_injector(FaultInjector* faults) {
+  faults_ = faults;
+  kv_.set_fault_injector(faults);
+  for (auto& ps : ps_) ps->set_fault_injector(faults);
+}
+
+void TrainingCluster::heartbeat() {
+  for (auto& agent : agents_) {
+    if (!agent.alive || agent.lease == 0) continue;
+    bool renewed = false;
+    try {
+      renewed = with_retry(options_.retry, "kv.keepalive", metrics_,
+                           [&] { return kv_.lease_keepalive(agent.lease); });
+    } catch (const InjectedFault&) {
+      // Heartbeat lost this interval; the lease may now expire
+      // spuriously (a false-positive death the driver will observe).
+      count("cluster.heartbeats_dropped");
+      continue;
+    }
+    if (!renewed) {
+      // The lease already expired (e.g. dropped heartbeats): a live
+      // agent cannot revive it and must re-register.
+      agent.lease = kv_.lease_grant(options_.agent_lease_ttl_s);
+      kv_put_retried("agent/" + std::to_string(agent.id),
+                     agent.assigned()
+                         ? "p" + std::to_string(agent.pipeline) + "s" +
+                               std::to_string(agent.stage)
+                         : "spare",
+                     agent.lease);
+      count("cluster.leases_reregistered");
+    }
+  }
+}
+
+void TrainingCluster::kv_put_retried(const std::string& key,
+                                     const std::string& value) {
+  try {
+    with_retry(options_.retry, "kv.put", metrics_,
+               [&] { kv_.put(key, value); });
+  } catch (const InjectedFault&) {
+    // Coordination state goes stale; liveness still flows through the
+    // lease machinery, so this is survivable (and counted).
+    count("cluster.kv_publish_dropped");
+  }
+}
+
+void TrainingCluster::kv_put_retried(const std::string& key,
+                                     const std::string& value,
+                                     std::uint64_t lease_id) {
+  try {
+    with_retry(options_.retry, "kv.put", metrics_,
+               [&] { kv_.put_with_lease(key, value, lease_id); });
+  } catch (const InjectedFault&) {
+    count("cluster.kv_publish_dropped");
+  }
+}
+
+void TrainingCluster::record_event(EventCategory category,
+                                   std::string message,
+                                   std::map<std::string, std::string> fields) {
+  if (events_ != nullptr)
+    events_->record(now_s_, category, std::move(message), std::move(fields));
+}
+
+void TrainingCluster::count(const char* name) {
+  if (metrics_ != nullptr) metrics_->counter(name).inc();
 }
 
 void TrainingCluster::preempt_random(int count, Rng& rng) {
@@ -106,6 +216,16 @@ const ParcaeAgent* TrainingCluster::agent_at(int pipeline, int stage) const {
   return const_cast<TrainingCluster*>(this)->agent_at(pipeline, stage);
 }
 
+TrainingCluster::StageState TrainingCluster::normalized(StageState state) {
+  // A never-stepped Adam serializes as [t] alone (moments are lazily
+  // allocated); anything but a full [t, m..., v...] record is treated
+  // as a fresh optimizer. Fault-driven reconfigures can observe such
+  // states (a kill before the first iteration of a new config).
+  if (state.optimizer_state.size() != 1 + 2 * state.parameters.size())
+    state.optimizer_state.clear();
+  return state;
+}
+
 TrainingCluster::StageState TrainingCluster::stage_state_from_ps(
     int stage) const {
   StageState state;
@@ -113,7 +233,7 @@ TrainingCluster::StageState TrainingCluster::stage_state_from_ps(
   state.parameters = ps_[static_cast<std::size_t>(stage)]->parameters();
   state.optimizer_state =
       ps_[static_cast<std::size_t>(stage)]->optimizer_state();
-  return state;
+  return normalized(std::move(state));
 }
 
 std::vector<TrainingCluster::StageState> TrainingCluster::collect_stage_states(
@@ -136,7 +256,7 @@ std::vector<TrainingCluster::StageState> TrainingCluster::collect_stage_states(
       StageState state;
       state.parameters = survivor->module->flat_parameters();
       state.optimizer_state = survivor->optimizer->state();
-      states.push_back(std::move(state));
+      states.push_back(normalized(std::move(state)));
     } else {
       states.push_back(stage_state_from_ps(s));
       used_ps = true;
@@ -147,15 +267,15 @@ std::vector<TrainingCluster::StageState> TrainingCluster::collect_stage_states(
 }
 
 void TrainingCluster::publish_assignments() {
-  kv_.put("cluster/config",
-          config_.valid() ? config_.to_string() : "suspended");
+  kv_put_retried("cluster/config",
+                 config_.valid() ? config_.to_string() : "suspended");
   for (const auto& agent : agents_) {
     if (!agent.alive) continue;
-    kv_.put("agent/" + std::to_string(agent.id),
-            agent.assigned()
-                ? "p" + std::to_string(agent.pipeline) + "s" +
-                      std::to_string(agent.stage)
-                : "spare");
+    kv_put_retried("agent/" + std::to_string(agent.id),
+                   agent.assigned()
+                       ? "p" + std::to_string(agent.pipeline) + "s" +
+                             std::to_string(agent.stage)
+                       : "spare");
   }
 }
 
@@ -279,10 +399,11 @@ MigrationKind TrainingCluster::reconfigure(ParallelConfig target) {
       for (int d = 0; d < config_.dp && survivor == nullptr; ++d)
         survivor = agent_at(d, s);
       if (survivor != nullptr) {
-        new_states[static_cast<std::size_t>(s)].parameters =
-            survivor->module->flat_parameters();
-        new_states[static_cast<std::size_t>(s)].optimizer_state =
-            survivor->optimizer->state();
+        StageState state;
+        state.parameters = survivor->module->flat_parameters();
+        state.optimizer_state = survivor->optimizer->state();
+        new_states[static_cast<std::size_t>(s)] =
+            normalized(std::move(state));
       } else {
         new_states[static_cast<std::size_t>(s)] = stage_state_from_ps(s);
         used_ps = true;
@@ -291,40 +412,9 @@ MigrationKind TrainingCluster::reconfigure(ParallelConfig target) {
     }
   }
 
-  // Fill every (pipeline, stage) slot, reusing surviving replicas.
-  for (int d = 0; d < target.dp; ++d) {
-    for (int s = 0; s < target.pp; ++s) {
-      if (!depth_change && agent_at(d, s) != nullptr) continue;  // intact
-      // Find a free agent (spare first).
-      ParcaeAgent* recruit = nullptr;
-      for (auto& agent : agents_)
-        if (agent.alive && !agent.assigned()) {
-          recruit = &agent;
-          break;
-        }
-      assert(recruit != nullptr);  // guaranteed by the instances() check
-      recruit->pipeline = d;
-      recruit->stage = s;
-      recruit->module = std::make_unique<nn::StageModule>(
-          stage_dims_[static_cast<std::size_t>(s)],
-          s + 1 == target.pp, /*seed=*/1);
-      recruit->module->set_flat_parameters(
-          new_states[static_cast<std::size_t>(s)].parameters);
-      recruit->optimizer =
-          std::make_unique<nn::Adam>(options_.learning_rate);
-      if (!new_states[static_cast<std::size_t>(s)].optimizer_state.empty()) {
-        recruit->optimizer->initialize(recruit->module->params());
-        recruit->optimizer->load_state(
-            new_states[static_cast<std::size_t>(s)].optimizer_state);
-      }
-      if (!depth_change && kind < MigrationKind::kInterStage)
-        kind = MigrationKind::kInterStage;
-    }
-  }
-
-  if (used_ps) kind = MigrationKind::kRollback;
-
-  // Rebuild the per-stage ParcaePS replicas for the new partition.
+  // Rebuild the per-stage ParcaePS replicas for the new partition
+  // *before* enacting the plan: an aborted migration falls back to
+  // restoring every slot from exactly these replicas.
   if (depth_change || ps_.size() != static_cast<std::size_t>(target.pp)) {
     ps_.clear();
     for (int s = 0; s < target.pp; ++s) {
@@ -334,9 +424,89 @@ MigrationKind TrainingCluster::reconfigure(ParallelConfig target) {
       if (!new_states[static_cast<std::size_t>(s)].optimizer_state.empty())
         ps->restore(new_states[static_cast<std::size_t>(s)].parameters,
                     new_states[static_cast<std::size_t>(s)].optimizer_state);
+      ps->set_fault_injector(faults_);
       ps_.push_back(std::move(ps));
     }
   }
+
+  // Installs a stage replica on the first free agent.
+  const auto install = [&](int d, int s, const StageState& state) {
+    ParcaeAgent* recruit = nullptr;
+    for (auto& agent : agents_)
+      if (agent.alive && !agent.assigned()) {
+        recruit = &agent;
+        break;
+      }
+    assert(recruit != nullptr);  // guaranteed by the instances() check
+    recruit->pipeline = d;
+    recruit->stage = s;
+    recruit->module = std::make_unique<nn::StageModule>(
+        stage_dims_[static_cast<std::size_t>(s)],
+        s + 1 == target.pp, /*seed=*/1);
+    recruit->module->set_flat_parameters(state.parameters);
+    recruit->optimizer = std::make_unique<nn::Adam>(options_.learning_rate);
+    if (!state.optimizer_state.empty()) {
+      recruit->optimizer->initialize(recruit->module->params());
+      recruit->optimizer->load_state(state.optimizer_state);
+    }
+  };
+
+  // Fill every (pipeline, stage) slot, reusing surviving replicas. A
+  // "cluster.kill_mid_migration" firing lands between two slot copies
+  // — a preemption arriving while the plan is half-executed.
+  bool aborted = false;
+  for (int d = 0; d < target.dp && !aborted; ++d) {
+    for (int s = 0; s < target.pp && !aborted; ++s) {
+      if (!depth_change && agent_at(d, s) != nullptr) continue;  // intact
+      if (faults_ != nullptr &&
+          faults_->should_fire("cluster.kill_mid_migration")) {
+        const int victim = kill_random_alive();
+        count("cluster.migrations_aborted");
+        record_event(EventCategory::kWarning,
+                     "mid-migration kill: plan aborted",
+                     {{"victim", std::to_string(victim)},
+                      {"target", target.to_string()}});
+        aborted = true;
+        break;
+      }
+      install(d, s, new_states[static_cast<std::size_t>(s)]);
+      if (!depth_change && kind < MigrationKind::kInterStage)
+        kind = MigrationKind::kInterStage;
+    }
+  }
+
+  if (aborted) {
+    // Abandon the partially-executed plan: drop every assignment, then
+    // fall back to a full kRollback restore from the ParcaePS replicas
+    // (which mirror every committed iteration, so nothing is lost).
+    for (auto& agent : agents_) {
+      if (!agent.assigned()) continue;
+      agent.pipeline = agent.stage = -1;
+      agent.module.reset();
+      agent.optimizer.reset();
+    }
+    if (target.instances() > alive_count()) {
+      // The kill made the target infeasible; pause and hold until the
+      // scheduler re-plans with the new availability.
+      config_ = kIdleConfig;
+      publish_assignments();
+      record_event(EventCategory::kMigration,
+                   "rollback infeasible after mid-migration kill; suspended",
+                   {{"target", target.to_string()}});
+      return MigrationKind::kSuspend;
+    }
+    for (int s = 0; s < target.pp; ++s) {
+      const StageState state = stage_state_from_ps(s);
+      for (int d = 0; d < target.dp; ++d) install(d, s, state);
+    }
+    ++rollbacks_;
+    used_ps = true;
+    record_event(EventCategory::kMigration,
+                 "aborted migration recovered via ParcaePS rollback",
+                 {{"target", target.to_string()}});
+  }
+
+  if (used_ps) kind = MigrationKind::kRollback;
 
   config_ = target;
   publish_assignments();
@@ -401,6 +571,22 @@ std::optional<IterationOutcome> TrainingCluster::train_iteration() {
     }
   }
 
+  // An unpredicted zero-grace kill landing here destroys the in-flight
+  // iteration: no optimizer state has changed yet, so the lease is
+  // abandoned and its samples rejoin the pool for re-leasing —
+  // exactly-once accounting is preserved by construction.
+  if (faults_ != nullptr &&
+      faults_->should_fire("cluster.kill_mid_iteration")) {
+    const int victim = kill_random_alive();
+    samples_.abort(lease.id);
+    count("cluster.mid_iteration_kills");
+    record_event(EventCategory::kWarning,
+                 "mid-iteration kill: in-flight lease aborted",
+                 {{"victim", std::to_string(victim)},
+                  {"samples", std::to_string(n)}});
+    return std::nullopt;
+  }
+
   // Synchronous update: every replica of a stage applies the same
   // averaged gradient with its own (identical) Adam replica, keeping
   // replicas bit-for-bit consistent; ParcaePS mirrors the update.
@@ -411,7 +597,24 @@ std::optional<IterationOutcome> TrainingCluster::train_iteration() {
       agent->module->set_flat_gradients(g);
       agent->optimizer->step(agent->module->params());
     }
-    ps_[static_cast<std::size_t>(s)]->push_gradients(g);
+    try {
+      with_retry(options_.retry, "ps.push", metrics_, [&] {
+        ps_[static_cast<std::size_t>(s)]->push_gradients(g);
+      });
+    } catch (const InjectedFault&) {
+      // Push budget exhausted. The trainer already stepped, so the
+      // replica is refreshed from the trainer's post-update state (a
+      // full-state upload instead of the cheap gradient push) — the
+      // checkpoint never lags a committed iteration.
+      ParcaeAgent* agent = agent_at(0, s);
+      ps_[static_cast<std::size_t>(s)]->restore(
+          agent->module->flat_parameters(), agent->optimizer->state());
+      count("cluster.ps_refreshes");
+      record_event(EventCategory::kCheckpoint,
+                   "ps push exhausted retries; replica refreshed from "
+                   "trainer state",
+                   {{"stage", std::to_string(s)}});
+    }
   }
 
   samples_.commit(lease.id);

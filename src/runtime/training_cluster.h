@@ -12,12 +12,24 @@
 // semantics claims directly — replicas stay bit-identical, migrations
 // never corrupt the model, distributed training matches monolithic
 // training, and every sample is trained exactly once per epoch.
+//
+// The §8 exception-handling paths run here too, driven by an attached
+// FaultInjector (docs/robustness.md): zero-grace kills landing
+// mid-iteration abandon the in-flight SampleManager lease (samples are
+// re-leased later), kills landing mid-migration abort the partial plan
+// and fall back to a kRollback restore from ParcaePS, failed ParcaePS
+// pushes and KvStore writes are retried on a deterministic backoff
+// schedule, and silent agent death is detected through KvStore lease
+// expiry once the heartbeats stop.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/retry.h"
+#include "core/telemetry.h"
 #include "migration/planner.h"
 #include "nn/dataset.h"
 #include "nn/optimizer.h"
@@ -29,6 +41,10 @@
 
 namespace parcae {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 // One spot instance. When assigned, it hosts a replica of one pipeline
 // stage (module + its own optimizer replica).
 struct ParcaeAgent {
@@ -38,6 +54,8 @@ struct ParcaeAgent {
   int stage = -1;
   std::unique_ptr<nn::StageModule> module;
   std::unique_ptr<nn::Adam> optimizer;
+  // KvStore liveness lease the agent heartbeats while alive.
+  std::uint64_t lease = 0;
 
   bool assigned() const { return alive && pipeline >= 0; }
 };
@@ -49,6 +67,13 @@ struct TrainingClusterOptions {
   int initial_instances = 6;
   std::size_t epoch_size = 512;
   std::size_t batch_size = 32;
+  // TTL of each agent's KvStore liveness lease; heartbeat() renews it.
+  // A zero-grace kill() stops the heartbeats and the death surfaces
+  // through lease expiry (the driver's detection channel).
+  double agent_lease_ttl_s = 150.0;
+  // Backoff schedule for recoverable operations (ParcaePS pushes,
+  // KvStore writes) when a FaultInjector makes them fail.
+  RetryOptions retry;
 };
 
 struct IterationOutcome {
@@ -65,10 +90,17 @@ class TrainingCluster {
   // Adds `count` fresh (spare) instances; returns their ids.
   std::vector<int> allocate(int count);
   // Preempts specific instances (takes effect at the iteration
-  // boundary, as the grace period allows).
+  // boundary, as the grace period allows). The graceful path: the
+  // agent's lease is revoked and its KvStore record marked.
   void preempt(const std::vector<int>& agent_ids);
   // Preempts `count` instances chosen uniformly at random.
   void preempt_random(int count, Rng& rng);
+  // Zero-grace kill (no notice, no grace period): the agent dies
+  // *silently* — its KvStore record and lease are left untouched, so
+  // the death is only detectable through lease expiry once the
+  // heartbeats stop. Fault-injected mid-iteration/mid-migration kills
+  // funnel through here.
+  void kill(const std::vector<int>& agent_ids);
 
   int alive_count() const;
   int spare_count() const;
@@ -110,6 +142,23 @@ class TrainingCluster {
   const std::vector<ParcaeAgent>& agents() const { return agents_; }
   long long rollbacks() const { return rollbacks_; }
 
+  // ---- robustness hooks ---------------------------------------------
+  // Non-owning sinks, all optional. The injector drives the
+  // "cluster.kill_mid_iteration" / "cluster.kill_mid_migration" points
+  // (and is forwarded to the KvStore and every ParcaePS replica for
+  // "kv.*" / "ps.push"); metrics receive cluster.* recovery counters
+  // and retry.* instrumentation; the event log gets one entry per
+  // injected fault and recovery, stamped with set_time().
+  void set_fault_injector(FaultInjector* faults);
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_event_log(EventLog* events) { events_ = events; }
+  void set_time(double now_s) { now_s_ = now_s; }
+  // Renews the liveness lease of every alive agent (driven once per
+  // interval by the driver). Injected keepalive failures are retried;
+  // an exhausted retry is dropped (the lease may then expire
+  // spuriously — a false-positive death, counted by the driver).
+  void heartbeat();
+
  private:
   struct StageState {
     std::vector<float> parameters;
@@ -118,11 +167,25 @@ class TrainingCluster {
 
   ParcaeAgent* agent_at(int pipeline, int stage);
   const ParcaeAgent* agent_at(int pipeline, int stage) const;
+  // Clears optimizer states that aren't a full [t, m..., v...] record
+  // (a never-stepped Adam serializes as [t] alone).
+  static StageState normalized(StageState state);
   // Collect one healthy copy of every stage's state (from survivors or
   // ParcaePS). Returns per-stage states for the *current* partition.
   std::vector<StageState> collect_stage_states(bool& used_ps);
   void publish_assignments();
   StageState stage_state_from_ps(int stage) const;
+  // Kills one uniformly chosen alive agent (the injector's pick
+  // stream); returns its id, or -1 when nobody is alive.
+  int kill_random_alive();
+  // KvStore put with the retry schedule; an exhausted retry is counted
+  // and dropped (coordination state goes stale, leases still expire).
+  void kv_put_retried(const std::string& key, const std::string& value);
+  void kv_put_retried(const std::string& key, const std::string& value,
+                      std::uint64_t lease_id);
+  void record_event(EventCategory category, std::string message,
+                    std::map<std::string, std::string> fields = {});
+  void count(const char* name);
 
   TrainingClusterOptions options_;
   const nn::Dataset* dataset_;
@@ -136,6 +199,10 @@ class TrainingCluster {
   std::vector<std::unique_ptr<ParcaePs>> ps_;
   long long rollbacks_ = 0;
   int next_agent_id_ = 0;
+  FaultInjector* faults_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  EventLog* events_ = nullptr;
+  double now_s_ = 0.0;
 };
 
 }  // namespace parcae

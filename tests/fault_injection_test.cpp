@@ -1,0 +1,670 @@
+// Fault-injection framework and §8 exception-handling paths: the
+// FaultInjector itself, the deterministic retry schedule, KvStore
+// tombstones + TTL leases, and chaos/property runs of the real
+// runtime (TrainingCluster / SpotTrainingDriver) under injected
+// kills, failed ParcaePS pushes and kv flakiness.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/fault.h"
+#include "common/retry.h"
+#include "nn/dataset.h"
+#include "obs/metrics.h"
+#include "runtime/kv_store.h"
+#include "runtime/spot_driver.h"
+#include "runtime/training_cluster.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultInjector.
+
+TEST(FaultInjector, UnarmedPointsNeverFire) {
+  FaultInjector faults(1);
+  EXPECT_FALSE(faults.armed());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(faults.should_fire("ps.push"));
+  EXPECT_EQ(faults.hits("ps.push"), 0u);
+  EXPECT_EQ(faults.total_fired(), 0u);
+  EXPECT_NO_THROW(faults.maybe_throw("ps.push"));
+}
+
+TEST(FaultInjector, NthFiresOnExactlyTheNthHit) {
+  FaultInjector faults(1);
+  FaultTrigger trigger;
+  trigger.nth = 3;
+  faults.arm("kv.put", trigger);
+  EXPECT_FALSE(faults.should_fire("kv.put"));
+  EXPECT_FALSE(faults.should_fire("kv.put"));
+  EXPECT_TRUE(faults.should_fire("kv.put"));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(faults.should_fire("kv.put"));
+  EXPECT_EQ(faults.fired("kv.put"), 1u);
+  EXPECT_EQ(faults.hits("kv.put"), 13u);
+}
+
+TEST(FaultInjector, MaxFiresBoundsTheBudget) {
+  FaultInjector faults(1);
+  FaultTrigger trigger;
+  trigger.probability = 1.0;
+  trigger.max_fires = 2;
+  faults.arm("ps.push", trigger);
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) fired += faults.should_fire("ps.push") ? 1 : 0;
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(faults.total_fired(), 2u);
+}
+
+TEST(FaultInjector, OneShotDisarmsAfterFirstFiring) {
+  FaultInjector faults(1);
+  FaultTrigger trigger;
+  trigger.probability = 1.0;
+  trigger.one_shot = true;
+  faults.arm("a", trigger);
+  EXPECT_TRUE(faults.should_fire("a"));
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(faults.should_fire("a"));
+  EXPECT_EQ(faults.fired("a"), 1u);
+}
+
+TEST(FaultInjector, WindowGatesOnTheInterval) {
+  FaultInjector faults(1);
+  FaultTrigger trigger;
+  trigger.probability = 1.0;
+  trigger.window_begin = 2;
+  trigger.window_end = 3;
+  faults.arm("w", trigger);
+  for (int interval = 0; interval < 6; ++interval) {
+    faults.set_interval(interval);
+    const bool fired = faults.should_fire("w");
+    EXPECT_EQ(fired, interval >= 2 && interval <= 3) << interval;
+  }
+}
+
+TEST(FaultInjector, SeededScheduleReplaysBitForBit) {
+  FaultTrigger trigger;
+  trigger.probability = 0.3;
+  FaultInjector a(42), b(42);
+  a.arm("ps.push", trigger);
+  b.arm("ps.push", trigger);
+  // Arming an unrelated point must not perturb the first one's stream.
+  b.arm("kv.cas", trigger);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.should_fire("ps.push"), b.should_fire("ps.push")) << i;
+    b.should_fire("kv.cas");
+  }
+  EXPECT_EQ(a.fired("ps.push"), b.fired("ps.push"));
+  EXPECT_GT(a.fired("ps.push"), 0u);   // p=0.3 over 200 draws
+  EXPECT_LT(a.fired("ps.push"), 200u);
+}
+
+TEST(FaultInjector, PickIsDeterministicAndInRange) {
+  FaultInjector a(9), b(9);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t x = a.pick(7);
+    EXPECT_EQ(x, b.pick(7));
+    EXPECT_LT(x, 7u);
+  }
+}
+
+TEST(FaultInjector, MaybeThrowCarriesPointAndHit) {
+  FaultInjector faults(1);
+  FaultTrigger trigger;
+  trigger.nth = 2;
+  faults.arm("ps.push", trigger);
+  EXPECT_NO_THROW(faults.maybe_throw("ps.push"));
+  try {
+    faults.maybe_throw("ps.push");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& fault) {
+    EXPECT_EQ(fault.point(), "ps.push");
+    EXPECT_EQ(fault.hit(), 2u);
+  }
+}
+
+TEST(FaultInjector, FiringsAreCounted) {
+  obs::MetricsRegistry metrics;
+  FaultInjector faults(1);
+  faults.set_metrics(&metrics);
+  FaultTrigger trigger;
+  trigger.probability = 1.0;
+  faults.arm("kv.put", trigger);
+  faults.should_fire("kv.put");
+  faults.should_fire("kv.put");
+  EXPECT_EQ(metrics.counter("fault.injected").value(), 2.0);
+  EXPECT_EQ(metrics.counter("fault.injected.kv.put").value(), 2.0);
+}
+
+TEST(FaultInjector, SpecParsingArmsEveryClause) {
+  FaultInjector faults(1);
+  std::string error;
+  ASSERT_TRUE(faults.arm_from_spec(
+      "ps.push:prob=0.5,max=3;kv.put:nth=2,once;w:window=1-4", &error))
+      << error;
+  EXPECT_TRUE(faults.armed());
+  faults.set_interval(2);
+  EXPECT_FALSE(faults.should_fire("kv.put"));
+  EXPECT_TRUE(faults.should_fire("kv.put"));  // nth=2
+  EXPECT_FALSE(faults.should_fire("kv.put"));  // once
+}
+
+TEST(FaultInjector, MalformedSpecsAreRejected) {
+  for (const char* bad :
+       {"ps.push", "ps.push:prob=", ":prob=0.5", "ps.push:prob=x",
+        "ps.push:window=5", "ps.push:wat=1"}) {
+    FaultInjector faults(1);
+    std::string error;
+    EXPECT_FALSE(faults.arm_from_spec(bad, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic retry.
+
+TEST(Retry, BackoffScheduleIsDeterministicAndCapped) {
+  RetryOptions options;
+  options.initial_backoff_s = 0.1;
+  options.backoff_multiplier = 3.0;
+  options.max_backoff_s = 0.5;
+  EXPECT_DOUBLE_EQ(options.backoff_for_attempt(1), 0.0);  // first is free
+  EXPECT_DOUBLE_EQ(options.backoff_for_attempt(2), 0.1);
+  EXPECT_NEAR(options.backoff_for_attempt(3), 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(options.backoff_for_attempt(4), 0.5);  // capped
+  EXPECT_DOUBLE_EQ(options.backoff_for_attempt(9), 0.5);
+}
+
+TEST(Retry, SucceedsAfterTransientFailures) {
+  obs::MetricsRegistry metrics;
+  RetryStats stats;
+  int calls = 0;
+  const int result = with_retry(
+      RetryOptions{}, "op", &metrics,
+      [&] {
+        if (++calls < 3) throw std::runtime_error("transient");
+        return 41 + 1;
+      },
+      &stats);
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_GT(stats.backoff_s, 0.0);
+  EXPECT_EQ(metrics.counter("retry.attempts").value(), 3.0);
+  EXPECT_EQ(metrics.counter("retry.retries").value(), 2.0);
+  EXPECT_EQ(metrics.counter("retry.op.retries").value(), 2.0);
+  EXPECT_EQ(metrics.counter("retry.exhausted").value(), 0.0);
+}
+
+TEST(Retry, ExhaustionRethrowsTheLastErrorUnchanged) {
+  obs::MetricsRegistry metrics;
+  RetryOptions options;
+  options.max_attempts = 3;
+  int calls = 0;
+  try {
+    with_retry(options, "ps.push", &metrics, [&]() -> void {
+      throw InjectedFault("ps.push", static_cast<std::uint64_t>(++calls));
+    });
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& fault) {
+    EXPECT_EQ(fault.point(), "ps.push");
+    EXPECT_EQ(fault.hit(), 3u);  // the *last* attempt's error
+  }
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(metrics.counter("retry.exhausted").value(), 1.0);
+  EXPECT_EQ(metrics.counter("retry.ps.push.exhausted").value(), 1.0);
+}
+
+TEST(Retry, BackoffBudgetStopsAnAttemptStorm) {
+  RetryOptions options;
+  options.max_attempts = 100;
+  options.initial_backoff_s = 1.0;
+  options.backoff_multiplier = 1.0;
+  options.max_backoff_s = 1.0;
+  options.budget_s = 2.5;  // admits two 1 s delays, not a third
+  int calls = 0;
+  EXPECT_THROW(with_retry(options, "op", nullptr,
+                          [&]() -> void {
+                            ++calls;
+                            throw std::runtime_error("down");
+                          }),
+               std::runtime_error);
+  EXPECT_EQ(calls, 3);
+}
+
+// ---------------------------------------------------------------------------
+// KvStore: tombstones, TTL leases, injected failures.
+
+TEST(KvStoreRobust, EraseBumpsRevisionAndNotifiesTombstone) {
+  KvStore kv;
+  kv.put("a", "1");
+  const std::uint64_t before = kv.revision();
+  std::vector<std::pair<std::string, bool>> seen;
+  kv.watch("", [&](const std::string& key, const KvEntry& entry) {
+    seen.emplace_back(key, entry.deleted);
+  });
+  ASSERT_TRUE(kv.erase("a"));
+  EXPECT_EQ(kv.revision(), before + 1);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, "a");
+  EXPECT_TRUE(seen[0].second);  // tombstone, not a value update
+  EXPECT_FALSE(kv.get("a").has_value());
+  EXPECT_FALSE(kv.erase("a"));  // second erase: nothing to delete
+}
+
+TEST(KvStoreRobust, LeaseExpiryErasesKeysAndFiresWatch) {
+  KvStore kv;
+  const std::uint64_t lease = kv.lease_grant(5.0);
+  ASSERT_NE(kv.put_with_lease("agent/1", "spare", lease), 0u);
+  std::vector<std::string> tombstones;
+  kv.watch("agent/", [&](const std::string& key, const KvEntry& entry) {
+    if (entry.deleted) tombstones.push_back(key);
+  });
+  kv.advance_clock(4.0);
+  EXPECT_TRUE(kv.lease_alive(lease));
+  EXPECT_TRUE(kv.get("agent/1").has_value());
+  kv.advance_clock(2.0);  // now past the 5 s TTL
+  EXPECT_FALSE(kv.lease_alive(lease));
+  EXPECT_FALSE(kv.get("agent/1").has_value());
+  EXPECT_EQ(kv.leases_expired(), 1u);
+  ASSERT_EQ(tombstones.size(), 1u);
+  EXPECT_EQ(tombstones[0], "agent/1");
+}
+
+TEST(KvStoreRobust, KeepaliveRenewsTheLease) {
+  KvStore kv;
+  const std::uint64_t lease = kv.lease_grant(5.0);
+  kv.put_with_lease("k", "v", lease);
+  for (int i = 0; i < 5; ++i) {
+    kv.advance_clock(3.0);
+    EXPECT_TRUE(kv.lease_keepalive(lease)) << i;
+  }
+  EXPECT_TRUE(kv.lease_alive(lease));   // 15 s elapsed, heartbeats held it
+  kv.advance_clock(6.0);                // heartbeats stop
+  EXPECT_FALSE(kv.lease_alive(lease));
+  EXPECT_FALSE(kv.lease_keepalive(lease));  // renewing a dead lease fails
+}
+
+TEST(KvStoreRobust, OperationsOnExpiredLeasesFail) {
+  KvStore kv;
+  const std::uint64_t lease = kv.lease_grant(1.0);
+  kv.advance_clock(2.0);
+  EXPECT_EQ(kv.put_with_lease("k", "v", lease), 0u);
+  EXPECT_FALSE(kv.get("k").has_value());
+}
+
+TEST(KvStoreRobust, RevokeErasesOnlyTheLeasesKeys) {
+  KvStore kv;
+  const std::uint64_t lease = kv.lease_grant(100.0);
+  kv.put_with_lease("agent/1", "spare", lease);
+  kv.put("cluster/config", "2x2");  // lease-free
+  ASSERT_TRUE(kv.lease_revoke(lease));
+  EXPECT_FALSE(kv.get("agent/1").has_value());
+  EXPECT_TRUE(kv.get("cluster/config").has_value());
+  EXPECT_FALSE(kv.lease_revoke(lease));
+  EXPECT_EQ(kv.leases_expired(), 0u);  // revocation is not an expiry
+}
+
+TEST(KvStoreRobust, InjectedPutFailuresThrow) {
+  KvStore kv;
+  FaultInjector faults(3);
+  FaultTrigger trigger;
+  trigger.nth = 1;
+  faults.arm("kv.put", trigger);
+  kv.set_fault_injector(&faults);
+  EXPECT_THROW(kv.put("a", "1"), InjectedFault);
+  // The failed put mutated nothing; the next one lands.
+  EXPECT_FALSE(kv.get("a").has_value());
+  EXPECT_NE(kv.put("a", "1"), 0u);
+  EXPECT_EQ(kv.get("a")->value, "1");
+}
+
+// ---------------------------------------------------------------------------
+// TrainingCluster under injected faults.
+
+const nn::Dataset& dataset() {
+  static const nn::Dataset ds = nn::make_blobs(192, 12, 4, 0.5, 99);
+  return ds;
+}
+
+TrainingClusterOptions chaos_cluster_options() {
+  TrainingClusterOptions options;
+  options.layer_sizes = {12, 32, 4};
+  options.epoch_size = dataset().size();
+  options.batch_size = 32;
+  options.initial_instances = 6;
+  options.seed = 7;
+  return options;
+}
+
+TEST(TrainingClusterFaults, MidIterationKillPreservesExactlyOnce) {
+  TrainingCluster cluster(chaos_cluster_options(), &dataset());
+  obs::MetricsRegistry metrics;
+  FaultInjector faults(11);
+  FaultTrigger trigger;
+  trigger.nth = 3;
+  trigger.one_shot = true;
+  faults.arm("cluster.kill_mid_iteration", trigger);
+  faults.set_metrics(&metrics);
+  cluster.set_fault_injector(&faults);
+  cluster.set_metrics(&metrics);
+  ASSERT_EQ(cluster.reconfigure({2, 2}), MigrationKind::kPipeline);
+
+  bool killed = false;
+  bool epoch_done = false;
+  int guard = 0;
+  while (!epoch_done && ++guard < 100) {
+    const auto outcome = cluster.train_iteration();
+    if (!outcome) {
+      // The injected zero-grace kill: the in-flight lease was aborted,
+      // one agent is gone, and training needs a reconfigure.
+      ASSERT_FALSE(cluster.assignment_intact());
+      EXPECT_EQ(cluster.alive_count(), 5);
+      EXPECT_EQ(cluster.samples().outstanding_leases(), 0u);
+      killed = true;
+      ASSERT_NE(cluster.reconfigure({2, 2}), MigrationKind::kSuspend);
+      continue;
+    }
+    epoch_done = outcome->epoch_finished;
+  }
+  ASSERT_TRUE(killed);
+  ASSERT_TRUE(epoch_done);
+  EXPECT_EQ(metrics.counter("cluster.mid_iteration_kills").value(), 1.0);
+
+  // Exactly-once: the epoch committed every sample exactly one time,
+  // including the ones whose first lease was destroyed by the kill.
+  std::vector<std::size_t> committed = cluster.samples().committed_samples();
+  ASSERT_EQ(committed.size(), dataset().size());
+  std::sort(committed.begin(), committed.end());
+  for (std::size_t i = 0; i < committed.size(); ++i)
+    ASSERT_EQ(committed[i], i);
+  EXPECT_TRUE(cluster.replicas_consistent());
+}
+
+TEST(TrainingClusterFaults, MidMigrationKillAbortsAndRollsBack) {
+  TrainingCluster cluster(chaos_cluster_options(), &dataset());
+  obs::MetricsRegistry metrics;
+  FaultInjector faults(11);
+  cluster.set_metrics(&metrics);
+  ASSERT_EQ(cluster.reconfigure({2, 2}), MigrationKind::kPipeline);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(cluster.train_iteration());
+  const std::vector<float> before = cluster.assembled_parameters();
+
+  FaultTrigger trigger;
+  trigger.nth = 1;
+  trigger.one_shot = true;
+  faults.arm("cluster.kill_mid_migration", trigger);
+  cluster.set_fault_injector(&faults);
+
+  // The depth change rebuilds every slot; the kill lands between two
+  // slot copies, the partial plan is abandoned, and the cluster falls
+  // back to a full restore from ParcaePS.
+  const MigrationKind kind = cluster.reconfigure({2, 1});
+  EXPECT_EQ(kind, MigrationKind::kRollback);
+  EXPECT_EQ(cluster.alive_count(), 5);
+  EXPECT_EQ(cluster.config(), (ParallelConfig{2, 1}));
+  EXPECT_TRUE(cluster.assignment_intact());
+  EXPECT_TRUE(cluster.replicas_consistent());
+  EXPECT_EQ(metrics.counter("cluster.migrations_aborted").value(), 1.0);
+  // ParcaePS mirrored every committed iteration, so the rollback is
+  // lossless: the model is bit-identical to the pre-migration state.
+  EXPECT_EQ(cluster.assembled_parameters(), before);
+  ASSERT_TRUE(cluster.train_iteration());
+}
+
+TEST(TrainingClusterFaults, MidMigrationKillBelowTargetSuspends) {
+  TrainingClusterOptions options = chaos_cluster_options();
+  options.initial_instances = 4;
+  TrainingCluster cluster(options, &dataset());
+  obs::MetricsRegistry metrics;
+  FaultInjector faults(11);
+  cluster.set_metrics(&metrics);
+  ASSERT_EQ(cluster.reconfigure({2, 2}), MigrationKind::kPipeline);
+  ASSERT_TRUE(cluster.train_iteration());
+
+  FaultTrigger trigger;
+  trigger.nth = 1;
+  trigger.one_shot = true;
+  faults.arm("cluster.kill_mid_migration", trigger);
+  cluster.set_fault_injector(&faults);
+
+  // 4 alive, target 4x1 needs all 4; the kill leaves 3, so the aborted
+  // plan cannot be restored at this size — the cluster suspends.
+  const MigrationKind kind = cluster.reconfigure({4, 1});
+  EXPECT_EQ(kind, MigrationKind::kSuspend);
+  EXPECT_EQ(cluster.config(), kIdleConfig);
+  EXPECT_EQ(cluster.alive_count(), 3);
+  // Training resumes from ParcaePS at a size that fits.
+  ASSERT_EQ(cluster.reconfigure({1, 2}), MigrationKind::kRollback);
+  ASSERT_TRUE(cluster.train_iteration());
+  EXPECT_TRUE(cluster.replicas_consistent());
+}
+
+TEST(TrainingClusterFaults, PsPushRetriesRecoverTransientFailures) {
+  TrainingClusterOptions options = chaos_cluster_options();
+  TrainingCluster cluster(options, &dataset());
+  obs::MetricsRegistry metrics;
+  FaultInjector faults(5);
+  FaultTrigger trigger;
+  trigger.nth = 2;  // the 2nd push attempt fails once; the retry lands
+  trigger.one_shot = true;
+  faults.arm("ps.push", trigger);
+  faults.set_metrics(&metrics);
+  cluster.set_fault_injector(&faults);
+  cluster.set_metrics(&metrics);
+  ASSERT_EQ(cluster.reconfigure({2, 2}), MigrationKind::kPipeline);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(cluster.train_iteration());
+  EXPECT_EQ(metrics.counter("retry.ps.push.retries").value(), 1.0);
+  EXPECT_EQ(metrics.counter("retry.exhausted").value(), 0.0);
+  EXPECT_EQ(metrics.counter("cluster.ps_refreshes").value(), 0.0);
+
+  // The retried push was not double-applied: a PS rollback restores
+  // exactly the trainer's state.
+  const std::vector<float> before = cluster.assembled_parameters();
+  ASSERT_EQ(cluster.reconfigure(kIdleConfig), MigrationKind::kSuspend);
+  ASSERT_EQ(cluster.reconfigure({2, 2}), MigrationKind::kRollback);
+  EXPECT_EQ(cluster.assembled_parameters(), before);
+}
+
+TEST(TrainingClusterFaults, PsPushExhaustionRefreshesTheReplica) {
+  TrainingCluster cluster(chaos_cluster_options(), &dataset());
+  obs::MetricsRegistry metrics;
+  FaultInjector faults(5);
+  FaultTrigger trigger;
+  trigger.probability = 1.0;  // every push fails through every retry
+  faults.arm("ps.push", trigger);
+  faults.set_metrics(&metrics);
+  cluster.set_fault_injector(&faults);
+  cluster.set_metrics(&metrics);
+  ASSERT_EQ(cluster.reconfigure({2, 2}), MigrationKind::kPipeline);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(cluster.train_iteration());
+  EXPECT_GT(metrics.counter("retry.exhausted").value(), 0.0);
+  EXPECT_GT(metrics.counter("cluster.ps_refreshes").value(), 0.0);
+
+  // The fallback refreshed the PS from the trainer's post-update
+  // state, so the checkpoint never lagged: disarm the fault, suspend,
+  // and restore — bit-identical to what the trainers held.
+  const std::vector<float> before = cluster.assembled_parameters();
+  faults.disarm("ps.push");
+  ASSERT_EQ(cluster.reconfigure(kIdleConfig), MigrationKind::kSuspend);
+  ASSERT_EQ(cluster.reconfigure({2, 2}), MigrationKind::kRollback);
+  EXPECT_EQ(cluster.assembled_parameters(), before);
+  EXPECT_TRUE(cluster.replicas_consistent());
+}
+
+TEST(TrainingClusterFaults, SilentDeathSurfacesOnlyThroughLeaseExpiry) {
+  TrainingCluster cluster(chaos_cluster_options(), &dataset());
+  const int victim = cluster.agents().front().id;
+
+  // Silent kill: no tombstone, no "preempted" marker — the kv record
+  // stays and the lease survives until its TTL runs out.
+  cluster.kill({victim});
+  EXPECT_EQ(cluster.alive_count(), 5);
+  const std::string key = "agent/" + std::to_string(victim);
+  EXPECT_TRUE(cluster.kv().get(key).has_value());
+
+  // Heartbeats renew the survivors; the dead agent's heartbeats have
+  // stopped, so its lease deadline stays put while theirs move.
+  const double ttl = chaos_cluster_options().agent_lease_ttl_s;  // 150 s
+  cluster.heartbeat();                       // t=0: every deadline = ttl
+  cluster.kv().advance_clock(ttl * 0.6);     // t=90: nothing due yet
+  EXPECT_TRUE(cluster.kv().get(key).has_value());
+  cluster.heartbeat();                       // survivors -> t + ttl = 240
+  cluster.kv().advance_clock(ttl * 0.6);     // t=180: only the victim dies
+  EXPECT_FALSE(cluster.kv().get(key).has_value());
+  EXPECT_EQ(cluster.kv().leases_expired(), 1u);
+  EXPECT_EQ(cluster.kv().list("agent/").size(), 5u);  // survivors intact
+}
+
+// A graceful preemption cleans up eagerly: the lease is revoked and a
+// lease-free "preempted" record written — no expiry ever fires for it.
+TEST(TrainingClusterFaults, GracefulPreemptionRevokesTheLease) {
+  TrainingCluster cluster(chaos_cluster_options(), &dataset());
+  const int id = cluster.agents().front().id;
+  cluster.preempt({id});
+  const std::string key = "agent/" + std::to_string(id);
+  const auto record = cluster.kv().get(key);
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->value, "preempted");
+  // Run every remaining lease (the 5 live agents') off the clock: the
+  // preempted agent's record survives — nothing owned it anymore — and
+  // its revoked lease is not among the expiries.
+  cluster.kv().advance_clock(1e6);
+  EXPECT_EQ(cluster.kv().leases_expired(), 5u);
+  EXPECT_TRUE(cluster.kv().get(key).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// SpotTrainingDriver chaos runs (the acceptance scenario).
+
+SpotTrace chaos_trace() {
+  Rng rng(12);
+  SyntheticTraceOptions options;
+  options.capacity = 8;
+  options.target_availability = 6.0;
+  options.preemption_events = 10;
+  options.duration_s = 30 * 60.0;
+  return synthesize_trace(options, rng);
+}
+
+TrainingClusterOptions driver_cluster_options() {
+  TrainingClusterOptions options;
+  options.layer_sizes = {12, 32, 4};
+  options.epoch_size = dataset().size();
+  options.batch_size = 32;
+  options.initial_instances = 0;  // the trace allocates
+  options.seed = 7;
+  return options;
+}
+
+FaultInjector chaos_injector() {
+  FaultInjector faults(2026);
+  const bool ok = faults.arm_from_spec(
+      "cluster.kill_mid_iteration:nth=5,max=2;"
+      "cluster.kill_mid_migration:nth=3,max=1;"
+      "ps.push:prob=0.05;kv.put:prob=0.02");
+  EXPECT_TRUE(ok);
+  return faults;
+}
+
+TEST(SpotDriverFaults, SeededChaosRunSurvivesAndAccountsEverything) {
+  FaultInjector faults = chaos_injector();
+  SpotDriverOptions options;
+  options.faults = &faults;
+  SpotTrainingDriver driver(driver_cluster_options(), &dataset(), options);
+  const SpotDriverReport report = driver.run(chaos_trace());
+
+  // The acceptance scenario: at least one mid-iteration kill, one
+  // mid-migration abort and one PS push failure, and the run still
+  // completes with exactly-once accounting and consistent replicas.
+  EXPECT_GE(report.mid_iteration_kills, 1);
+  EXPECT_GE(report.migrations_aborted, 1);
+  EXPECT_GE(report.ps_push_retries, 1);
+  EXPECT_GT(report.faults_injected, 0);
+  EXPECT_GE(report.unpredicted_kills_survived,
+            report.mid_iteration_kills + report.migrations_aborted);
+  EXPECT_TRUE(report.replicas_always_consistent);
+  EXPECT_GT(report.iterations, 20);
+  EXPECT_TRUE(std::isfinite(report.final_loss));
+
+  // Every injected fault and recovery left an audit trail.
+  bool warned = false;
+  for (const TelemetryEvent& event : report.telemetry.events())
+    warned = warned || event.category == EventCategory::kWarning;
+  EXPECT_TRUE(warned);
+
+  // Exactly-once held through the churn: no sample is double-counted,
+  // so committed iterations exactly cover the completed epochs.
+  TrainingCluster& cluster = driver.cluster();
+  EXPECT_EQ(cluster.samples().outstanding_leases(), 0u);
+  EXPECT_TRUE(cluster.replicas_consistent());
+}
+
+TEST(SpotDriverFaults, ChaosRunsAreDeterministic) {
+  const auto run_once = [] {
+    FaultInjector faults = chaos_injector();
+    SpotDriverOptions options;
+    options.faults = &faults;
+    SpotTrainingDriver driver(driver_cluster_options(), &dataset(), options);
+    return driver.run(chaos_trace());
+  };
+  const SpotDriverReport a = run_once();
+  const SpotDriverReport b = run_once();
+  EXPECT_EQ(a.final_loss, b.final_loss);  // bit-identical
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.mid_iteration_kills, b.mid_iteration_kills);
+  EXPECT_EQ(a.migrations_aborted, b.migrations_aborted);
+  EXPECT_EQ(a.ps_push_retries, b.ps_push_retries);
+  EXPECT_EQ(a.lease_expirations, b.lease_expirations);
+  EXPECT_EQ(a.advised, b.advised);
+}
+
+TEST(SpotDriverFaults, ZeroFaultRunsAreBitIdenticalToNoInjector) {
+  const auto run = [](FaultInjector* faults) {
+    SpotDriverOptions options;
+    options.faults = faults;
+    SpotTrainingDriver driver(driver_cluster_options(), &dataset(), options);
+    return driver.run(chaos_trace());
+  };
+  // An injector whose armed points either never fire (p=0) or are
+  // never evaluated must not perturb the run at all.
+  FaultInjector faults(2026);
+  ASSERT_TRUE(
+      faults.arm_from_spec("ps.push:prob=0;never.evaluated:nth=1"));
+  const SpotDriverReport with = run(&faults);
+  const SpotDriverReport without = run(nullptr);
+  EXPECT_EQ(with.final_loss, without.final_loss);  // bit-identical
+  EXPECT_EQ(with.iterations, without.iterations);
+  EXPECT_EQ(with.epochs_completed, without.epochs_completed);
+  EXPECT_EQ(with.advised, without.advised);
+  EXPECT_EQ(with.migrations_by_kind, without.migrations_by_kind);
+  EXPECT_EQ(with.faults_injected, 0);
+  EXPECT_EQ(without.unpredicted_kills_survived, 0);
+  EXPECT_EQ(faults.total_fired(), 0u);
+}
+
+TEST(SpotDriverFaults, HoldsAtIdleWhenFaultsDropBelowMinViable) {
+  // A tiny cluster plus an aggressive kill schedule: every agent dies.
+  // The driver must degrade to pause-and-hold, not crash, and resume
+  // when the trace grants capacity back.
+  const SpotTrace trace = SpotTrace::from_minute_series(
+      "chaos-outage", {3, 3, 3, 3, 3, 3, 3, 3, 4, 4, 4, 4}, 8);
+  FaultInjector faults(7);
+  ASSERT_TRUE(faults.arm_from_spec(
+      "cluster.kill_mid_iteration:prob=0.6,max=6,window=2-5"));
+  SpotDriverOptions options;
+  options.faults = &faults;
+  SpotTrainingDriver driver(driver_cluster_options(), &dataset(), options);
+  const SpotDriverReport report = driver.run(trace);
+  EXPECT_EQ(report.intervals, 12);
+  EXPECT_GT(report.unpredicted_kills_survived, 0);
+  EXPECT_TRUE(report.replicas_always_consistent);
+  // Killed capacity is only re-learned through lease expiry, and the
+  // driver kept training (or holding) through all of it.
+  EXPECT_GT(report.iterations, 0);
+}
+
+}  // namespace
+}  // namespace parcae
