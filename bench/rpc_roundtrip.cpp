@@ -1,0 +1,89 @@
+// RPC layer microbenchmarks for the bench-regression harness
+// (bench/run_benches.sh): serializer encode+decode, a full
+// request/response round-trip over the deterministic InProcTransport,
+// and the same round-trip over a real TCP loopback socket. The inproc
+// numbers bound the pure protocol cost (envelope + replay cache); the
+// tcp ones add the kernel socket path the runtime pays per agent
+// operation when transport=tcp.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "rpc/rpc.h"
+#include "rpc/serializer.h"
+#include "rpc/transport.h"
+
+namespace parcae::rpc {
+namespace {
+
+// A payload shaped like the runtime's hot frame: ps.push sends a stage
+// id plus a gradient tensor of a few thousand floats.
+std::vector<float> gradient(std::size_t n) {
+  std::vector<float> g(n);
+  for (std::size_t i = 0; i < n; ++i)
+    g[i] = static_cast<float>(i) * 0.25f - 100.0f;
+  return g;
+}
+
+void BM_SerializerRoundTrip(benchmark::State& state) {
+  const std::vector<float> g = gradient(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    ByteWriter w;
+    w.u32(3);
+    w.str("ps.push");
+    w.floats(g);
+    ByteReader r(w.take());
+    benchmark::DoNotOptimize(r.u32());
+    benchmark::DoNotOptimize(r.str());
+    benchmark::DoNotOptimize(r.floats());
+    r.expect_done();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.size() * 4));
+}
+BENCHMARK(BM_SerializerRoundTrip)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+// One echo method served over a transport; each iteration is a full
+// call(): envelope encode, transport send, server dispatch, replay
+// cache bookkeeping, response decode.
+void roundtrip(benchmark::State& state, Transport& transport,
+               std::size_t tensor) {
+  RpcServer server(transport);
+  server.register_method("echo", [](const std::string& p) { return p; });
+  server.start();
+
+  RpcClientOptions options;
+  options.deadline_s = 2.0;
+  RpcClient client(transport, "bench-agent", options);
+
+  ByteWriter w;
+  w.floats(gradient(tensor));
+  const std::string payload = w.take();
+  for (auto _ : state) {
+    std::string response = client.call("echo", payload);
+    benchmark::DoNotOptimize(response);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload.size()));
+  client.close();
+  server.stop();
+  transport.shutdown();
+}
+
+void BM_InProcRoundTrip(benchmark::State& state) {
+  InProcTransport transport;
+  roundtrip(state, transport, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_InProcRoundTrip)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_TcpRoundTrip(benchmark::State& state) {
+  auto transport = make_tcp_transport();
+  roundtrip(state, *transport, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_TcpRoundTrip)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace parcae::rpc
+
+BENCHMARK_MAIN();

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Bench-regression harness for the liveput decision path (Figure 18b).
+# Bench-regression harness: the liveput decision path (Figure 18b)
+# and the RPC transport layer (serializer / inproc / tcp round-trips).
 #
 #   bench/run_benches.sh               run + compare against the
 #                                      committed baseline (fails on a
@@ -9,37 +10,46 @@
 #                                      whenever an intentional perf
 #                                      change lands)
 #
-# Emits BENCH_optimizer_time.json (google-benchmark JSON) at the repo
-# root; the committed reference lives in bench/baselines/. Builds the
-# `release-bench` CMake preset (pure Release) so numbers are not
-# polluted by RelWithDebInfo assertions in dependencies.
+# Emits BENCH_optimizer_time.json and BENCH_rpc_roundtrip.json
+# (google-benchmark JSON) at the repo root; the committed references
+# live in bench/baselines/. Builds the `release-bench` CMake preset
+# (pure Release) so numbers are not polluted by RelWithDebInfo
+# assertions in dependencies.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${THRESHOLD:-2.0}"
 MIN_TIME="${MIN_TIME:-0.1}"
-OUT=BENCH_optimizer_time.json
-BASELINE=bench/baselines/BENCH_optimizer_time.json
+BENCHES=(fig18b_optimizer_time rpc_roundtrip)
+OUTS=(BENCH_optimizer_time.json BENCH_rpc_roundtrip.json)
 
 cmake --preset release-bench >/dev/null
-cmake --build --preset release-bench --target fig18b_optimizer_time
+cmake --build --preset release-bench --target "${BENCHES[@]}"
 
-./build-release/bench/fig18b_optimizer_time \
-    --benchmark_out="${OUT}" \
-    --benchmark_out_format=json \
-    --benchmark_min_time="${MIN_TIME}"
+status=0
+for i in "${!BENCHES[@]}"; do
+    bench="${BENCHES[$i]}"
+    out="${OUTS[$i]}"
+    baseline="bench/baselines/${out}"
 
-if [[ "${1:-}" == "--rebaseline" ]]; then
-    mkdir -p "$(dirname "${BASELINE}")"
-    cp "${OUT}" "${BASELINE}"
-    echo "baseline rewritten: ${BASELINE}"
-    exit 0
-fi
+    "./build-release/bench/${bench}" \
+        --benchmark_out="${out}" \
+        --benchmark_out_format=json \
+        --benchmark_min_time="${MIN_TIME}"
 
-if [[ ! -f "${BASELINE}" ]]; then
-    echo "no committed baseline at ${BASELINE}; run with --rebaseline first" >&2
-    exit 1
-fi
+    if [[ "${1:-}" == "--rebaseline" ]]; then
+        mkdir -p "$(dirname "${baseline}")"
+        cp "${out}" "${baseline}"
+        echo "baseline rewritten: ${baseline}"
+        continue
+    fi
 
-python3 bench/compare.py "${BASELINE}" "${OUT}" --threshold "${THRESHOLD}"
+    if [[ ! -f "${baseline}" ]]; then
+        echo "no committed baseline at ${baseline}; run with --rebaseline first" >&2
+        exit 1
+    fi
+
+    python3 bench/compare.py "${baseline}" "${out}" --threshold "${THRESHOLD}" || status=$?
+done
+exit "${status}"

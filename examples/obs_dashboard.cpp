@@ -170,5 +170,20 @@ int main(int argc, char** argv) {
               "iterations\n",
               report.replicas_always_consistent ? "yes" : "NO",
               report.final_loss, report.iterations);
+
+  // Every agent-side KV/PS operation in the chaos run crossed the RPC
+  // layer (docs/rpc.md), so its counters are part of the dashboard.
+  bool any_rpc = false;
+  TextTable rpc({"rpc counter", "value"});
+  for (const auto& [name, value] : report.metrics.counters) {
+    if (name.rfind("rpc.", 0) != 0) continue;
+    rpc.row().add(name).add(value);
+    any_rpc = true;
+  }
+  if (any_rpc) {
+    std::printf("\nrpc (%s transport):\n",
+                driver.cluster().rpc_transport().kind());
+    std::printf("%s", rpc.to_string().c_str());
+  }
   return 0;
 }

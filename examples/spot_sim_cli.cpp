@@ -24,6 +24,15 @@
 //   trace_json=<file>      Chrome trace events (chrome://tracing,
 //                          https://ui.perfetto.dev)
 //   events_jsonl=<file>    scheduler EventLog as JSONL (Parcae modes)
+//   transport=inproc|tcp   also run the *real* runtime (laptop-scale
+//                          SpotTrainingDriver) on a prefix of the
+//                          selected trace, with agents reaching the
+//                          KV/PS hub over this transport (docs/rpc.md),
+//                          and print the driver report + rpc.* counters
+//   rpc_port=<int>         TCP listen port for transport=tcp
+//                          (0 = ephemeral)
+//   runtime_minutes=<int>  trace prefix the runtime pass replays
+//                          (default 20)
 //
 // Example:
 //   spot_sim_cli model=GPT-3 trace=LA-SP system=varuna
@@ -42,9 +51,11 @@
 #include "baselines/varuna_policy.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
+#include "nn/dataset.h"
 #include "obs/profile_span.h"
 #include "obs/timeseries.h"
 #include "runtime/parcae_policy.h"
+#include "runtime/spot_driver.h"
 #include "trace/trace_io.h"
 
 using namespace parcae;
@@ -273,6 +284,54 @@ int main(int argc, char** argv) {
                     parcae_policy->telemetry().size());
       }
     }
+  }
+
+  // transport= asks for a real-runtime pass on top of the simulation:
+  // replay a prefix of the same trace through the laptop-scale
+  // SpotTrainingDriver with agents reaching the KV/PS hub over the
+  // chosen transport. The faults= spec (if any) applies here too, so
+  // `transport=tcp faults=rpc.drop:prob=0.05` is a chaos smoke.
+  const std::string transport = get(args, "transport", "");
+  if (!transport.empty()) {
+    const double minutes = std::stod(get(args, "runtime_minutes", "20"));
+    const SpotTrace prefix =
+        trace.slice(0.0, minutes * 60.0, trace.name() + "-prefix");
+    const auto dataset = nn::make_blobs(256, 16, 5, 0.5, 20240101);
+
+    TrainingClusterOptions copt;
+    copt.layer_sizes = {16, 48, 32, 5};
+    copt.epoch_size = dataset.size();
+    copt.batch_size = 64;
+    copt.initial_instances = 0;  // the trace grants them
+    copt.transport = transport;
+    copt.rpc_port = std::stoi(get(args, "rpc_port", "0"));
+
+    SpotDriverOptions dopt;
+    dopt.iterations_per_interval = 6;
+    if (faults.armed()) dopt.faults = &faults;
+    SpotTrainingDriver driver(copt, &dataset, dopt);
+    std::printf("\nruntime pass (%s transport",
+                driver.cluster().rpc_transport().kind());
+    if (transport == "tcp")
+      std::printf(" on %s", driver.cluster().rpc_address().c_str());
+    std::printf(", %.0f min prefix):\n", minutes);
+    const SpotDriverReport report = driver.run(prefix);
+    std::printf(
+        "  %d intervals, %lld iterations, final loss %.4f, "
+        "%lld PS rollbacks, consistency %s\n",
+        report.intervals, report.iterations,
+        static_cast<double>(report.final_loss), report.ps_rollbacks,
+        report.replicas_always_consistent ? "held" : "VIOLATED");
+    const auto rpc_counter = [&report](const std::string& name) {
+      const auto it = report.metrics.counters.find(name);
+      return it == report.metrics.counters.end() ? 0.0 : it->second;
+    };
+    std::printf(
+        "  rpc: %.0f requests (%.0f retries, %.0f timeouts), "
+        "%.0f/%.0f frames sent/received, %.0f dropped\n",
+        rpc_counter("rpc.requests"), rpc_counter("rpc.client.retries"),
+        rpc_counter("rpc.timeouts"), rpc_counter("rpc.frames_sent"),
+        rpc_counter("rpc.frames_received"), rpc_counter("rpc.dropped"));
   }
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdlib>
+#include <tuple>
 
 #include "obs/metrics.h"
 
@@ -55,10 +56,14 @@ void FaultInjector::arm(const std::string& point, FaultTrigger trigger) {
   Point p;
   p.trigger = trigger;
   p.rng = Rng(seed_ ^ hash_name(point));
+  std::lock_guard lock(*mu_);
   points_[point] = std::move(p);
 }
 
-void FaultInjector::disarm(const std::string& point) { points_.erase(point); }
+void FaultInjector::disarm(const std::string& point) {
+  std::lock_guard lock(*mu_);
+  points_.erase(point);
+}
 
 bool FaultInjector::arm_from_spec(const std::string& spec,
                                   std::string* error) {
@@ -129,17 +134,18 @@ bool FaultInjector::arm_from_spec(const std::string& spec,
   return true;
 }
 
-bool FaultInjector::should_fire(std::string_view point) {
+std::pair<bool, std::uint64_t> FaultInjector::evaluate_locked(
+    std::string_view point) {
   const auto it = points_.find(point);
-  if (it == points_.end()) return false;
+  if (it == points_.end()) return {false, 0};
   Point& p = it->second;
-  if (p.disarmed) return false;
+  if (p.disarmed) return {false, p.hits};
   ++p.hits;
   const FaultTrigger& t = p.trigger;
   if (interval_ < t.window_begin ||
       (t.window_end >= 0 && interval_ > t.window_end))
-    return false;
-  if (t.max_fires > 0 && p.fires >= t.max_fires) return false;
+    return {false, p.hits};
+  if (t.max_fires > 0 && p.fires >= t.max_fires) return {false, p.hits};
 
   bool fire = false;
   if (t.nth > 0 && p.hits == t.nth) fire = true;
@@ -147,40 +153,64 @@ bool FaultInjector::should_fire(std::string_view point) {
   // decided), keeping each point's stream a pure function of its hit
   // count.
   if (t.probability > 0.0 && p.rng.uniform() < t.probability) fire = true;
-  if (!fire) return false;
+  if (!fire) return {false, p.hits};
 
   ++p.fires;
   ++total_fired_;
   if (t.one_shot) p.disarmed = true;
   if (metrics_ != nullptr) {
+    // MetricsRegistry has its own lock and never calls back in, so
+    // counting under mu_ cannot deadlock.
     metrics_->counter("fault.injected").inc();
     metrics_->counter("fault.injected." + std::string(point)).inc();
   }
-  return true;
+  return {true, p.hits};
+}
+
+bool FaultInjector::should_fire(std::string_view point) {
+  std::lock_guard lock(*mu_);
+  return evaluate_locked(point).first;
 }
 
 void FaultInjector::maybe_throw(std::string_view point) {
-  if (!should_fire(point)) return;
-  const auto it = points_.find(point);
-  throw InjectedFault(std::string(point),
-                      it == points_.end() ? 0 : it->second.hits);
+  bool fired = false;
+  std::uint64_t hit = 0;
+  {
+    std::lock_guard lock(*mu_);
+    std::tie(fired, hit) = evaluate_locked(point);
+  }
+  if (fired) throw InjectedFault(std::string(point), hit);
 }
 
 std::uint64_t FaultInjector::pick(std::uint64_t n) {
+  std::lock_guard lock(*mu_);
   return n == 0 ? 0 : pick_rng_.uniform_int(n);
 }
 
+bool FaultInjector::armed() const {
+  std::lock_guard lock(*mu_);
+  return !points_.empty();
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::lock_guard lock(*mu_);
+  return total_fired_;
+}
+
 std::uint64_t FaultInjector::hits(std::string_view point) const {
+  std::lock_guard lock(*mu_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 std::uint64_t FaultInjector::fired(std::string_view point) const {
+  std::lock_guard lock(*mu_);
   const auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }
 
 std::string FaultInjector::describe() const {
+  std::lock_guard lock(*mu_);
   std::string out;
   for (const auto& [name, point] : points_) {
     if (!out.empty()) out += ", ";

@@ -22,13 +22,26 @@
 //
 // Every firing increments fault.injected and fault.injected.<point>
 // in the attached MetricsRegistry, so an injected run is auditable.
+//
+// Locking rules: a single mutex guards the point table, every
+// evaluation, and every counter read — the TCP transport evaluates
+// rpc.* points from its server thread while the driver thread
+// evaluates kv.*/ps.* points on the same injector. Determinism is
+// unaffected: each point's stream is a pure function of its own hit
+// count, and the runtime's RPCs are synchronous ping-pong, so the
+// per-point hit order is identical with or without contention.
+// set_interval/set_metrics are configuration, called before threads
+// start.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "common/rng.h"
 
@@ -95,11 +108,11 @@ class FaultInjector {
   // targets without perturbing firing schedules.
   std::uint64_t pick(std::uint64_t n);
 
-  bool armed() const { return !points_.empty(); }
+  bool armed() const;
   // Evaluations / firings of one point so far (0 when never armed).
   std::uint64_t hits(std::string_view point) const;
   std::uint64_t fired(std::string_view point) const;
-  std::uint64_t total_fired() const { return total_fired_; }
+  std::uint64_t total_fired() const;
 
   // Human-readable list of armed points ("a, b, c"), for banners.
   std::string describe() const;
@@ -113,6 +126,12 @@ class FaultInjector {
     bool disarmed = false;
   };
 
+  // Evaluates under mu_; returns {fired, hit count at evaluation}.
+  std::pair<bool, std::uint64_t> evaluate_locked(std::string_view point);
+
+  // Behind a pointer so the injector stays movable (a moved-from
+  // injector is dead; only construction-time moves happen in practice).
+  std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
   std::uint64_t seed_;
   Rng pick_rng_;
   int interval_ = 0;

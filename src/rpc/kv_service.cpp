@@ -1,0 +1,210 @@
+#include "rpc/kv_service.h"
+
+#include "rpc/rpc.h"
+#include "rpc/serializer.h"
+
+namespace parcae::rpc {
+
+// Method payloads (docs/rpc.md has the full table). Responses encode
+// only what the in-process signature returns; KvEntry crosses as
+// value + version + lease + deleted.
+
+void KvService::bind(RpcServer& server) {
+  server.register_method("kv.put", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::string key = r.str();
+    const std::string value = r.str();
+    r.expect_done();
+    ByteWriter w;
+    w.u64(store_.put(key, value));
+    return w.take();
+  });
+  server.register_method("kv.put_lease", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::string key = r.str();
+    const std::string value = r.str();
+    const std::uint64_t lease = r.u64();
+    r.expect_done();
+    ByteWriter w;
+    w.u64(store_.put_with_lease(key, value, lease));
+    return w.take();
+  });
+  server.register_method("kv.get", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::string key = r.str();
+    r.expect_done();
+    const auto entry = store_.get(key);
+    ByteWriter w;
+    w.u8(entry.has_value() ? 1 : 0);
+    if (entry.has_value()) {
+      w.str(entry->value);
+      w.u64(entry->version);
+      w.u64(entry->lease);
+      w.u8(entry->deleted ? 1 : 0);
+    }
+    return w.take();
+  });
+  server.register_method("kv.cas", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::string key = r.str();
+    const std::uint64_t expected = r.u64();
+    const std::string value = r.str();
+    r.expect_done();
+    ByteWriter w;
+    w.u8(store_.cas(key, expected, value) ? 1 : 0);
+    return w.take();
+  });
+  server.register_method("kv.erase", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::string key = r.str();
+    r.expect_done();
+    ByteWriter w;
+    w.u8(store_.erase(key) ? 1 : 0);
+    return w.take();
+  });
+  server.register_method("kv.list", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::string prefix = r.str();
+    r.expect_done();
+    const auto keys = store_.list(prefix);
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(keys.size()));
+    for (const std::string& key : keys) w.str(key);
+    return w.take();
+  });
+  server.register_method("kv.revision", [this](const std::string& p) {
+    ByteReader(p).expect_done();
+    ByteWriter w;
+    w.u64(store_.revision());
+    return w.take();
+  });
+  server.register_method("kv.lease_grant", [this](const std::string& p) {
+    ByteReader r(p);
+    const double ttl_s = r.f64();
+    r.expect_done();
+    ByteWriter w;
+    w.u64(store_.lease_grant(ttl_s));
+    return w.take();
+  });
+  server.register_method("kv.keepalive", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::uint64_t lease = r.u64();
+    r.expect_done();
+    ByteWriter w;
+    w.u8(store_.lease_keepalive(lease) ? 1 : 0);
+    return w.take();
+  });
+  server.register_method("kv.lease_revoke", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::uint64_t lease = r.u64();
+    r.expect_done();
+    ByteWriter w;
+    w.u8(store_.lease_revoke(lease) ? 1 : 0);
+    return w.take();
+  });
+  server.register_method("kv.lease_alive", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::uint64_t lease = r.u64();
+    r.expect_done();
+    ByteWriter w;
+    w.u8(store_.lease_alive(lease) ? 1 : 0);
+    return w.take();
+  });
+}
+
+std::uint64_t KvClient::put(const std::string& key, const std::string& value) {
+  ByteWriter w;
+  w.str(key);
+  w.str(value);
+  ByteReader r(client_.call("kv.put", w.take()));
+  return r.u64();
+}
+
+std::uint64_t KvClient::put_with_lease(const std::string& key,
+                                       const std::string& value,
+                                       std::uint64_t lease_id) {
+  ByteWriter w;
+  w.str(key);
+  w.str(value);
+  w.u64(lease_id);
+  ByteReader r(client_.call("kv.put_lease", w.take()));
+  return r.u64();
+}
+
+std::optional<KvEntry> KvClient::get(const std::string& key) {
+  ByteWriter w;
+  w.str(key);
+  const std::string response = client_.call("kv.get", w.take());
+  ByteReader r(response);
+  if (r.u8() == 0) return std::nullopt;
+  KvEntry entry;
+  entry.value = r.str();
+  entry.version = r.u64();
+  entry.lease = r.u64();
+  entry.deleted = r.u8() != 0;
+  return entry;
+}
+
+bool KvClient::cas(const std::string& key, std::uint64_t expected_version,
+                   const std::string& value) {
+  ByteWriter w;
+  w.str(key);
+  w.u64(expected_version);
+  w.str(value);
+  ByteReader r(client_.call("kv.cas", w.take()));
+  return r.u8() != 0;
+}
+
+bool KvClient::erase(const std::string& key) {
+  ByteWriter w;
+  w.str(key);
+  ByteReader r(client_.call("kv.erase", w.take()));
+  return r.u8() != 0;
+}
+
+std::vector<std::string> KvClient::list(const std::string& prefix) {
+  ByteWriter w;
+  w.str(prefix);
+  const std::string response = client_.call("kv.list", w.take());
+  ByteReader r(response);
+  const std::uint32_t n = r.u32();
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) keys.push_back(r.str());
+  return keys;
+}
+
+std::uint64_t KvClient::revision() {
+  ByteReader r(client_.call("kv.revision", {}));
+  return r.u64();
+}
+
+std::uint64_t KvClient::lease_grant(double ttl_s) {
+  ByteWriter w;
+  w.f64(ttl_s);
+  ByteReader r(client_.call("kv.lease_grant", w.take()));
+  return r.u64();
+}
+
+bool KvClient::lease_keepalive(std::uint64_t lease_id) {
+  ByteWriter w;
+  w.u64(lease_id);
+  ByteReader r(client_.call("kv.keepalive", w.take()));
+  return r.u8() != 0;
+}
+
+bool KvClient::lease_revoke(std::uint64_t lease_id) {
+  ByteWriter w;
+  w.u64(lease_id);
+  ByteReader r(client_.call("kv.lease_revoke", w.take()));
+  return r.u8() != 0;
+}
+
+bool KvClient::lease_alive(std::uint64_t lease_id) {
+  ByteWriter w;
+  w.u64(lease_id);
+  ByteReader r(client_.call("kv.lease_alive", w.take()));
+  return r.u8() != 0;
+}
+
+}  // namespace parcae::rpc

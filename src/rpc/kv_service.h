@@ -1,0 +1,69 @@
+// KvStore over the wire: the full etcd-like API (put / get / cas /
+// erase / list / lease grant / keepalive / revoke) served by a
+// KvService and consumed through a KvClient with the same signatures
+// as the in-process store.
+//
+// The lease machinery crossing a real transport is what makes lease
+// expiry the *real* unpredicted-preemption signal: an agent whose
+// connection dies (or whose keepalives are dropped by fault
+// injection) simply stops renewing, and the scheduler — co-located
+// with the store, driving its logical clock — sees the tombstone.
+// Watches and advance_clock() stay server-side on purpose: the
+// scheduler owns the store the way the paper's scheduler owns etcd;
+// streaming watch events to remote peers is out of scope
+// (docs/rpc.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/kv_store.h"
+
+namespace parcae::rpc {
+
+class RpcClient;
+class RpcServer;
+
+// Server side: registers the kv.* methods on an RpcServer, delegating
+// to a caller-owned KvStore. The store's own mutex makes concurrent
+// access from a transport thread and the scheduler thread safe; fault
+// points inside the store (kv.put / kv.cas / kv.keepalive) fire
+// server-side and surface to remote callers as InjectedFault.
+class KvService {
+ public:
+  explicit KvService(KvStore& store) : store_(store) {}
+  void bind(RpcServer& server);
+
+ private:
+  KvStore& store_;
+};
+
+// Client side: KvStore's signatures over an RpcClient. Throws what the
+// store would throw (InjectedFault from armed kv.* points) plus the
+// transport's RpcTimeout/RpcError when the wire itself fails.
+class KvClient {
+ public:
+  explicit KvClient(RpcClient& client) : client_(client) {}
+
+  std::uint64_t put(const std::string& key, const std::string& value);
+  std::uint64_t put_with_lease(const std::string& key,
+                               const std::string& value,
+                               std::uint64_t lease_id);
+  std::optional<KvEntry> get(const std::string& key);
+  bool cas(const std::string& key, std::uint64_t expected_version,
+           const std::string& value);
+  bool erase(const std::string& key);
+  std::vector<std::string> list(const std::string& prefix);
+  std::uint64_t revision();
+  std::uint64_t lease_grant(double ttl_s);
+  bool lease_keepalive(std::uint64_t lease_id);
+  bool lease_revoke(std::uint64_t lease_id);
+  bool lease_alive(std::uint64_t lease_id);
+
+ private:
+  RpcClient& client_;
+};
+
+}  // namespace parcae::rpc

@@ -1,0 +1,137 @@
+#include "rpc/ps_service.h"
+
+#include "rpc/rpc.h"
+#include "rpc/serializer.h"
+
+namespace parcae::rpc {
+
+void PsService::bind(RpcServer& server) {
+  server.register_method("ps.reset", [this](const std::string& p) {
+    ByteReader r(p);
+    const float lr = r.f32();
+    const std::uint32_t stages = r.u32();
+    std::vector<std::unique_ptr<ParcaePs>> pool;
+    for (std::uint32_t s = 0; s < stages; ++s) {
+      std::vector<float> params = r.floats();
+      std::vector<float> opt = r.floats();
+      auto ps = std::make_unique<ParcaePs>(params, lr);
+      if (!opt.empty()) ps->restore(params, opt);
+      pool.push_back(std::move(ps));
+    }
+    r.expect_done();
+    std::lock_guard lock(mu_);
+    pool_ = std::move(pool);
+    for (auto& ps : pool_) ps->set_fault_injector(faults_);
+    return std::string();
+  });
+  server.register_method("ps.push", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::uint32_t stage = r.u32();
+    const std::vector<float> grads = r.floats();
+    r.expect_done();
+    ParcaePs* ps = checked_stage(stage);
+    ps->push_gradients(grads);
+    ByteWriter w;
+    w.i64(ps->version());
+    return w.take();
+  });
+  server.register_method("ps.pull", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::uint32_t stage = r.u32();
+    r.expect_done();
+    ParcaePs* ps = checked_stage(stage);
+    ByteWriter w;
+    w.floats(ps->parameters_snapshot());
+    w.floats(ps->optimizer_state());
+    w.i64(ps->version());
+    return w.take();
+  });
+  server.register_method("ps.restore", [this](const std::string& p) {
+    ByteReader r(p);
+    const std::uint32_t stage = r.u32();
+    const std::vector<float> params = r.floats();
+    const std::vector<float> opt = r.floats();
+    r.expect_done();
+    checked_stage(stage)->restore(params, opt);
+    return std::string();
+  });
+  server.register_method("ps.count", [this](const std::string& p) {
+    ByteReader(p).expect_done();
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(stage_count()));
+    return w.take();
+  });
+}
+
+void PsService::set_fault_injector(FaultInjector* faults) {
+  std::lock_guard lock(mu_);
+  faults_ = faults;
+  for (auto& ps : pool_) ps->set_fault_injector(faults);
+}
+
+int PsService::stage_count() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(pool_.size());
+}
+
+ParcaePs* PsService::stage(int s) {
+  std::lock_guard lock(mu_);
+  if (s < 0 || static_cast<std::size_t>(s) >= pool_.size()) return nullptr;
+  return pool_[static_cast<std::size_t>(s)].get();
+}
+
+ParcaePs* PsService::checked_stage(std::uint32_t s) {
+  std::lock_guard lock(mu_);
+  if (s >= pool_.size())
+    throw RpcError("ps: no stage " + std::to_string(s) + " (pool has " +
+                   std::to_string(pool_.size()) + ")");
+  return pool_[s].get();
+}
+
+void PsClient::reset(float learning_rate,
+                     const std::vector<PsStageState>& stages) {
+  ByteWriter w;
+  w.f32(learning_rate);
+  w.u32(static_cast<std::uint32_t>(stages.size()));
+  for (const PsStageState& s : stages) {
+    w.floats(s.parameters);
+    w.floats(s.optimizer_state);
+  }
+  client_.call("ps.reset", w.take());
+}
+
+long long PsClient::push(int stage, const std::vector<float>& gradients) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(stage));
+  w.floats(gradients);
+  ByteReader r(client_.call("ps.push", w.take()));
+  return r.i64();
+}
+
+PsStageState PsClient::pull(int stage) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(stage));
+  const std::string response = client_.call("ps.pull", w.take());
+  ByteReader r(response);
+  PsStageState state;
+  state.parameters = r.floats();
+  state.optimizer_state = r.floats();
+  state.version = r.i64();
+  return state;
+}
+
+void PsClient::restore(int stage, const std::vector<float>& parameters,
+                       const std::vector<float>& optimizer_state) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(stage));
+  w.floats(parameters);
+  w.floats(optimizer_state);
+  client_.call("ps.restore", w.take());
+}
+
+int PsClient::stage_count() {
+  ByteReader r(client_.call("ps.count", {}));
+  return static_cast<int>(r.u32());
+}
+
+}  // namespace parcae::rpc

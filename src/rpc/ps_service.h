@@ -1,0 +1,80 @@
+// ParcaePS over the wire: gradient push, full-state pull/restore, and
+// pool reset with tensor framing (§9.3).
+//
+// The PsService owns the per-stage ParcaePs replicas (the "CPU DRAM"
+// host of Figure 7); the training side only ever reaches them through
+// a PsClient. Gradients cross the wire as raw-IEEE float tensors, so
+// a pushed gradient and a pulled checkpoint are bit-exact with the
+// in-process path. The ps.push fault point fires server-side before
+// any state changes, and the server's replay cache means a push whose
+// *response* was lost is never double-applied on retry.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/parcae_ps.h"
+
+namespace parcae {
+class FaultInjector;
+}  // namespace parcae
+
+namespace parcae::rpc {
+
+class RpcClient;
+class RpcServer;
+
+// One stage's full checkpoint as it crosses the wire.
+struct PsStageState {
+  std::vector<float> parameters;
+  std::vector<float> optimizer_state;
+  long long version = 0;
+};
+
+// Server side: owns the ParcaePs pool, rebuilt on ps.reset when a
+// migration re-shards the model. Locking rule: the pool pointer array
+// is guarded by mu_ (reset can race a transport-thread push); each
+// ParcaePs serializes its own state internally.
+class PsService {
+ public:
+  void bind(RpcServer& server);
+
+  // Forwarded to every current and future replica.
+  void set_fault_injector(FaultInjector* faults);
+
+  int stage_count() const;
+  // Direct handle for tests; the runtime goes through PsClient.
+  ParcaePs* stage(int s);
+
+ private:
+  ParcaePs* checked_stage(std::uint32_t s);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ParcaePs>> pool_;
+  FaultInjector* faults_ = nullptr;
+};
+
+// Client side. Throws InjectedFault (armed server-side ps.push) and
+// the transport's RpcTimeout/RpcError.
+class PsClient {
+ public:
+  explicit PsClient(RpcClient& client) : client_(client) {}
+
+  // Replaces the pool with one replica per entry (version resets; the
+  // optimizer state is restored when non-empty).
+  void reset(float learning_rate, const std::vector<PsStageState>& stages);
+  // One committed iteration's mean gradient for `stage`; returns the
+  // replica's new version.
+  long long push(int stage, const std::vector<float>& gradients);
+  PsStageState pull(int stage);
+  void restore(int stage, const std::vector<float>& parameters,
+               const std::vector<float>& optimizer_state);
+  int stage_count();
+
+ private:
+  RpcClient& client_;
+};
+
+}  // namespace parcae::rpc

@@ -1,0 +1,206 @@
+#include "rpc/rpc.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "rpc/serializer.h"
+
+namespace parcae::rpc {
+
+namespace {
+
+constexpr std::uint8_t kKindRequest = 1;
+constexpr std::uint8_t kKindResponse = 2;
+constexpr std::uint8_t kStatusOk = 0;
+constexpr std::uint8_t kStatusError = 1;
+constexpr std::uint8_t kStatusInjectedFault = 2;
+
+// Client ids only need process-wide uniqueness (they key the server's
+// replay cache); they never influence results or appear in output.
+std::uint64_t next_client_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string encode_response(std::uint64_t client_id,
+                            std::uint64_t correlation_id,
+                            std::uint8_t status, const std::string& a,
+                            std::uint64_t hit = 0) {
+  ByteWriter w;
+  w.u8(kKindResponse);
+  w.u64(client_id);
+  w.u64(correlation_id);
+  w.u8(status);
+  w.bytes(a);
+  if (status == kStatusInjectedFault) w.u64(hit);
+  return w.take();
+}
+
+}  // namespace
+
+void RpcServer::register_method(std::string name, Handler handler) {
+  std::lock_guard lock(mu_);
+  methods_[std::move(name)] = std::move(handler);
+}
+
+void RpcServer::start() {
+  transport_.serve(
+      [this](const std::string& frame) { return serve_frame(frame); });
+}
+
+void RpcServer::stop() { transport_.shutdown(); }
+
+std::string RpcServer::serve_frame(const std::string& frame) {
+  std::uint64_t client_id = 0;
+  std::uint64_t correlation_id = 0;
+  std::string method;
+  std::string payload;
+  try {
+    ByteReader r(frame);
+    const std::uint8_t kind = r.u8();
+    client_id = r.u64();
+    correlation_id = r.u64();
+    if (kind != kKindRequest) throw SerializeError("not a request frame");
+    method = r.str();
+    payload = r.bytes();
+    r.expect_done();
+  } catch (const std::exception& e) {
+    if (metrics_ != nullptr) metrics_->counter("rpc.server.bad_frames").inc();
+    return encode_response(client_id, correlation_id, kStatusError, e.what());
+  }
+
+  Handler handler;
+  {
+    std::lock_guard lock(mu_);
+    // A retried request (same client + correlation id) replays the
+    // recorded outcome instead of re-executing — the handler may not
+    // be idempotent (KV CAS, PS gradient push).
+    const auto replay = replay_.find({client_id, correlation_id});
+    if (replay != replay_.end()) {
+      if (metrics_ != nullptr) metrics_->counter("rpc.server.replays").inc();
+      return replay->second;
+    }
+    const auto it = methods_.find(method);
+    if (it != methods_.end()) handler = it->second;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("rpc.server.requests").inc();
+    metrics_->counter("rpc.server.requests." + method).inc();
+  }
+
+  std::string response;
+  if (!handler) {
+    response = encode_response(client_id, correlation_id, kStatusError,
+                               "unknown method: " + method);
+  } else {
+    const double begin = wall_s();
+    try {
+      response = encode_response(client_id, correlation_id, kStatusOk,
+                                 handler(payload));
+    } catch (const InjectedFault& fault) {
+      response = encode_response(client_id, correlation_id,
+                                 kStatusInjectedFault, fault.point(),
+                                 fault.hit());
+    } catch (const std::exception& e) {
+      response =
+          encode_response(client_id, correlation_id, kStatusError, e.what());
+    }
+    if (metrics_ != nullptr)
+      metrics_->histogram("rpc.server.handle_s").observe(wall_s() - begin);
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    replay_[{client_id, correlation_id}] = response;
+    replay_order_.push_back({client_id, correlation_id});
+    while (replay_order_.size() > kReplayCacheSize) {
+      replay_.erase(replay_order_.front());
+      replay_order_.pop_front();
+    }
+  }
+  return response;
+}
+
+RpcClient::RpcClient(Transport& transport, std::string peer,
+                     RpcClientOptions options)
+    : transport_(transport),
+      connection_(transport.connect(std::move(peer))),
+      options_(options),
+      client_id_(next_client_id()) {}
+
+std::string RpcClient::call(std::string_view method, std::string payload) {
+  const std::uint64_t correlation_id = next_correlation_++;
+  ByteWriter w;
+  w.u8(1);  // kKindRequest
+  w.u64(client_id_);
+  w.u64(correlation_id);
+  w.str(method);
+  w.bytes(payload);
+  const std::string frame = w.take();
+
+  const double begin = wall_s();
+  double backoff_accum = 0.0;
+  for (int attempt = 1;; ++attempt) {
+    if (metrics_ != nullptr) metrics_->counter("rpc.requests").inc();
+    try {
+      // Same correlation id on every attempt: a resend of a request
+      // whose response was lost replays server-side (exactly-once).
+      connection_->send(frame);
+      const double deadline = wall_s() + options_.deadline_s;
+      while (true) {
+        const double budget = deadline - wall_s();
+        auto response = connection_->recv(budget);
+        if (!response) throw RpcTimeout(std::string(method));
+        ByteReader r(*response);
+        const std::uint8_t kind = r.u8();
+        const std::uint64_t rsp_client = r.u64();
+        const std::uint64_t rsp_correlation = r.u64();
+        if (kind != kKindResponse) throw SerializeError("not a response");
+        // A stale response from an earlier timed-out call: discard and
+        // keep waiting for ours.
+        if (rsp_client != client_id_ || rsp_correlation != correlation_id)
+          continue;
+        const std::uint8_t status = r.u8();
+        std::string body = r.bytes();
+        if (status == kStatusOk) {
+          if (metrics_ != nullptr) {
+            metrics_->counter("rpc.responses").inc();
+            metrics_->histogram("rpc.latency_s").observe(wall_s() - begin);
+          }
+          r.expect_done();
+          return body;
+        }
+        if (status == kStatusInjectedFault) {
+          const std::uint64_t hit = r.u64();
+          r.expect_done();
+          // Reconstruct the server-side fault so the caller's §8
+          // retry/fallback paths behave exactly as in-process.
+          throw InjectedFault(std::move(body), hit);
+        }
+        throw RpcError(std::move(body));
+      }
+    } catch (const InjectedFault&) {
+      throw;  // application-level: the caller owns this retry decision
+    } catch (const RpcError&) {
+      throw;
+    } catch (const std::exception&) {
+      // Transport-level failure (drop, timeout, reset, bad frame):
+      // retry on the deterministic with_retry backoff schedule.
+      if (metrics_ != nullptr) metrics_->counter("rpc.timeouts").inc();
+      if (!detail::retry_admits_another(options_.retry, attempt,
+                                        backoff_accum))
+        throw;
+      if (metrics_ != nullptr) metrics_->counter("rpc.client.retries").inc();
+    }
+  }
+}
+
+}  // namespace parcae::rpc

@@ -1,0 +1,122 @@
+// Request/response RPC over a Transport: correlation ids, per-call
+// deadlines, deterministic retry, and exactly-once replay.
+//
+// Envelope (see docs/rpc.md):
+//   request:  u8 kind=1, u64 client_id, u64 correlation_id,
+//             str method, bytes payload
+//   response: u8 kind=2, u64 client_id, u64 correlation_id, u8 status,
+//             status 0 (ok):             bytes payload
+//             status 1 (error):          str what
+//             status 2 (injected fault): str point, u64 hit
+//
+// RpcClient::call() sends the request and waits for the matching
+// correlation id until the per-call deadline. A transport-level
+// failure (dropped frame, timeout, reset) is retried on the
+// with_retry backoff schedule *with the same correlation id*; the
+// server's replay cache (keyed by client_id + correlation_id) then
+// returns the recorded response without re-executing the handler, so
+// a non-idempotent operation whose *response* was lost is applied
+// exactly once. Application-level outcomes are never retried here:
+// a status-2 response is rethrown as the original InjectedFault
+// (callers' retry/fallback paths fire exactly as they would have
+// in-process), and status 1 becomes RpcError.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/retry.h"
+#include "rpc/transport.h"
+
+namespace parcae::rpc {
+
+// Application-level failure reported by the server (unknown method,
+// handler exception, malformed payload).
+class RpcError : public std::runtime_error {
+ public:
+  explicit RpcError(const std::string& what)
+      : std::runtime_error("rpc: " + what) {}
+};
+
+// Deadline + retry budget exhausted without a response.
+class RpcTimeout : public TransportError {
+ public:
+  explicit RpcTimeout(const std::string& method)
+      : TransportError("no response to '" + method + "' within deadline") {}
+};
+
+// Serves named methods over one Transport endpoint. Handlers take the
+// request payload and return the response payload; exceptions become
+// error responses (InjectedFault keeps its identity across the wire).
+class RpcServer {
+ public:
+  using Handler = std::function<std::string(const std::string& payload)>;
+
+  explicit RpcServer(Transport& transport) : transport_(transport) {}
+  ~RpcServer() { stop(); }
+
+  void register_method(std::string name, Handler handler);
+  // Starts serving on the transport (registers serve_frame).
+  void start();
+  void stop();
+
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Frame in, frame out — exposed for tests; normally invoked by the
+  // transport (possibly on its thread: state is locked).
+  std::string serve_frame(const std::string& frame);
+
+ private:
+  static constexpr std::size_t kReplayCacheSize = 512;
+
+  Transport& transport_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  mutable std::mutex mu_;
+  std::map<std::string, Handler, std::less<>> methods_;
+  // Replay cache: (client id, correlation id) -> response frame, FIFO
+  // bounded. A retried request replays the recorded response instead
+  // of re-executing the handler (exactly-once for lost responses).
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::string> replay_;
+  std::deque<std::pair<std::uint64_t, std::uint64_t>> replay_order_;
+};
+
+struct RpcClientOptions {
+  // Per-call response deadline. InProc transports never wait (delivery
+  // is synchronous), so this only throttles TCP waits.
+  double deadline_s = 0.25;
+  // Backoff schedule for transport-level retries (same-correlation-id
+  // resends). Application errors are never retried at this layer.
+  RetryOptions retry;
+};
+
+class RpcClient {
+ public:
+  RpcClient(Transport& transport, std::string peer,
+            RpcClientOptions options = {});
+
+  // One remote call; returns the response payload. Throws the
+  // server-side InjectedFault / RpcError, or RpcTimeout when the
+  // transport retry budget is exhausted.
+  std::string call(std::string_view method, std::string payload);
+
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  Connection& connection() { return *connection_; }
+  void close() { connection_->close(); }
+
+ private:
+  Transport& transport_;
+  std::unique_ptr<Connection> connection_;
+  RpcClientOptions options_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::uint64_t client_id_;
+  std::uint64_t next_correlation_ = 1;
+};
+
+}  // namespace parcae::rpc

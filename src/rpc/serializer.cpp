@@ -1,0 +1,123 @@
+#include "rpc/serializer.h"
+
+#include <cstring>
+
+namespace parcae::rpc {
+
+namespace {
+
+// The wire is little-endian by definition; encode through shifts so
+// the codec is correct on any host byte order. Floats are transported
+// as their raw IEEE-754 bit pattern for bit-exact round-trips.
+std::uint32_t f32_bits(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+float f32_from_bits(std::uint32_t bits) {
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::uint64_t f64_bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double f64_from_bits(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void ByteWriter::f32(float v) { u32(f32_bits(v)); }
+
+void ByteWriter::f64(double v) { u64(f64_bits(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void ByteWriter::floats(const std::vector<float>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (const float x : v) f32(x);
+}
+
+const char* ByteReader::take(std::size_t n) {
+  if (n > remaining())
+    throw SerializeError("truncated frame: need " + std::to_string(n) +
+                         " bytes, have " + std::to_string(remaining()));
+  const char* p = buf_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t ByteReader::u8() {
+  return static_cast<std::uint8_t>(*take(1));
+}
+
+std::uint32_t ByteReader::u32() {
+  const char* p = take(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const char* p = take(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+float ByteReader::f32() { return f32_from_bits(u32()); }
+
+double ByteReader::f64() { return f64_from_bits(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  if (n > kMaxLength)
+    throw SerializeError("oversized string: " + std::to_string(n) + " bytes");
+  const char* p = take(n);
+  return std::string(p, n);
+}
+
+std::vector<float> ByteReader::floats() {
+  const std::uint32_t n = u32();
+  // The cap bounds the *byte* size so a corrupt count cannot drive a
+  // huge allocation before take() notices the truncation.
+  if (n > kMaxLength / sizeof(float))
+    throw SerializeError("oversized tensor: " + std::to_string(n) +
+                         " elements");
+  std::vector<float> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(f32());
+  return out;
+}
+
+void ByteReader::expect_done() const {
+  if (!done())
+    throw SerializeError("trailing bytes: " + std::to_string(remaining()));
+}
+
+}  // namespace parcae::rpc

@@ -1,0 +1,96 @@
+// Length-prefixed binary wire format for the RPC layer.
+//
+// A ByteWriter appends little-endian PODs, length-prefixed strings and
+// raw-IEEE float tensors to a flat byte buffer; a ByteReader walks the
+// same layout with *bounded* reads — every access validates that the
+// bytes exist and every length prefix is checked against kMaxLength
+// before any allocation, so a truncated or hostile frame is rejected
+// with SerializeError instead of over-reading or over-allocating.
+// Floats cross the wire as their raw 4-byte IEEE-754 pattern, so a
+// tensor round-trip is bit-exact (including NaN payloads) — the
+// property the inproc-vs-tcp driver-equivalence test leans on.
+//
+// Layout conventions (see docs/rpc.md for the per-message tables):
+//   u8/u32/u64/i64/f32/f64   fixed-width little-endian
+//   str / bytes              u32 length + that many bytes
+//   floats                   u32 element count + 4*count raw bytes
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcae::rpc {
+
+// Thrown by ByteReader on truncation, oversized length prefixes, or
+// trailing garbage (via expect_done()).
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what)
+      : std::runtime_error("rpc serialize: " + what) {}
+};
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f32(float v);
+  void f64(double v);
+  void str(std::string_view s);  // u32 length + bytes
+  void bytes(std::string_view s) { str(s); }
+  void floats(const std::vector<float>& v);  // u32 count + raw IEEE
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  // Upper bound on any single length prefix (strings, byte blobs, and
+  // float-tensor byte size): 64 MiB, far above anything the runtime
+  // sends but small enough that a corrupt prefix cannot drive a
+  // multi-gigabyte allocation.
+  static constexpr std::uint32_t kMaxLength = 64u << 20;
+
+  explicit ByteReader(std::string_view buf) : buf_(buf) {}
+  // Owning overload: keeps an rvalue message (e.g. a fresh RPC
+  // response) alive for the reader's lifetime, so
+  // `ByteReader r(client.call(...))` is safe.
+  explicit ByteReader(std::string&& buf)
+      : owned_(std::move(buf)), buf_(owned_) {}
+  ByteReader(const ByteReader&) = delete;
+  ByteReader& operator=(const ByteReader&) = delete;
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  float f32();
+  double f64();
+  std::string str();
+  std::string bytes() { return str(); }
+  std::vector<float> floats();
+
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+  // Throws when the message has trailing bytes (framing error).
+  void expect_done() const;
+
+ private:
+  // Validates that `n` more bytes exist, returning a pointer to them
+  // and advancing the cursor.
+  const char* take(std::size_t n);
+
+  std::string owned_;  // backing storage for the owning constructor
+  std::string_view buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace parcae::rpc

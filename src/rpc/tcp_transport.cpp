@@ -1,0 +1,360 @@
+// TcpTransport: the RPC layer over real localhost sockets.
+//
+// Server: one background thread runs a poll() loop over the listening
+// socket and every accepted connection, reassembles length-prefixed
+// frames from the byte stream, dispatches the frame handler inline and
+// queues the response bytes for write-out (partial writes are resumed
+// under POLLOUT). Client: blocking connect with a timeout (nonblocking
+// connect + poll + SO_ERROR), full-frame sends, and poll()-bounded
+// receives. shutdown() flips a flag the poll loop notices within one
+// poll timeout, joins the thread, and closes every file descriptor —
+// the e2e chaos run must exit with zero leaked sockets under ASan.
+//
+// Wire framing: u32 little-endian byte length, then the frame. The
+// length is capped (kMaxFrame) so a corrupt prefix tears the
+// connection down instead of driving an unbounded buffer.
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "rpc/transport.h"
+
+namespace parcae::rpc {
+
+namespace {
+
+constexpr std::uint32_t kMaxFrame = (64u << 20) + 4096;  // payload cap + slack
+constexpr int kPollMs = 20;  // server loop wake cadence (shutdown latency)
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void set_nodelay(int fd) {
+  // The RPC layer is strict request/response ping-pong; without
+  // NODELAY every call would eat a Nagle delay.
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void append_frame(std::string& out, const std::string& frame) {
+  const std::uint32_t n = static_cast<std::uint32_t>(frame.size());
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((n >> (8 * i)) & 0xff));
+  out.append(frame);
+}
+
+// Extracts one complete frame from `buf`, erasing it. Returns nullopt
+// when more bytes are needed; throws on an oversized length prefix.
+std::optional<std::string> extract_frame(std::string& buf) {
+  if (buf.size() < 4) return std::nullopt;
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i)
+    n |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  if (n > kMaxFrame) throw TransportError("oversized frame: " +
+                                          std::to_string(n) + " bytes");
+  if (buf.size() < 4 + static_cast<std::size_t>(n)) return std::nullopt;
+  std::string frame = buf.substr(4, n);
+  buf.erase(0, 4 + static_cast<std::size_t>(n));
+  return frame;
+}
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class TcpTransport;
+
+class TcpConnection : public Connection {
+ public:
+  TcpConnection(TcpTransport* transport, std::string peer, int fd);
+  ~TcpConnection() override { close(); }
+
+  void send(const std::string& frame) override;
+  std::optional<std::string> recv(double timeout_s) override;
+  void close() override;
+
+ private:
+  TcpTransport* transport_;
+  int fd_;
+  std::string rx_;  // bytes read but not yet framed
+};
+
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(int port, double connect_timeout_s)
+      : requested_port_(port), connect_timeout_s_(connect_timeout_s) {}
+  ~TcpTransport() override { shutdown(); }
+
+  void serve(FrameHandler handler) override {
+    if (listen_fd_ >= 0) throw TransportError("already serving");
+    handler_ = std::move(handler);
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw TransportError(errno_text("socket"));
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(requested_port_));
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      const std::string err = errno_text("bind");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw TransportError(err);
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port_ = ntohs(addr.sin_port);
+    if (listen(listen_fd_, 16) < 0) {
+      const std::string err = errno_text("listen");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw TransportError(err);
+    }
+    set_nonblocking(listen_fd_);
+    stop_.store(false);
+    server_thread_ = std::thread([this] { run_server(); });
+  }
+
+  void shutdown() override {
+    if (server_thread_.joinable()) {
+      stop_.store(true);
+      server_thread_.join();
+    }
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+  }
+
+  std::unique_ptr<Connection> connect(std::string peer) override {
+    if (listen_fd_ < 0) throw TransportError("endpoint is not serving");
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw TransportError(errno_text("socket"));
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(bound_port_));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+        errno != EINPROGRESS) {
+      const std::string err = errno_text("connect");
+      ::close(fd);
+      throw TransportError(err);
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int r =
+        poll(&pfd, 1, static_cast<int>(connect_timeout_s_ * 1000.0));
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (r <= 0 || soerr != 0) {
+      ::close(fd);
+      throw TransportError(r <= 0 ? "connect timeout"
+                                  : "connect: " + std::string(
+                                        std::strerror(soerr)));
+    }
+    return std::make_unique<TcpConnection>(this, std::move(peer), fd);
+  }
+
+  const char* kind() const override { return "tcp"; }
+  std::string address() const override {
+    return "tcp://127.0.0.1:" + std::to_string(bound_port_);
+  }
+
+ private:
+  friend class TcpConnection;
+
+  struct ServerConn {
+    std::string rx;
+    std::string tx;
+  };
+
+  void run_server() {
+    std::map<int, ServerConn> conns;
+    while (!stop_.load()) {
+      std::vector<pollfd> fds;
+      fds.push_back({listen_fd_, POLLIN, 0});
+      for (auto& [fd, conn] : conns) {
+        short events = POLLIN;
+        if (!conn.tx.empty()) events |= POLLOUT;
+        fds.push_back({fd, events, 0});
+      }
+      if (poll(fds.data(), fds.size(), kPollMs) < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (fds[0].revents & POLLIN) {
+        while (true) {
+          const int fd = accept(listen_fd_, nullptr, nullptr);
+          if (fd < 0) break;
+          set_nonblocking(fd);
+          set_nodelay(fd);
+          conns.emplace(fd, ServerConn{});
+        }
+      }
+      std::vector<int> dead;
+      for (std::size_t i = 1; i < fds.size(); ++i) {
+        const int fd = fds[i].fd;
+        ServerConn& conn = conns[fd];
+        if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+          if (!drain_reads(fd, conn)) {
+            dead.push_back(fd);
+            continue;
+          }
+        }
+        if (!conn.tx.empty()) flush_writes(fd, conn);
+      }
+      for (const int fd : dead) {
+        ::close(fd);
+        conns.erase(fd);
+      }
+    }
+    for (auto& [fd, conn] : conns) ::close(fd);
+  }
+
+  // Reads everything available; dispatches complete frames. Returns
+  // false when the peer closed or misbehaved (connection torn down —
+  // the client side surfaces that as a timeout and retries).
+  bool drain_reads(int fd, ServerConn& conn) {
+    char chunk[16384];
+    while (true) {
+      const ssize_t n = read(fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn.rx.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return false;  // EOF
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    try {
+      while (auto frame = extract_frame(conn.rx)) {
+        count_received(frame->size());
+        const std::string response = handler_(*frame);
+        if (admit_response(response) == Admit::kDrop) continue;
+        append_frame(conn.tx, response);
+      }
+    } catch (const std::exception&) {
+      return false;  // oversized frame or handler blow-up: drop the conn
+    }
+    return true;
+  }
+
+  static void flush_writes(int fd, ServerConn& conn) {
+    while (!conn.tx.empty()) {
+      const ssize_t n = write(fd, conn.tx.data(), conn.tx.size());
+      if (n > 0) {
+        conn.tx.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      conn.tx.clear();  // broken pipe; reader will reap the conn
+      break;
+    }
+  }
+
+  int requested_port_;
+  double connect_timeout_s_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  FrameHandler handler_;
+  std::atomic<bool> stop_{false};
+  std::thread server_thread_;
+};
+
+TcpConnection::TcpConnection(TcpTransport* transport, std::string peer,
+                             int fd)
+    : Connection(std::move(peer)), transport_(transport), fd_(fd) {
+  transport_->connection_delta(+1);
+}
+
+void TcpConnection::send(const std::string& frame) {
+  if (fd_ < 0) throw TransportError("send on closed connection");
+  if (transport_->admit_request(*this, frame) == Transport::Admit::kDrop)
+    return;
+  std::string framed;
+  framed.reserve(frame.size() + 4);
+  append_frame(framed, frame);
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = write(fd_, framed.data() + off, framed.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      poll(&pfd, 1, kPollMs);
+      continue;
+    }
+    throw TransportError(errno_text("write"));
+  }
+}
+
+std::optional<std::string> TcpConnection::recv(double timeout_s) {
+  if (fd_ < 0) throw TransportError("recv on closed connection");
+  if (!transport_->admit_recv(*this)) return std::nullopt;
+  const double deadline = now_s() + timeout_s;
+  while (true) {
+    if (auto frame = extract_frame(rx_)) {
+      transport_->count_received(frame->size());
+      return frame;
+    }
+    const double budget = deadline - now_s();
+    if (budget <= 0.0) return std::nullopt;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int r = poll(&pfd, 1,
+                       std::max(1, static_cast<int>(budget * 1000.0)));
+    if (r < 0 && errno != EINTR) throw TransportError(errno_text("poll"));
+    if (r <= 0) continue;  // re-check the deadline
+    char chunk[16384];
+    const ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      rx_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) throw TransportError("connection closed by server");
+    if (errno != EAGAIN && errno != EWOULDBLOCK)
+      throw TransportError(errno_text("read"));
+  }
+}
+
+void TcpConnection::close() {
+  if (fd_ < 0) return;
+  ::close(fd_);
+  fd_ = -1;
+  transport_->connection_delta(-1);
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> make_tcp_transport(int port,
+                                              double connect_timeout_s) {
+  return std::make_unique<TcpTransport>(port, connect_timeout_s);
+}
+
+}  // namespace parcae::rpc

@@ -1,0 +1,162 @@
+#include "rpc/transport.h"
+
+#include <deque>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace parcae::rpc {
+
+namespace {
+// Virtual latency charged per rpc.delay firing. The delay is never
+// slept (that would make inproc and tcp runs diverge); it accumulates
+// in rpc.injected_delay_s for the stall ledgers that care.
+constexpr double kInjectedDelayS = 0.01;
+}  // namespace
+
+void Transport::set_partitioned(const std::string& peer, bool on) {
+  std::lock_guard lock(partition_mu_);
+  if (on)
+    partitioned_.insert(peer);
+  else
+    partitioned_.erase(peer);
+}
+
+bool Transport::partitioned(const std::string& peer) const {
+  std::lock_guard lock(partition_mu_);
+  return partitioned_.count(peer) > 0;
+}
+
+Transport::Admit Transport::admit_request(const Connection& conn,
+                                          const std::string& frame) {
+  if (partitioned(conn.peer())) {
+    count_dropped();
+    return Admit::kDrop;
+  }
+  if (faults_ != nullptr) {
+    faults_->maybe_throw("rpc.send");
+    if (faults_->should_fire("rpc.partition") ||
+        faults_->should_fire("rpc.drop")) {
+      count_dropped();
+      return Admit::kDrop;
+    }
+    if (faults_->should_fire("rpc.delay") && metrics_ != nullptr) {
+      metrics_->counter("rpc.injected_delay_s").add(kInjectedDelayS);
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("rpc.frames_sent").inc();
+    metrics_->counter("rpc.bytes_sent").add(static_cast<double>(frame.size()));
+  }
+  return Admit::kDeliver;
+}
+
+Transport::Admit Transport::admit_response(const std::string& frame) {
+  if (faults_ != nullptr && (faults_->should_fire("rpc.partition") ||
+                             faults_->should_fire("rpc.drop"))) {
+    count_dropped();
+    return Admit::kDrop;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("rpc.frames_sent").inc();
+    metrics_->counter("rpc.bytes_sent").add(static_cast<double>(frame.size()));
+  }
+  return Admit::kDeliver;
+}
+
+bool Transport::admit_recv(const Connection& conn) {
+  if (partitioned(conn.peer())) return false;
+  if (faults_ != nullptr) faults_->maybe_throw("rpc.recv");
+  return true;
+}
+
+void Transport::count_received(std::size_t bytes) {
+  if (metrics_ == nullptr) return;
+  metrics_->counter("rpc.frames_received").inc();
+  metrics_->counter("rpc.bytes_received").add(static_cast<double>(bytes));
+}
+
+void Transport::count_dropped() {
+  if (metrics_ != nullptr) metrics_->counter("rpc.dropped").inc();
+}
+
+void Transport::connection_delta(int delta) {
+  if (metrics_ == nullptr) return;
+  obs::Gauge& g = metrics_->gauge("rpc.open_connections");
+  g.set(g.value() + delta);
+}
+
+// ---- in-process transport -------------------------------------------
+
+// Delivery is synchronous: send() pushes the request through the
+// handler on the calling thread and queues the response frame, so the
+// whole stack (serialize -> frame -> dispatch -> serialize -> frame ->
+// decode) is exercised with zero nondeterminism.
+class InProcConnection : public Connection {
+ public:
+  InProcConnection(InProcTransport* transport, std::string peer)
+      : Connection(std::move(peer)), transport_(transport) {
+    transport_->connection_delta(+1);
+  }
+  ~InProcConnection() override { close(); }
+
+  void send(const std::string& frame) override {
+    if (closed_) throw TransportError("send on closed connection");
+    if (transport_->admit_request(*this, frame) == Transport::Admit::kDrop)
+      return;
+    const std::string response = transport_->dispatch(frame);
+    if (transport_->admit_response(response) == Transport::Admit::kDrop)
+      return;
+    transport_->count_received(response.size());
+    inbox_.push_back(response);
+  }
+
+  std::optional<std::string> recv(double /*timeout_s*/) override {
+    if (closed_) throw TransportError("recv on closed connection");
+    if (!transport_->admit_recv(*this)) return std::nullopt;
+    if (inbox_.empty()) return std::nullopt;  // dropped: synchronous
+    std::string frame = std::move(inbox_.front());
+    inbox_.pop_front();
+    return frame;
+  }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    inbox_.clear();
+    transport_->connection_delta(-1);
+  }
+
+ private:
+  InProcTransport* transport_;
+  std::deque<std::string> inbox_;
+  bool closed_ = false;
+};
+
+InProcTransport::~InProcTransport() { shutdown(); }
+
+void InProcTransport::serve(FrameHandler handler) {
+  std::lock_guard lock(mu_);
+  handler_ = std::move(handler);
+}
+
+void InProcTransport::shutdown() {
+  std::lock_guard lock(mu_);
+  handler_ = nullptr;
+}
+
+std::unique_ptr<Connection> InProcTransport::connect(std::string peer) {
+  return std::make_unique<InProcConnection>(this, std::move(peer));
+}
+
+std::string InProcTransport::dispatch(const std::string& frame) {
+  FrameHandler handler;
+  {
+    std::lock_guard lock(mu_);
+    handler = handler_;
+  }
+  if (!handler) throw TransportError("endpoint is not serving");
+  return handler(frame);
+}
+
+}  // namespace parcae::rpc

@@ -1,0 +1,161 @@
+// Message transports for the RPC layer: one Transport hosts a single
+// server endpoint (the scheduler/PS hub of Figure 7) and hands out
+// client Connections (the agents).
+//
+// Two implementations:
+//   - InProcTransport: deterministic same-process delivery. send()
+//     runs the server's frame handler synchronously on the caller's
+//     thread and queues the response; recv() pops it. No threads, no
+//     wall clock — tests and the default runtime mode replay
+//     bit-for-bit.
+//   - TcpTransport: real localhost sockets. serve() spawns a poll-loop
+//     thread that accepts connections, reassembles length-prefixed
+//     frames, dispatches the handler and writes responses back;
+//     connect() dials with a timeout and recv() waits on poll() up to
+//     the caller's deadline. shutdown() joins the thread and closes
+//     every socket.
+//
+// Fault points (evaluated identically by both transports, so a seeded
+// chaos schedule is transport-independent):
+//   rpc.send   client send throws (connection reset mid-request)
+//   rpc.recv   client recv throws (connection reset mid-response)
+//   rpc.drop   the frame is silently discarded (request on the client
+//              side, response on the server side) — the caller times
+//              out and retries
+//   rpc.delay  virtual extra latency, charged to rpc.injected_delay_s
+//   rpc.partition  while armed, every frame of every peer is dropped
+// Per-peer partitions are explicit: set_partitioned(peer, true) makes
+// that connection's frames vanish in both directions until healed.
+//
+// Metrics (when a registry is attached): rpc.bytes_sent /
+// rpc.bytes_received / rpc.frames_sent / rpc.frames_received /
+// rpc.dropped / rpc.injected_delay_s and the rpc.open_connections
+// gauge. Recording only observes; inproc runs stay bit-identical.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace parcae {
+class FaultInjector;
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace parcae
+
+namespace parcae::rpc {
+
+// Transport-level failure (socket error, closed endpoint, framing
+// violation). Distinct from SerializeError (payload decode) and from
+// application errors, which travel inside response envelopes.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error("rpc transport: " + what) {}
+};
+
+// One client's connection to the transport's server endpoint.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+  // Delivers one frame to the server (throws TransportError or an
+  // injected fault; a fault-dropped frame "succeeds" silently).
+  virtual void send(const std::string& frame) = 0;
+  // Next frame from the server, or nullopt when none arrived within
+  // `timeout_s` (an InProcTransport never waits: its delivery is
+  // synchronous, so an empty inbox means the frame was dropped).
+  virtual std::optional<std::string> recv(double timeout_s) = 0;
+  virtual void close() = 0;
+
+  const std::string& peer() const { return peer_; }
+
+ protected:
+  explicit Connection(std::string peer) : peer_(std::move(peer)) {}
+  std::string peer_;
+};
+
+// Request frame in, response frame out (RpcServer::serve_frame).
+using FrameHandler = std::function<std::string(const std::string&)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Starts the server endpoint. Must be called before connect().
+  virtual void serve(FrameHandler handler) = 0;
+  // Stops serving: joins any transport thread and closes every socket.
+  // Idempotent; implicitly run by the destructor.
+  virtual void shutdown() = 0;
+  virtual std::unique_ptr<Connection> connect(std::string peer) = 0;
+  virtual const char* kind() const = 0;  // "inproc" | "tcp"
+  virtual std::string address() const = 0;
+
+  // Non-owning sinks; thread-safe to use from transport threads.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Explicit per-peer partition: while set, every frame to or from
+  // that peer's connections is dropped (counted in rpc.dropped).
+  void set_partitioned(const std::string& peer, bool on);
+  bool partitioned(const std::string& peer) const;
+
+ protected:
+  enum class Admit { kDeliver, kDrop };
+
+  // Client-side outbound hooks: partition, rpc.send (throws),
+  // rpc.drop, rpc.delay. Counts bytes/frames on delivery.
+  Admit admit_request(const Connection& conn, const std::string& frame);
+  // Server-side outbound hooks for the response frame: rpc.partition
+  // and rpc.drop only (the server does not know logical peer names).
+  Admit admit_response(const std::string& frame);
+  // Client-side inbound hooks: a partitioned peer sees silence and
+  // rpc.recv may throw. Returns false when recv should report nothing.
+  bool admit_recv(const Connection& conn);
+  void count_received(std::size_t bytes);
+  void count_dropped();
+  void connection_delta(int delta);
+
+  FaultInjector* faults_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+
+ private:
+  mutable std::mutex partition_mu_;
+  std::set<std::string> partitioned_;
+};
+
+// ---- in-process transport -------------------------------------------
+
+class InProcTransport : public Transport {
+ public:
+  ~InProcTransport() override;
+
+  void serve(FrameHandler handler) override;
+  void shutdown() override;
+  std::unique_ptr<Connection> connect(std::string peer) override;
+  const char* kind() const override { return "inproc"; }
+  std::string address() const override { return "inproc://local"; }
+
+ private:
+  friend class InProcConnection;
+  // Runs the handler synchronously; throws TransportError when the
+  // endpoint is not serving.
+  std::string dispatch(const std::string& frame);
+
+  std::mutex mu_;
+  FrameHandler handler_;
+};
+
+// ---- TCP (localhost sockets) ----------------------------------------
+
+// Factory; the implementation lives in tcp_transport.cpp. `port` 0
+// binds an ephemeral port (address() reports the bound one);
+// `connect_timeout_s` bounds the client-side dial.
+std::unique_ptr<Transport> make_tcp_transport(int port = 0,
+                                              double connect_timeout_s = 2.0);
+
+}  // namespace parcae::rpc

@@ -18,6 +18,17 @@
 // Fault injection: an attached FaultInjector can make put/cas/
 // keepalive throw at the "kv.put" / "kv.cas" / "kv.keepalive" points
 // (before any state changes), so callers exercise their retry paths.
+//
+// Locking rules: every public method takes mu_, so the store may be
+// shared between the scheduler thread and an RPC transport thread
+// serving remote agents. Watch callbacks are invoked *outside* mu_
+// (notify() snapshots the callback list under the lock, then calls
+// with it released), so a callback may safely re-enter the store;
+// the flip side is that a callback must tolerate observing state
+// newer than the event it was queued for. watch() registration and
+// advance_clock() are scheduler-thread operations by convention —
+// they are mutex-safe like everything else, but the runtime keeps
+// them off the transport path on purpose (see src/rpc/kv_service.h).
 #pragma once
 
 #include <cstdint>

@@ -16,6 +16,7 @@ ParcaePs::ParcaePs(std::vector<float> initial, float lr, float beta1,
 
 void ParcaePs::restore(const std::vector<float>& parameters,
                        const std::vector<float>& optimizer_state) {
+  std::lock_guard lock(mu_);
   assert(parameters.size() == params_.size());
   params_.raw() = parameters;
   std::vector<nn::ParamRef> refs{{&params_, &grads_}};
@@ -24,6 +25,7 @@ void ParcaePs::restore(const std::vector<float>& parameters,
 }
 
 void ParcaePs::push_gradients(const std::vector<float>& grads) {
+  std::lock_guard lock(mu_);
   // Fail before any mutation: a caller's retry re-pushes the same
   // gradient without double-applying it.
   if (faults_ != nullptr) faults_->maybe_throw("ps.push");
@@ -32,6 +34,26 @@ void ParcaePs::push_gradients(const std::vector<float>& grads) {
   std::vector<nn::ParamRef> refs{{&params_, &grads_}};
   adam_.step(refs);
   ++version_;
+}
+
+std::vector<float> ParcaePs::parameters_snapshot() const {
+  std::lock_guard lock(mu_);
+  return params_.raw();
+}
+
+long long ParcaePs::version() const {
+  std::lock_guard lock(mu_);
+  return version_;
+}
+
+std::vector<float> ParcaePs::optimizer_state() const {
+  std::lock_guard lock(mu_);
+  return adam_.state();
+}
+
+void ParcaePs::set_fault_injector(FaultInjector* faults) {
+  std::lock_guard lock(mu_);
+  faults_ = faults;
 }
 
 }  // namespace parcae

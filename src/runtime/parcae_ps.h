@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <vector>
 
 #include "nn/matrix.h"
@@ -24,6 +25,14 @@ namespace parcae {
 
 class FaultInjector;
 
+// Locking rules: every mutating entry point (push_gradients, restore,
+// set_fault_injector) and every by-value reader (parameters_snapshot,
+// optimizer_state, version) takes mu_, so one replica may be shared
+// between the driver thread and an RPC transport thread. The
+// by-reference parameters() accessor is the lone exception — it
+// cannot hold the lock across the caller's use, so it is reserved for
+// single-threaded tests and same-thread readers; concurrent code must
+// use parameters_snapshot().
 class ParcaePs {
  public:
   // `initial` — the trainer's initial flat parameters; the PS applies
@@ -41,19 +50,25 @@ class ParcaePs {
   void restore(const std::vector<float>& parameters,
                const std::vector<float>& optimizer_state);
 
-  // Latest checkpoint (what a rollback restores).
+  // Latest checkpoint (what a rollback restores). NOT thread-safe:
+  // the reference stays live after mu_ is released — see the locking
+  // rules above. Prefer parameters_snapshot() when any other thread
+  // may push.
   const std::vector<float>& parameters() const { return params_.raw(); }
-  long long version() const { return version_; }
+  // Thread-safe copy of the latest checkpoint.
+  std::vector<float> parameters_snapshot() const;
+  long long version() const;
 
   // Serialized optimizer state, for full-state restore.
-  std::vector<float> optimizer_state() const { return adam_.state(); }
+  std::vector<float> optimizer_state() const;
 
   // Non-owning; nullptr disables injection. An armed "ps.push" point
   // makes push_gradients throw *before* touching any state, so a
   // retried push never double-applies a gradient.
-  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  void set_fault_injector(FaultInjector* faults);
 
  private:
+  mutable std::mutex mu_;
   nn::Matrix params_;  // [1, n]
   nn::Matrix grads_;   // [1, n] scratch
   nn::Adam adam_;

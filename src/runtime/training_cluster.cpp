@@ -40,7 +40,41 @@ TrainingCluster::TrainingCluster(TrainingClusterOptions options,
       dataset_(dataset),
       samples_(options_.epoch_size, options_.seed ^ 0x5511ull),
       rng_(options_.seed ^ 0xc1u) {
+  // Bring up the hub endpoint (KvStore + ParcaePS pool behind an
+  // RpcServer) and the one agent-side client before any agent exists:
+  // allocate() below already registers through the wire.
+  if (options_.transport == "tcp") {
+    transport_ = rpc::make_tcp_transport(options_.rpc_port);
+  } else if (options_.transport == "inproc") {
+    transport_ = std::make_unique<rpc::InProcTransport>();
+  } else {
+    throw std::invalid_argument("TrainingCluster: unknown transport '" +
+                                options_.transport + "' (inproc|tcp)");
+  }
+  server_ = std::make_unique<rpc::RpcServer>(*transport_);
+  kv_service_ = std::make_unique<rpc::KvService>(kv_);
+  ps_service_ = std::make_unique<rpc::PsService>();
+  kv_service_->bind(*server_);
+  ps_service_->bind(*server_);
+  server_->start();
+  rpc::RpcClientOptions client_options;
+  client_options.deadline_s = options_.rpc_deadline_s;
+  client_options.retry = options_.rpc_retry;
+  rpc_client_ = std::make_unique<rpc::RpcClient>(*transport_, "agents",
+                                                 client_options);
+  kv_client_ = std::make_unique<rpc::KvClient>(*rpc_client_);
+  ps_client_ = std::make_unique<rpc::PsClient>(*rpc_client_);
   allocate(options_.initial_instances);
+}
+
+TrainingCluster::~TrainingCluster() {
+  // The metrics/fault sinks usually belong to the driver's decision
+  // core, which is destroyed before this member — detach them so the
+  // teardown path (connection close, server stop) cannot touch them.
+  set_metrics(nullptr);
+  set_fault_injector(nullptr);
+  rpc_client_->close();
+  server_->stop();
 }
 
 std::vector<int> TrainingCluster::allocate(int count) {
@@ -49,10 +83,19 @@ std::vector<int> TrainingCluster::allocate(int count) {
     ParcaeAgent agent;
     agent.id = next_agent_id_++;
     agent.alive = true;
-    agent.lease = kv_.lease_grant(options_.agent_lease_ttl_s);
+    try {
+      agent.lease = kv_client_->lease_grant(options_.agent_lease_ttl_s);
+    } catch (const std::exception&) {
+      // Wire failure at registration: the agent runs lease-less until
+      // the next heartbeat re-grants (counted; the driver may see a
+      // false-positive death in between).
+      agent.lease = 0;
+      this->count("cluster.lease_grants_dropped");
+    }
     ids.push_back(agent.id);
-    kv_put_retried("agent/" + std::to_string(agent.id), "spare",
-                   agent.lease);
+    if (agent.lease != 0)
+      kv_put_retried("agent/" + std::to_string(agent.id), "spare",
+                     agent.lease);
     agents_.push_back(std::move(agent));
   }
   return ids;
@@ -73,7 +116,13 @@ void TrainingCluster::preempt(const std::vector<int>& agent_ids) {
       // Graceful: the scheduler was told, so the coordination state is
       // cleaned up eagerly (revoke erases the leased key with a
       // tombstone; the record is then rewritten lease-free).
-      kv_.lease_revoke(agent.lease);
+      try {
+        kv_client_->lease_revoke(agent.lease);
+      } catch (const std::exception&) {
+        // Revocation lost on the wire: the lease expires on its own
+        // later, so cleanup is merely delayed.
+        count("cluster.kv_publish_dropped");
+      }
       agent.lease = 0;
       kv_put_retried("agent/" + std::to_string(id), "preempted");
     }
@@ -113,26 +162,47 @@ int TrainingCluster::kill_random_alive() {
 void TrainingCluster::set_fault_injector(FaultInjector* faults) {
   faults_ = faults;
   kv_.set_fault_injector(faults);
-  for (auto& ps : ps_) ps->set_fault_injector(faults);
+  ps_service_->set_fault_injector(faults);
+  transport_->set_fault_injector(faults);
+}
+
+void TrainingCluster::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  transport_->set_metrics(metrics);
+  server_->set_metrics(metrics);
+  rpc_client_->set_metrics(metrics);
 }
 
 void TrainingCluster::heartbeat() {
   for (auto& agent : agents_) {
-    if (!agent.alive || agent.lease == 0) continue;
+    if (!agent.alive) continue;
     bool renewed = false;
-    try {
-      renewed = with_retry(options_.retry, "kv.keepalive", metrics_,
-                           [&] { return kv_.lease_keepalive(agent.lease); });
-    } catch (const InjectedFault&) {
-      // Heartbeat lost this interval; the lease may now expire
-      // spuriously (a false-positive death the driver will observe).
-      count("cluster.heartbeats_dropped");
-      continue;
+    if (agent.lease != 0) {
+      try {
+        renewed =
+            with_retry(options_.retry, "kv.keepalive", metrics_,
+                       [&] { return kv_client_->lease_keepalive(agent.lease); });
+      } catch (const InjectedFault&) {
+        // Heartbeat lost this interval; the lease may now expire
+        // spuriously (a false-positive death the driver will observe).
+        count("cluster.heartbeats_dropped");
+        continue;
+      } catch (const rpc::TransportError&) {
+        count("cluster.heartbeats_dropped");
+        continue;
+      }
     }
     if (!renewed) {
-      // The lease already expired (e.g. dropped heartbeats): a live
-      // agent cannot revive it and must re-register.
-      agent.lease = kv_.lease_grant(options_.agent_lease_ttl_s);
+      // The lease already expired (e.g. dropped heartbeats) or was
+      // never granted (a dropped registration): a live agent cannot
+      // revive it and must re-register.
+      try {
+        agent.lease = kv_client_->lease_grant(options_.agent_lease_ttl_s);
+      } catch (const std::exception&) {
+        agent.lease = 0;
+        count("cluster.lease_grants_dropped");
+        continue;
+      }
       kv_put_retried("agent/" + std::to_string(agent.id),
                      agent.assigned()
                          ? "p" + std::to_string(agent.pipeline) + "s" +
@@ -148,10 +218,12 @@ void TrainingCluster::kv_put_retried(const std::string& key,
                                      const std::string& value) {
   try {
     with_retry(options_.retry, "kv.put", metrics_,
-               [&] { kv_.put(key, value); });
+               [&] { kv_client_->put(key, value); });
   } catch (const InjectedFault&) {
     // Coordination state goes stale; liveness still flows through the
     // lease machinery, so this is survivable (and counted).
+    count("cluster.kv_publish_dropped");
+  } catch (const rpc::TransportError&) {
     count("cluster.kv_publish_dropped");
   }
 }
@@ -161,8 +233,10 @@ void TrainingCluster::kv_put_retried(const std::string& key,
                                      std::uint64_t lease_id) {
   try {
     with_retry(options_.retry, "kv.put", metrics_,
-               [&] { kv_.put_with_lease(key, value, lease_id); });
+               [&] { kv_client_->put_with_lease(key, value, lease_id); });
   } catch (const InjectedFault&) {
+    count("cluster.kv_publish_dropped");
+  } catch (const rpc::TransportError&) {
     count("cluster.kv_publish_dropped");
   }
 }
@@ -228,11 +302,17 @@ TrainingCluster::StageState TrainingCluster::normalized(StageState state) {
 
 TrainingCluster::StageState TrainingCluster::stage_state_from_ps(
     int stage) const {
+  assert(stage >= 0 && stage < ps_service_->stage_count());
+  // A rollback restore must not fail on a flaky wire: stack the
+  // application-level schedule on the client's own resend budget
+  // (metrics-less — the pinned retry.* counters track only the §8
+  // recoverable operations).
+  const rpc::PsStageState pulled =
+      with_retry(options_.rpc_retry, "ps.pull", nullptr,
+                 [&] { return ps_client_->pull(stage); });
   StageState state;
-  assert(stage >= 0 && static_cast<std::size_t>(stage) < ps_.size());
-  state.parameters = ps_[static_cast<std::size_t>(stage)]->parameters();
-  state.optimizer_state =
-      ps_[static_cast<std::size_t>(stage)]->optimizer_state();
+  state.parameters = pulled.parameters;
+  state.optimizer_state = pulled.optimizer_state;
   return normalized(std::move(state));
 }
 
@@ -242,8 +322,9 @@ std::vector<TrainingCluster::StageState> TrainingCluster::collect_stage_states(
   if (!config_.valid()) {
     // Suspended or never started: everything comes from ParcaePS (or
     // the genesis initialization at first start, handled by caller).
-    for (std::size_t s = 0; s < ps_.size(); ++s) {
-      states.push_back(stage_state_from_ps(static_cast<int>(s)));
+    const int stages = ps_service_->stage_count();
+    for (int s = 0; s < stages; ++s) {
+      states.push_back(stage_state_from_ps(s));
       used_ps = true;
     }
     return states;
@@ -308,7 +389,7 @@ MigrationKind TrainingCluster::reconfigure(ParallelConfig target) {
     std::vector<float> full_m;
     std::vector<float> full_v;
     long long opt_t = 0;
-    if (!config_.valid() && ps_.empty()) {
+    if (!config_.valid() && ps_service_->stage_count() == 0) {
       // Genesis: initialize exactly like the monolithic Mlp would, so
       // distributed training is comparable to serial training.
       nn::Mlp reference(options_.layer_sizes,
@@ -414,19 +495,21 @@ MigrationKind TrainingCluster::reconfigure(ParallelConfig target) {
 
   // Rebuild the per-stage ParcaePS replicas for the new partition
   // *before* enacting the plan: an aborted migration falls back to
-  // restoring every slot from exactly these replicas.
-  if (depth_change || ps_.size() != static_cast<std::size_t>(target.pp)) {
-    ps_.clear();
+  // restoring every slot from exactly these replicas. ps.reset is the
+  // one call that must not be lost (a missing pool fails every later
+  // pull), so it stacks the retry schedules like the rollback pull.
+  if (depth_change || ps_service_->stage_count() != target.pp) {
+    std::vector<rpc::PsStageState> stages;
     for (int s = 0; s < target.pp; ++s) {
-      auto ps = std::make_unique<ParcaePs>(
-          new_states[static_cast<std::size_t>(s)].parameters,
-          options_.learning_rate);
-      if (!new_states[static_cast<std::size_t>(s)].optimizer_state.empty())
-        ps->restore(new_states[static_cast<std::size_t>(s)].parameters,
-                    new_states[static_cast<std::size_t>(s)].optimizer_state);
-      ps->set_fault_injector(faults_);
-      ps_.push_back(std::move(ps));
+      rpc::PsStageState stage;
+      stage.parameters = new_states[static_cast<std::size_t>(s)].parameters;
+      stage.optimizer_state =
+          new_states[static_cast<std::size_t>(s)].optimizer_state;
+      stages.push_back(std::move(stage));
     }
+    with_retry(options_.rpc_retry, "ps.reset", nullptr, [&] {
+      ps_client_->reset(options_.learning_rate, stages);
+    });
   }
 
   // Installs a stage replica on the first free agent.
@@ -597,23 +680,34 @@ std::optional<IterationOutcome> TrainingCluster::train_iteration() {
       agent->module->set_flat_gradients(g);
       agent->optimizer->step(agent->module->params());
     }
-    try {
-      with_retry(options_.retry, "ps.push", metrics_, [&] {
-        ps_[static_cast<std::size_t>(s)]->push_gradients(g);
-      });
-    } catch (const InjectedFault&) {
-      // Push budget exhausted. The trainer already stepped, so the
-      // replica is refreshed from the trainer's post-update state (a
-      // full-state upload instead of the cheap gradient push) — the
-      // checkpoint never lags a committed iteration.
+    // Push budget exhausted (below): the trainer already stepped, so
+    // the replica is refreshed from the trainer's post-update state (a
+    // full-state upload instead of the cheap gradient push) — the
+    // checkpoint never lags a committed iteration.
+    const auto refresh_from_trainer = [&] {
       ParcaeAgent* agent = agent_at(0, s);
-      ps_[static_cast<std::size_t>(s)]->restore(
-          agent->module->flat_parameters(), agent->optimizer->state());
-      count("cluster.ps_refreshes");
-      record_event(EventCategory::kCheckpoint,
-                   "ps push exhausted retries; replica refreshed from "
-                   "trainer state",
-                   {{"stage", std::to_string(s)}});
+      try {
+        ps_client_->restore(s, agent->module->flat_parameters(),
+                            agent->optimizer->state());
+        count("cluster.ps_refreshes");
+        record_event(EventCategory::kCheckpoint,
+                     "ps push exhausted retries; replica refreshed from "
+                     "trainer state",
+                     {{"stage", std::to_string(s)}});
+      } catch (const std::exception&) {
+        // Even the refresh was lost on the wire. The replica now lags
+        // this iteration; the next successful push or refresh catches
+        // it up, and a rollback meanwhile replays one extra batch.
+        count("cluster.ps_refreshes_dropped");
+      }
+    };
+    try {
+      with_retry(options_.retry, "ps.push", metrics_,
+                 [&] { ps_client_->push(s, g); });
+    } catch (const InjectedFault&) {
+      refresh_from_trainer();
+    } catch (const rpc::TransportError&) {
+      refresh_from_trainer();
     }
   }
 

@@ -21,10 +21,21 @@
 // pushes and KvStore writes are retried on a deterministic backoff
 // schedule, and silent agent death is detected through KvStore lease
 // expiry once the heartbeats stop.
+// Transport modes: the coordination half of the Figure-7 wiring runs
+// over the src/rpc stack. The cluster hosts the hub endpoint (KvStore
+// + ParcaePS pool behind an RpcServer) and the agent side reaches it
+// only through an RpcClient — kv puts, lease grants/keepalives/
+// revocations, and every ParcaePS push/pull/restore cross the wire.
+// "inproc" (the default) delivers frames synchronously in-process and
+// is bit-identical with the historical direct-call runtime; "tcp"
+// carries the same frames over real localhost sockets. The scheduler
+// side (watches, advance_clock, prefix scans) stays co-located with
+// the store, the way the paper's scheduler owns etcd.
 #pragma once
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/fault.h"
@@ -35,6 +46,10 @@
 #include "nn/optimizer.h"
 #include "nn/stage.h"
 #include "parallel/parallel_config.h"
+#include "rpc/kv_service.h"
+#include "rpc/ps_service.h"
+#include "rpc/rpc.h"
+#include "rpc/transport.h"
 #include "runtime/kv_store.h"
 #include "runtime/parcae_ps.h"
 #include "runtime/sample_manager.h"
@@ -74,6 +89,24 @@ struct TrainingClusterOptions {
   // Backoff schedule for recoverable operations (ParcaePS pushes,
   // KvStore writes) when a FaultInjector makes them fail.
   RetryOptions retry;
+  // Transport carrying the agent-side KV/PS traffic: "inproc"
+  // (deterministic same-process delivery, the default) or "tcp" (real
+  // localhost sockets).
+  std::string transport = "inproc";
+  // TCP listen port; 0 binds an ephemeral port (rpc_address() reports
+  // the bound one). Ignored by inproc.
+  int rpc_port = 0;
+  // Per-call response deadline for the RpcClient (only throttles tcp
+  // waits; inproc delivery is synchronous).
+  double rpc_deadline_s = 0.25;
+  // Transport-level resend schedule (same-correlation-id retries on
+  // dropped/timed-out frames). Deeper than the application `retry`
+  // budget so a single logical call survives an rpc.drop chaos run.
+  RetryOptions rpc_retry = [] {
+    RetryOptions o;
+    o.max_attempts = 6;
+    return o;
+  }();
 };
 
 struct IterationOutcome {
@@ -85,6 +118,9 @@ struct IterationOutcome {
 class TrainingCluster {
  public:
   TrainingCluster(TrainingClusterOptions options, const nn::Dataset* dataset);
+  // Closes the agent connection, stops the RPC server (joining any
+  // transport thread) before the served state is torn down.
+  ~TrainingCluster();
 
   // ---- cloud events -------------------------------------------------
   // Adds `count` fresh (spare) instances; returns their ids.
@@ -141,6 +177,11 @@ class TrainingCluster {
   KvStore& kv() { return kv_; }
   const std::vector<ParcaeAgent>& agents() const { return agents_; }
   long long rollbacks() const { return rollbacks_; }
+  // The transport carrying agent-side traffic ("inproc" | "tcp") and
+  // its server address — exposed for banners, reports, and the
+  // partition-injection tests.
+  rpc::Transport& rpc_transport() { return *transport_; }
+  std::string rpc_address() const { return transport_->address(); }
 
   // ---- robustness hooks ---------------------------------------------
   // Non-owning sinks, all optional. The injector drives the
@@ -149,8 +190,12 @@ class TrainingCluster {
   // "kv.*" / "ps.push"); metrics receive cluster.* recovery counters
   // and retry.* instrumentation; the event log gets one entry per
   // injected fault and recovery, stamped with set_time().
+  // Forwarded to the KvStore, the ParcaePS pool, and the transport
+  // (arming the rpc.* wire-fault points).
   void set_fault_injector(FaultInjector* faults);
-  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Forwarded to the transport, server, and client so rpc.* counters
+  // land next to the cluster.* ones.
+  void set_metrics(obs::MetricsRegistry* metrics);
   void set_event_log(EventLog* events) { events_ = events; }
   void set_time(double now_s) { now_s_ = now_s; }
   // Renews the liveness lease of every alive agent (driven once per
@@ -195,14 +240,25 @@ class TrainingCluster {
   std::vector<ParcaeAgent> agents_;
   ParallelConfig config_ = kIdleConfig;
   std::vector<std::vector<std::size_t>> stage_dims_;  // current partition
-  // One ParcaePS replica per stage of the *current* partition.
-  std::vector<std::unique_ptr<ParcaePs>> ps_;
   long long rollbacks_ = 0;
   int next_agent_id_ = 0;
   FaultInjector* faults_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   EventLog* events_ = nullptr;
   double now_s_ = 0.0;
+
+  // RPC wiring, declared after the state it serves so reverse
+  // destruction tears down clients first, then the server (joining
+  // the tcp thread), then the transport — all before kv_ dies.
+  std::unique_ptr<rpc::Transport> transport_;
+  std::unique_ptr<rpc::RpcServer> server_;
+  std::unique_ptr<rpc::KvService> kv_service_;
+  // Hub-side ParcaePS pool: one replica per stage of the *current*
+  // partition, owned behind the ps.* methods.
+  std::unique_ptr<rpc::PsService> ps_service_;
+  std::unique_ptr<rpc::RpcClient> rpc_client_;
+  std::unique_ptr<rpc::KvClient> kv_client_;
+  std::unique_ptr<rpc::PsClient> ps_client_;
 };
 
 }  // namespace parcae

@@ -1,0 +1,389 @@
+// Tests for the RPC transport layer (src/rpc): wire-format safety,
+// transport retries with exactly-once replay, lease expiry as the
+// unpredicted-preemption signal over a real wire, per-peer partitions,
+// TCP lifecycle, and inproc-vs-tcp equivalence of a full driver run.
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "nn/dataset.h"
+#include "obs/metrics.h"
+#include "rpc/kv_service.h"
+#include "rpc/ps_service.h"
+#include "rpc/rpc.h"
+#include "rpc/serializer.h"
+#include "rpc/transport.h"
+#include "runtime/kv_store.h"
+#include "runtime/spot_driver.h"
+#include "runtime/training_cluster.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+namespace {
+
+using rpc::ByteReader;
+using rpc::ByteWriter;
+using rpc::SerializeError;
+
+// ---------------------------------------------------------------------------
+// Serializer.
+
+TEST(Serializer, RoundTripsEveryType) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeefu);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+  w.f32(1.5f);
+  w.f64(-2.25);
+  w.str("hello");
+  w.bytes(std::string("\x00\x01\x02", 3));
+  w.floats({0.0f, -1.0f, 3.14159f});
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.f32(), 1.5f);
+  EXPECT_EQ(r.f64(), -2.25);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.bytes(), std::string("\x00\x01\x02", 3));
+  EXPECT_EQ(r.floats(), (std::vector<float>{0.0f, -1.0f, 3.14159f}));
+  EXPECT_TRUE(r.done());
+  r.expect_done();
+}
+
+TEST(Serializer, FloatsAreBitExactIncludingNan) {
+  // NaN payloads and signed zero must survive the wire untouched —
+  // the driver-equivalence test depends on tensors crossing bit-exact.
+  std::vector<float> values{std::numeric_limits<float>::quiet_NaN(), -0.0f,
+                            std::numeric_limits<float>::infinity(),
+                            std::nextafterf(1.0f, 2.0f)};
+  ByteWriter w;
+  w.floats(values);
+  ByteReader r(w.data());
+  const std::vector<float> back = r.floats();
+  ASSERT_EQ(back.size(), values.size());
+  EXPECT_EQ(std::memcmp(back.data(), values.data(),
+                        values.size() * sizeof(float)),
+            0);
+}
+
+TEST(Serializer, RejectsTruncatedBuffers) {
+  ByteWriter w;
+  w.u64(7);
+  const std::string full = w.data();
+  ByteReader r(full.substr(0, 5));  // 5 of 8 bytes
+  EXPECT_THROW(r.u64(), SerializeError);
+
+  ByteWriter ws;
+  ws.str("truncate me");
+  const std::string s = ws.data();
+  ByteReader rs(s.substr(0, s.size() - 3));
+  EXPECT_THROW(rs.str(), SerializeError);
+}
+
+TEST(Serializer, RejectsOversizedLengthPrefixes) {
+  // A corrupt length prefix must be rejected before any allocation.
+  ByteWriter w;
+  w.u32(ByteReader::kMaxLength + 1);
+  ByteReader r(w.data());
+  EXPECT_THROW(r.str(), SerializeError);
+
+  ByteWriter wf;
+  wf.u32(ByteReader::kMaxLength);  // floats: count, not bytes
+  ByteReader rf(wf.data());
+  EXPECT_THROW(rf.floats(), SerializeError);
+}
+
+TEST(Serializer, ExpectDoneCatchesTrailingGarbage) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.u8(), 1);
+  EXPECT_THROW(r.expect_done(), SerializeError);
+}
+
+// ---------------------------------------------------------------------------
+// RPC over the in-process transport.
+
+struct InProcRig {
+  rpc::InProcTransport transport;
+  rpc::RpcServer server{transport};
+  obs::MetricsRegistry metrics;
+
+  rpc::RpcClient client(rpc::RpcClientOptions options = {}) {
+    rpc::RpcClient c(transport, "agent", options);
+    c.set_metrics(&metrics);
+    return c;
+  }
+};
+
+TEST(Rpc, EchoAndUnknownMethod) {
+  InProcRig rig;
+  rig.server.register_method(
+      "echo", [](const std::string& p) { return p + p; });
+  rig.server.start();
+  rpc::RpcClient client = rig.client();
+  EXPECT_EQ(client.call("echo", "ab"), "abab");
+  EXPECT_THROW(client.call("nope", ""), rpc::RpcError);
+}
+
+TEST(Rpc, DroppedRequestIsRetriedToSuccess) {
+  InProcRig rig;
+  rig.server.register_method("echo",
+                             [](const std::string& p) { return p; });
+  rig.server.start();
+  rig.server.set_metrics(&rig.metrics);
+  rig.transport.set_metrics(&rig.metrics);
+
+  FaultInjector faults(5);
+  FaultTrigger trigger;
+  trigger.nth = 1;  // the very first frame (the request) vanishes
+  trigger.one_shot = true;
+  faults.arm("rpc.drop", trigger);
+  rig.transport.set_fault_injector(&faults);
+
+  rpc::RpcClient client = rig.client();
+  EXPECT_EQ(client.call("echo", "x"), "x");
+  EXPECT_EQ(rig.metrics.counter("rpc.timeouts").value(), 1.0);
+  EXPECT_EQ(rig.metrics.counter("rpc.client.retries").value(), 1.0);
+  EXPECT_EQ(rig.metrics.counter("rpc.dropped").value(), 1.0);
+}
+
+TEST(Rpc, DroppedResponseReplaysKvCasExactlyOnce) {
+  KvStore store;
+  InProcRig rig;
+  rpc::KvService service(store);
+  service.bind(rig.server);
+  rig.server.start();
+  rig.server.set_metrics(&rig.metrics);
+
+  rpc::RpcClient client = rig.client();
+  rpc::KvClient kv(client);
+  const std::uint64_t v1 = kv.put("key", "old");
+
+  // Drop the *response* of the next call: the CAS executes server-side,
+  // the client times out, resends the same correlation id, and the
+  // replay cache answers without re-executing the handler.
+  FaultInjector faults(5);
+  FaultTrigger trigger;
+  trigger.nth = 2;  // frame 1 = request (delivered), frame 2 = response
+  trigger.one_shot = true;
+  faults.arm("rpc.drop", trigger);
+  rig.transport.set_fault_injector(&faults);
+
+  EXPECT_TRUE(kv.cas("key", v1, "new"));
+  EXPECT_EQ(store.get("key")->value, "new");
+  EXPECT_EQ(rig.metrics.counter("rpc.server.replays").value(), 1.0);
+  // Exactly-once: the store advanced a single revision, so a second
+  // CAS against the old version must lose.
+  EXPECT_EQ(store.get("key")->version, v1 + 1);
+  EXPECT_FALSE(kv.cas("key", v1, "again"));
+}
+
+TEST(Rpc, SilentPeerDeathSurfacesThroughLeaseExpiry) {
+  KvStore store;
+  InProcRig rig;
+  rpc::KvService service(store);
+  service.bind(rig.server);
+  rig.server.start();
+
+  rpc::RpcClient client = rig.client();
+  rpc::KvClient kv(client);
+  const std::uint64_t lease = kv.lease_grant(30.0);
+  ASSERT_NE(lease, 0u);
+  ASSERT_NE(kv.put_with_lease("agent/7", "p0s0", lease), 0u);
+  EXPECT_TRUE(kv.lease_keepalive(lease));
+
+  // The peer goes silent: no more keepalives arrive. The hub drives
+  // its logical clock and the lease lapses — the real unpredicted-
+  // preemption signal, with a tombstone for watchers.
+  bool tombstoned = false;
+  store.watch("agent/", [&](const std::string& key, const KvEntry& entry) {
+    tombstoned |= (key == "agent/7" && entry.deleted);
+  });
+  store.advance_clock(31.0);
+  EXPECT_EQ(store.leases_expired(), 1u);
+  EXPECT_FALSE(store.get("agent/7").has_value());
+  EXPECT_TRUE(tombstoned);
+  EXPECT_FALSE(kv.lease_alive(lease));
+}
+
+TEST(Rpc, PartitionedPeerTimesOutAndHeals) {
+  InProcRig rig;
+  rig.server.register_method("echo",
+                             [](const std::string& p) { return p; });
+  rig.server.start();
+
+  rpc::RpcClientOptions options;
+  options.retry.max_attempts = 2;  // keep the doomed call quick
+  rpc::RpcClient client = rig.client(options);
+  ASSERT_EQ(client.call("echo", "pre"), "pre");
+
+  rig.transport.set_partitioned("agent", true);
+  EXPECT_TRUE(rig.transport.partitioned("agent"));
+  EXPECT_THROW(client.call("echo", "lost"), rpc::RpcTimeout);
+
+  rig.transport.set_partitioned("agent", false);
+  EXPECT_EQ(client.call("echo", "healed"), "healed");
+}
+
+TEST(Rpc, ServerSideInjectedFaultKeepsItsIdentity) {
+  KvStore store;
+  InProcRig rig;
+  rpc::KvService service(store);
+  service.bind(rig.server);
+  rig.server.start();
+
+  FaultInjector faults(3);
+  FaultTrigger trigger;
+  trigger.nth = 1;
+  faults.arm("kv.put", trigger);
+  store.set_fault_injector(&faults);
+
+  rpc::RpcClient client = rig.client();
+  rpc::KvClient kv(client);
+  // The kv.put point fires inside the store, crosses the wire as a
+  // status-2 response, and resurfaces as the original InjectedFault.
+  try {
+    kv.put("a", "1");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& fault) {
+    EXPECT_EQ(fault.point(), "kv.put");
+  }
+  EXPECT_FALSE(store.get("a").has_value());
+  EXPECT_NE(kv.put("a", "1"), 0u);  // the retry lands
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+
+TEST(RpcTcp, CallsWorkOverRealSockets) {
+  auto transport = rpc::make_tcp_transport(0);
+  rpc::RpcServer server(*transport);
+  server.register_method("echo", [](const std::string& p) { return p; });
+  server.start();
+  EXPECT_NE(transport->address().find("127.0.0.1"), std::string::npos);
+
+  rpc::RpcClient client(*transport, "agent");
+  EXPECT_EQ(client.call("echo", "over tcp"), "over tcp");
+  EXPECT_THROW(client.call("nope", ""), rpc::RpcError);
+
+  // Payloads bigger than one read chunk must reassemble correctly.
+  const std::string big(256 * 1024, 'x');
+  EXPECT_EQ(client.call("echo", big), big);
+
+  client.close();
+  server.stop();  // joins the poll thread, closes every socket
+}
+
+TEST(RpcTcp, DroppedFrameRetriesToSuccess) {
+  auto transport = rpc::make_tcp_transport(0);
+  obs::MetricsRegistry metrics;
+  transport->set_metrics(&metrics);
+  rpc::RpcServer server(*transport);
+  server.register_method("echo", [](const std::string& p) { return p; });
+  server.start();
+
+  FaultInjector faults(5);
+  FaultTrigger trigger;
+  trigger.nth = 1;
+  trigger.one_shot = true;
+  faults.arm("rpc.drop", trigger);
+  transport->set_fault_injector(&faults);
+
+  rpc::RpcClientOptions options;
+  options.deadline_s = 0.1;  // the dropped attempt should fail fast
+  rpc::RpcClient client(*transport, "agent", options);
+  client.set_metrics(&metrics);
+  EXPECT_EQ(client.call("echo", "y"), "y");
+  EXPECT_GE(metrics.counter("rpc.client.retries").value(), 1.0);
+  client.close();
+  server.stop();
+}
+
+TEST(RpcTcp, ShutdownIsIdempotentAndRestartable) {
+  auto transport = rpc::make_tcp_transport(0);
+  {
+    rpc::RpcServer server(*transport);
+    server.register_method("ping", [](const std::string&) {
+      return std::string("pong");
+    });
+    server.start();
+    rpc::RpcClient client(*transport, "a");
+    EXPECT_EQ(client.call("ping", ""), "pong");
+    client.close();
+    server.stop();
+    server.stop();  // idempotent
+  }
+  // A dead endpoint refuses new connections.
+  EXPECT_THROW(rpc::RpcClient(*transport, "b"), rpc::TransportError);
+}
+
+// ---------------------------------------------------------------------------
+// Full-driver equivalence: the tcp transport must be an implementation
+// detail — a fault-free run reports bit-identical training results.
+
+SpotTrace short_trace() {
+  Rng rng(21);
+  SyntheticTraceOptions options;
+  options.capacity = 8;
+  options.target_availability = 5.0;
+  options.preemption_events = 4;
+  options.duration_s = 8 * 60.0;
+  return synthesize_trace(options, rng);
+}
+
+SpotDriverReport run_driver(const std::string& transport) {
+  static const nn::Dataset ds = nn::make_blobs(128, 12, 4, 0.5, 99);
+  TrainingClusterOptions cluster;
+  cluster.layer_sizes = {12, 24, 4};
+  cluster.epoch_size = ds.size();
+  cluster.batch_size = 32;
+  cluster.initial_instances = 0;  // the trace allocates
+  cluster.seed = 7;
+  cluster.transport = transport;
+  SpotDriverOptions options;
+  options.interval_s = 60.0;
+  options.iterations_per_interval = 3;
+  options.seed = 11;
+  SpotTrainingDriver driver(cluster, &ds, options);
+  return driver.run(short_trace());
+}
+
+TEST(RpcTransportEquivalence, InprocAndTcpReportsMatchBitExactly) {
+  const SpotDriverReport inproc = run_driver("inproc");
+  const SpotDriverReport tcp = run_driver("tcp");
+
+  EXPECT_EQ(inproc.intervals, tcp.intervals);
+  EXPECT_EQ(inproc.iterations, tcp.iterations);
+  EXPECT_EQ(inproc.epochs_completed, tcp.epochs_completed);
+  // Bit-exact loss: every gradient, push, and restore crossed the tcp
+  // wire as raw IEEE bits and produced the identical model.
+  EXPECT_EQ(inproc.final_loss, tcp.final_loss);
+  EXPECT_EQ(inproc.ps_rollbacks, tcp.ps_rollbacks);
+  EXPECT_EQ(inproc.migrations_by_kind, tcp.migrations_by_kind);
+  EXPECT_EQ(inproc.advised, tcp.advised);
+  EXPECT_TRUE(inproc.replicas_always_consistent);
+  EXPECT_TRUE(tcp.replicas_always_consistent);
+  EXPECT_GT(inproc.iterations, 0);
+}
+
+TEST(RpcTransportEquivalence, UnknownTransportIsRejected) {
+  static const nn::Dataset ds = nn::make_blobs(64, 12, 4, 0.5, 99);
+  TrainingClusterOptions options;
+  options.layer_sizes = {12, 24, 4};
+  options.transport = "carrier-pigeon";
+  EXPECT_THROW(TrainingCluster(options, &ds), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parcae
