@@ -1,0 +1,83 @@
+// FleetArbiter microbenchmarks for the bench-regression harness
+// (bench/run_benches.sh): the per-interval arbitration pass at fleet
+// sizes of 10, 50 and 100 jobs over a churning pool. This is the
+// decision-path cost a fleet scheduler pays every interval boundary —
+// it must stay far below the 60 s interval, and it must not regress
+// when the arbitration heuristics evolve.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fleet/fleet_arbiter.h"
+#include "model/model_profile.h"
+#include "parallel/throughput_model.h"
+
+namespace parcae::fleet {
+namespace {
+
+// The standard heterogeneous mix (fleet_sim's standard_fleet): models
+// cycle GPT-2 / BERT-Large / ResNet-152 / VGG-19, weights 1/2/1/0.5.
+std::vector<ArbiterJobSpec> bench_fleet(int num_jobs, int capacity) {
+  const ModelProfile profiles[] = {gpt2_profile(), bert_large_profile(),
+                                   resnet152_profile(), vgg19_profile()};
+  const double weights[] = {1.0, 2.0, 1.0, 0.5};
+  // Value tables are per-model; build each once and reuse.
+  JobValueTable tables[4];
+  for (int m = 0; m < 4; ++m)
+    tables[m] =
+        value_table_from_model(ThroughputModel(profiles[m], {}), capacity);
+  std::vector<ArbiterJobSpec> jobs(static_cast<std::size_t>(num_jobs));
+  for (int j = 0; j < num_jobs; ++j) {
+    jobs[j].job_id = j;
+    jobs[j].weight = weights[j % 4];
+    jobs[j].values = tables[j % 4];
+  }
+  return jobs;
+}
+
+// One rebalance per pool level of a deterministic churn pattern that
+// exercises all three paths (shrink-arbitration, growth water-fill,
+// value swaps).
+void BM_FleetRebalance(benchmark::State& state) {
+  const int num_jobs = static_cast<int>(state.range(0));
+  const int capacity = 32;
+  const std::vector<ArbiterJobSpec> jobs = bench_fleet(num_jobs, capacity);
+  const int pool[] = {32, 24, 28, 8, 0, 12, 32, 20, 30, 16};
+  int interval = 0;
+  FleetArbiterOptions options;
+  options.capacity = capacity;
+  FleetArbiter arbiter(jobs, options);
+  for (auto _ : state) {
+    const std::vector<int>& grants =
+        arbiter.rebalance(interval, pool[interval % 10]);
+    benchmark::DoNotOptimize(grants.data());
+    ++interval;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetRebalance)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+// Arbiter construction (hulls + ledger) — the one-time fleet-admission
+// cost, dominated by the concave-hull builds.
+void BM_FleetArbiterConstruct(benchmark::State& state) {
+  const int num_jobs = static_cast<int>(state.range(0));
+  const std::vector<ArbiterJobSpec> jobs = bench_fleet(num_jobs, 32);
+  for (auto _ : state) {
+    FleetArbiter arbiter(jobs, {});
+    benchmark::DoNotOptimize(&arbiter);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetArbiterConstruct)
+    ->Arg(10)
+    ->Arg(100)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace parcae::fleet
+
+BENCHMARK_MAIN();

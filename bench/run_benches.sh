@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Bench-regression harness: the liveput decision path (Figure 18b)
-# and the RPC transport layer (serializer / inproc / tcp round-trips).
+# Bench-regression harness: the liveput decision path (Figure 18b),
+# the RPC transport layer (serializer / inproc / tcp round-trips) and
+# the fleet arbitration pass (10/50/100-job rebalance).
 #
 #   bench/run_benches.sh               run + compare against the
 #                                      committed baseline (fails on a
@@ -10,7 +11,8 @@
 #                                      whenever an intentional perf
 #                                      change lands)
 #
-# Emits BENCH_optimizer_time.json and BENCH_rpc_roundtrip.json
+# Emits BENCH_optimizer_time.json, BENCH_rpc_roundtrip.json and
+# BENCH_fleet_arbiter.json
 # (google-benchmark JSON) at the repo root; the committed references
 # live in bench/baselines/. Builds the `release-bench` CMake preset
 # (pure Release) so numbers are not polluted by RelWithDebInfo
@@ -21,8 +23,8 @@ cd "$(dirname "$0")/.."
 
 THRESHOLD="${THRESHOLD:-2.0}"
 MIN_TIME="${MIN_TIME:-0.1}"
-BENCHES=(fig18b_optimizer_time rpc_roundtrip)
-OUTS=(BENCH_optimizer_time.json BENCH_rpc_roundtrip.json)
+BENCHES=(fig18b_optimizer_time rpc_roundtrip fleet_arbiter)
+OUTS=(BENCH_optimizer_time.json BENCH_rpc_roundtrip.json BENCH_fleet_arbiter.json)
 
 cmake --preset release-bench >/dev/null
 cmake --build --preset release-bench --target "${BENCHES[@]}"

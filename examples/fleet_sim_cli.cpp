@@ -1,0 +1,148 @@
+// Fleet simulation CLI: many Parcae jobs multiplexed over one shared
+// spot pool, liveput-arbitrated leases vs. static partitioning.
+//
+//   fleet_sim_cli [key=value ...]
+//
+// Run `fleet_sim_cli help` for the full key list.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "fleet/fleet_sim.h"
+#include "obs/metrics.h"
+#include "runtime/kv_store.h"
+#include "trace/trace_io.h"
+
+using namespace parcae;
+
+namespace {
+
+void print_usage() {
+  std::printf(
+      "fleet_sim_cli [key=value ...]\n"
+      "\n"
+      "Replay a fleet of Parcae jobs over one shared spot pool, with\n"
+      "the FleetArbiter granting/revoking leases each interval, and\n"
+      "compare against static partitioning (docs/fleet.md).\n"
+      "\n"
+      "keys:\n"
+      "  jobs=<int>          fleet size (default 10); jobs cycle through\n"
+      "                      GPT-2/BERT-Large/ResNet-152/VGG-19 with\n"
+      "                      weights 1.0/2.0/1.0/0.5\n"
+      "  trace=HA-DP|HA-SP|LA-DP|LA-SP|full-day|<file.csv>\n"
+      "                      shared pool trace (default full-day)\n"
+      "  capacity=<int>      pool capacity (default 32)\n"
+      "  seed=<int>          fleet seed; job j's scheduler seed is\n"
+      "                      forked as fleet_job_seed(seed, j)\n"
+      "  lookahead=<int>     per-job lookahead (default 6)\n"
+      "  history=<int>       per-job prediction history (default 8)\n"
+      "  mc_trials=<int>     per-job Monte-Carlo trials (default 16)\n"
+      "  swap_margin=<float> arbiter swap hysteresis (default 0.05)\n"
+      "  static=0|1          also run the static-partitioning baseline\n"
+      "                      and print the comparison (default 1)\n"
+      "  election=0|1        arm KV-backed leader election for the\n"
+      "                      arbiter (default 0)\n"
+      "  metrics=0|1         print the metrics-registry snapshot\n"
+      "\n"
+      "example:\n"
+      "  fleet_sim_cli jobs=50 trace=LA-SP seed=7\n");
+}
+
+std::map<std::string, std::string> parse_args(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept GNU-style spellings (--jobs=50) for every key.
+    arg.erase(0, arg.find_first_not_of('-'));
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      args[arg] = "";
+      continue;
+    }
+    args[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  return args;
+}
+
+std::string get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (args.count("help") != 0 || args.count("h") != 0) {
+    print_usage();
+    return 0;
+  }
+
+  const std::string trace_name = get(args, "trace", "full-day");
+  SpotTrace trace;
+  bool found = false;
+  for (const SpotTrace& t : all_canonical_segments())
+    if (t.name() == trace_name) {
+      trace = t;
+      found = true;
+    }
+  if (!found && trace_name == "full-day") {
+    trace = full_day_trace();
+    found = true;
+  }
+  if (!found) {
+    std::string error;
+    auto loaded = load_trace(trace_name, &error);
+    if (!loaded) {
+      std::fprintf(stderr, "cannot resolve trace '%s': %s\n",
+                   trace_name.c_str(), error.c_str());
+      return 1;
+    }
+    trace = *loaded;
+  }
+
+  const int num_jobs = std::stoi(get(args, "jobs", "10"));
+  if (num_jobs < 1) {
+    std::fprintf(stderr, "jobs=%d: need at least one job\n", num_jobs);
+    return 1;
+  }
+
+  fleet::FleetSimOptions options;
+  options.fleet_seed = std::stoull(get(args, "seed", "42"));
+  options.capacity = std::stoi(get(args, "capacity", "32"));
+  options.lookahead = std::stoi(get(args, "lookahead", "6"));
+  options.history = std::stoi(get(args, "history", "8"));
+  options.mc_trials = std::stoi(get(args, "mc_trials", "16"));
+  options.swap_margin = std::stod(get(args, "swap_margin", "0.05"));
+
+  obs::MetricsRegistry registry;
+  options.metrics = &registry;
+  KvStore kv;
+  if (get(args, "election", "0") == "1") options.kv = &kv;
+
+  fleet::FleetSimulator simulator(fleet::standard_fleet(num_jobs), options);
+  const fleet::FleetSimResult arbiter = simulator.run(trace);
+  std::printf("%s", arbiter.to_string().c_str());
+
+  if (get(args, "static", "1") == "1") {
+    const fleet::FleetSimResult baseline = simulator.run_static(trace);
+    std::printf("\n%s", baseline.to_string().c_str());
+    const double gain =
+        baseline.weighted_liveput > 0.0
+            ? arbiter.weighted_liveput / baseline.weighted_liveput - 1.0
+            : 0.0;
+    std::printf(
+        "\narbiter vs static: %+.1f%% weighted liveput "
+        "(%.4f vs %.4f), share deviation %.4f vs %.4f\n",
+        gain * 100.0, arbiter.weighted_liveput, baseline.weighted_liveput,
+        arbiter.weighted_share_deviation,
+        baseline.weighted_share_deviation);
+  }
+
+  if (get(args, "metrics", "0") == "1") {
+    std::printf("\nmetrics:\n%s", registry.snapshot().render().c_str());
+  }
+  return 0;
+}

@@ -62,6 +62,44 @@ using namespace parcae;
 
 namespace {
 
+void print_usage() {
+  std::printf(
+      "spot_sim_cli [key=value ...]\n"
+      "\n"
+      "Run any system on any model and trace with tunable policy\n"
+      "options (DESIGN.md has the per-experiment index).\n"
+      "\n"
+      "keys:\n"
+      "  model=GPT-2|GPT-3|BERT-Large|ResNet-152|VGG-19\n"
+      "  trace=HA-DP|HA-SP|LA-DP|LA-SP|full-day|<file.csv>\n"
+      "  system=parcae|ideal|reactive|varuna|bamboo|oobleck|checkfreq|\n"
+      "         hybrid|elastic|ondemand\n"
+      "  lookahead=<int>        history=<int>      reoptimize=<int>\n"
+      "  mc_trials=<int>        hysteresis=<float> seed=<int>\n"
+      "  threads=<int>          liveput-DP worker threads (0 = auto:\n"
+      "                         PARCAE_THREADS env var, else hardware\n"
+      "                         concurrency; default 1 = serial;\n"
+      "                         bit-identical at any count)\n"
+      "  timeline=0|1           print the per-interval event timeline\n"
+      "  metrics=0|1            print the metrics-registry snapshot\n"
+      "  faults=<spec>          fault-injection spec (docs/robustness.md),\n"
+      "                         e.g. faults=sim.unpredicted_preempt:prob=0.1\n"
+      "                         (the PARCAE_FAULTS env var is the fallback)\n"
+      "  faults_seed=<int>      injector seed (default: seed ^ 0xfa017)\n"
+      "  metrics_csv=<file>     per-interval time series as CSV\n"
+      "  trace_json=<file>      Chrome trace events (chrome://tracing)\n"
+      "  events_jsonl=<file>    scheduler EventLog as JSONL (Parcae modes)\n"
+      "  transport=inproc|tcp   also run the real runtime on a prefix of\n"
+      "                         the trace over this transport (docs/rpc.md)\n"
+      "  rpc_port=<int>         TCP listen port for transport=tcp\n"
+      "                         (0 = ephemeral)\n"
+      "  runtime_minutes=<int>  trace prefix the runtime pass replays\n"
+      "                         (default 20)\n"
+      "\n"
+      "example:\n"
+      "  spot_sim_cli model=GPT-3 trace=LA-SP system=varuna\n");
+}
+
 std::map<std::string, std::string> parse_args(int argc, char** argv) {
   std::map<std::string, std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -69,7 +107,10 @@ std::map<std::string, std::string> parse_args(int argc, char** argv) {
     // Accept GNU-style spellings (--threads=8) for every key.
     arg.erase(0, arg.find_first_not_of('-'));
     const auto eq = arg.find('=');
-    if (eq == std::string::npos) continue;
+    if (eq == std::string::npos) {
+      args[arg] = "";
+      continue;
+    }
     args[arg.substr(0, eq)] = arg.substr(eq + 1);
   }
   return args;
@@ -85,6 +126,10 @@ std::string get(const std::map<std::string, std::string>& args,
 
 int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv);
+  if (args.count("help") != 0 || args.count("h") != 0) {
+    print_usage();
+    return 0;
+  }
 
   ModelProfile model;
   try {

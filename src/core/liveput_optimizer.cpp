@@ -32,9 +32,15 @@ LiveputOptimizer::LiveputOptimizer(const ThroughputModel* throughput,
     : throughput_(throughput),
       estimator_(std::move(estimator)),
       options_(options),
+      name_runs_(options.metric_prefix + "liveput_dp.runs"),
+      name_edge_hits_(options.metric_prefix + "liveput_dp.edge_cache_hits"),
+      name_edge_misses_(options.metric_prefix +
+                        "liveput_dp.edge_cache_misses"),
+      name_tasks_(options.metric_prefix + "threadpool.tasks"),
       sampler_(options.seed, options.mc_trials),
       threads_(options.threads == 1 ? 1 : ThreadPool::resolve(options.threads)) {
   sampler_.set_metrics(options.metrics);
+  sampler_.set_metric_prefix(options.metric_prefix);
 }
 
 LiveputOptimizer::~LiveputOptimizer() = default;
@@ -147,17 +153,17 @@ void LiveputOptimizer::flush_metrics() {
   const std::uint64_t hits = memo_hits_.load(std::memory_order_relaxed);
   const std::uint64_t misses = memo_misses_.load(std::memory_order_relaxed);
   if (hits != flushed_hits_)
-    options_.metrics->counter("liveput_dp.edge_cache_hits")
+    options_.metrics->counter(name_edge_hits_)
         .add(static_cast<double>(hits - flushed_hits_));
   if (misses != flushed_misses_)
-    options_.metrics->counter("liveput_dp.edge_cache_misses")
+    options_.metrics->counter(name_edge_misses_)
         .add(static_cast<double>(misses - flushed_misses_));
   flushed_hits_ = hits;
   flushed_misses_ = misses;
   if (pool_) {
     const std::uint64_t tasks = pool_->tasks_run();
     if (tasks != flushed_tasks_)
-      options_.metrics->counter("threadpool.tasks")
+      options_.metrics->counter(name_tasks_)
           .add(static_cast<double>(tasks - flushed_tasks_));
     flushed_tasks_ = tasks;
   }
@@ -168,7 +174,7 @@ LiveputPlan LiveputOptimizer::optimize(ParallelConfig current, int n_now,
   LiveputPlan plan;
   const auto I = predicted.size();
   if (I == 0) return plan;
-  if (options_.metrics) options_.metrics->counter("liveput_dp.runs").inc();
+  if (options_.metrics) options_.metrics->counter(name_runs_).inc();
   const double T = options_.interval_s;
 
   // Per-interval configuration spaces (feasible configs + "suspended"),

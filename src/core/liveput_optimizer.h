@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,9 @@ struct LiveputOptimizerOptions {
   // concurrency (ThreadPool::resolve). Results are bit-identical at
   // any thread count.
   int threads = 1;
+  // Prepended to every metric name (fleet jobs sharing a registry);
+  // "" keeps the historical names. Applied once at construction.
+  std::string metric_prefix;
 };
 
 struct LiveputPlan {
@@ -126,6 +130,8 @@ class LiveputOptimizer {
   const ThroughputModel* throughput_;
   CostEstimator estimator_;
   LiveputOptimizerOptions options_;
+  // Prefixed metric names, precomputed (see options_.metric_prefix).
+  std::string name_runs_, name_edge_hits_, name_edge_misses_, name_tasks_;
   PreemptionSampler sampler_;
   int threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // created on first threaded run

@@ -11,17 +11,19 @@
 namespace parcae {
 
 SchedulerCore::SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
-                             const SpotTrace* oracle)
+                             const InstancePoolView* oracle)
     : model_(std::move(model)),
       options_(options),
       oracle_(oracle),
       metrics_(options.metrics != nullptr ? options.metrics : &own_metrics_),
+      names_(make_names(options.metric_prefix)),
       throughput_(model_, options.throughput),
-      planner_(CostEstimator(model_), metrics_),
+      planner_(CostEstimator(model_), metrics_, options.metric_prefix),
       optimizer_(&throughput_, CostEstimator(model_),
                  LiveputOptimizerOptions{options.interval_s,
                                          options.mc_trials, options.seed,
-                                         metrics_, options.threads}),
+                                         metrics_, options.threads,
+                                         options.metric_prefix}),
       predictor_(options.adaptive_predictor
                      ? std::unique_ptr<AvailabilityPredictor>(
                            AdaptivePredictor::standard_pool(
@@ -29,6 +31,34 @@ SchedulerCore::SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
                      : make_parcae_predictor(
                            static_cast<double>(options.max_instances))) {
   reset();
+}
+
+SchedulerCore::SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
+                             const SpotTrace* oracle)
+    : SchedulerCore(std::move(model), std::move(options),
+                    static_cast<const InstancePoolView*>(nullptr)) {
+  if (oracle != nullptr) {
+    owned_oracle_ = std::make_unique<TracePoolView>(oracle);
+    oracle_ = owned_oracle_.get();
+  }
+}
+
+SchedulerCore::MetricNames SchedulerCore::make_names(
+    const std::string& prefix) {
+  return {prefix + "scheduler.intervals",
+          prefix + "scheduler.available",
+          prefix + "scheduler.preemptions_seen",
+          prefix + "scheduler.allocations_seen",
+          prefix + "scheduler.hysteresis_suppressions",
+          prefix + "scheduler.config_changes",
+          prefix + "scheduler.migrations_planned",
+          prefix + "scheduler.migration_stall_s",
+          prefix + "scheduler.reoptimizations",
+          prefix + "scheduler.liveput_expected_samples",
+          prefix + "scheduler.step",
+          prefix + "plan-migration",
+          prefix + "predict",
+          prefix + "optimize"};
 }
 
 void SchedulerCore::reset() {
@@ -137,13 +167,13 @@ ClusterSnapshot SchedulerCore::observe_damage(
 SchedulerDecision SchedulerCore::step(int interval_index,
                                       const AvailabilityObservation& observed,
                                       double interval_s) {
-  obs::ProfileSpan step_span("scheduler.step", metrics_, options_.tracer,
+  obs::ProfileSpan step_span(names_.span_step, metrics_, options_.tracer,
                              "scheduler");
   SchedulerDecision decision;
   const int available = observed.available;
   const double now = interval_index * interval_s;
-  metrics_->counter("scheduler.intervals").inc();
-  metrics_->gauge("scheduler.available").set(available);
+  metrics_->counter(names_.intervals).inc();
+  metrics_->gauge(names_.available).set(available);
   if (observed.preempted > 0 || observed.allocated > 0) {
     telemetry_.record(now, EventCategory::kCloud,
                       observed.preempted > 0 ? "preemption" : "allocation",
@@ -151,13 +181,11 @@ SchedulerDecision SchedulerCore::step(int interval_index,
                        {"preempted", std::to_string(observed.preempted)},
                        {"allocated", std::to_string(observed.allocated)}});
     if (observed.preempted > 0) {
-      metrics_->counter("scheduler.preemptions_seen")
-          .add(observed.preempted);
+      metrics_->counter(names_.preemptions_seen).add(observed.preempted);
       if (options_.tracer) options_.tracer->instant("preemption", "cloud");
     }
     if (observed.allocated > 0) {
-      metrics_->counter("scheduler.allocations_seen")
-          .add(observed.allocated);
+      metrics_->counter(names_.allocations_seen).add(observed.allocated);
       if (options_.tracer) options_.tracer->instant("allocation", "cloud");
     }
   }
@@ -190,7 +218,7 @@ SchedulerDecision SchedulerCore::step(int interval_index,
                         "hysteresis held depth",
                         {{"proposed", adapted.to_string()},
                          {"kept", keep.to_string()}});
-      metrics_->counter("scheduler.hysteresis_suppressions").inc();
+      metrics_->counter(names_.hysteresis_suppressions).inc();
       adapted = keep;
     }
   }
@@ -201,21 +229,20 @@ SchedulerDecision SchedulerCore::step(int interval_index,
                                                  : "idle"},
                        {"to", adapted.valid() ? adapted.to_string()
                                               : "idle"}});
-    metrics_->counter("scheduler.config_changes").inc();
+    metrics_->counter(names_.config_changes).inc();
   }
 
   // -- 2. Plan the live migration from the damaged current state.
   const ClusterSnapshot snapshot = observe_damage(observed, prev_available_);
   MigrationPlan plan;
   {
-    obs::ProfileSpan plan_span("plan-migration", metrics_, options_.tracer,
-                               "scheduler");
+    obs::ProfileSpan plan_span(names_.span_plan_migration, metrics_,
+                               options_.tracer, "scheduler");
     plan = planner_.plan(snapshot, adapted);
   }
   if (plan.kind != MigrationKind::kNone) {
-    metrics_->counter("scheduler.migrations_planned").inc();
-    metrics_->histogram("scheduler.migration_stall_s")
-        .observe(plan.stall_s());
+    metrics_->counter(names_.migrations_planned).inc();
+    metrics_->histogram(names_.migration_stall_s).observe(plan.stall_s());
   }
   double stall = plan.stall_s();
   if (options_.cost_noise_stddev > 0.0 && stall > 0.0) {
@@ -243,18 +270,18 @@ SchedulerDecision SchedulerCore::step(int interval_index,
   prev_available_ = available;
   if (options_.mode != PredictionMode::kReactive) {
     if (interval_index % std::max(1, options_.reoptimize_every) == 0) {
-      metrics_->counter("scheduler.reoptimizations").inc();
+      metrics_->counter(names_.reoptimizations).inc();
       {
-        obs::ProfileSpan predict_span("predict", metrics_, options_.tracer,
-                                      "scheduler");
+        obs::ProfileSpan predict_span(names_.span_predict, metrics_,
+                                      options_.tracer, "scheduler");
         decision.forecast = predict(interval_index);
       }
-      obs::ProfileSpan optimize_span("optimize", metrics_, options_.tracer,
-                                     "scheduler");
+      obs::ProfileSpan optimize_span(names_.span_optimize, metrics_,
+                                     options_.tracer, "scheduler");
       const LiveputPlan liveput = optimizer_.optimize(
           current_, available, decision.forecast);
       planned_next_ = liveput.next();
-      metrics_->gauge("scheduler.liveput_expected_samples")
+      metrics_->gauge(names_.liveput_expected_samples)
           .set(liveput.expected_samples);
     }
     // Otherwise keep the previously planned target (Figure 11's lower

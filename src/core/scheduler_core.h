@@ -32,6 +32,7 @@
 
 #include "core/liveput_optimizer.h"
 #include "core/telemetry.h"
+#include "fleet/instance_pool.h"
 #include "migration/planner.h"
 #include "model/model_profile.h"
 #include "obs/metrics.h"
@@ -92,6 +93,14 @@ struct SchedulerCoreOptions {
   // Chrome trace events.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceWriter* tracer = nullptr;
+  // Prepended to every metric and span name this core (and its
+  // optimizer/planner/sampler) records — "job3." turns
+  // "scheduler.intervals" into "job3.scheduler.intervals", so N cores
+  // sharing one registry (a fleet) never collide. The default empty
+  // prefix keeps every historical name bit-identical. Names are
+  // precomputed at construction; a non-empty prefix adds no per-step
+  // allocation.
+  std::string metric_prefix;
 };
 
 // Availability change observed at an interval boundary (the cloud-side
@@ -128,7 +137,14 @@ struct SchedulerDecision {
 class SchedulerCore {
  public:
   // `oracle` must outlive the core when mode == kOracle (it supplies
-  // the true future availability).
+  // the true future availability of the instances this core may use —
+  // the whole pool for a single job, its lease for a fleet job).
+  SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
+                const InstancePoolView* oracle);
+
+  // Trace-backed convenience: wraps `oracle` in a core-owned
+  // TracePoolView (the single-job adapter). Behavior is bit-identical
+  // to the historical direct-trace path.
   SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
                 const SpotTrace* oracle = nullptr);
 
@@ -172,13 +188,27 @@ class SchedulerCore {
   int min_depth() const;
   int max_depth() const;
 
+  // Metric/span names with options_.metric_prefix applied, built once
+  // at construction so the hot path never concatenates.
+  struct MetricNames {
+    std::string intervals, available, preemptions_seen, allocations_seen,
+        hysteresis_suppressions, config_changes, migrations_planned,
+        migration_stall_s, reoptimizations, liveput_expected_samples,
+        span_step, span_plan_migration, span_predict, span_optimize;
+  };
+  static MetricNames make_names(const std::string& prefix);
+
   ModelProfile model_;
   SchedulerCoreOptions options_;
-  const SpotTrace* oracle_;
+  // Oracle lease view: the injected one, or owned_oracle_ when
+  // constructed from a raw SpotTrace.
+  std::unique_ptr<TracePoolView> owned_oracle_;
+  const InstancePoolView* oracle_;
   // Declared before the planner/optimizer so metrics_ is resolved
   // when they capture it.
   obs::MetricsRegistry own_metrics_;
   obs::MetricsRegistry* metrics_;
+  MetricNames names_;
   ThroughputModel throughput_;
   MigrationPlanner planner_;
   LiveputOptimizer optimizer_;

@@ -1,0 +1,58 @@
+#include "fleet/election.h"
+
+#include "runtime/kv_store.h"
+
+namespace parcae::fleet {
+
+LeaseElection::LeaseElection(KvStore* kv, std::string key, double ttl_s)
+    : kv_(kv), key_(std::move(key)), ttl_s_(ttl_s) {}
+
+bool LeaseElection::campaign(const std::string& candidate) {
+  if (is_holder() && candidate_ == candidate) return true;
+  const auto existing = kv_->get(key_);
+  if (existing.has_value()) return false;  // live incumbent
+  // CAS-acquire: create-only (expected version 0) so two simultaneous
+  // campaigns serialize — exactly one create wins.
+  if (!kv_->cas(key_, 0, candidate)) return false;
+  // Bind the seat to a fresh liveness lease. cas() cannot attach a
+  // lease, so rebind the key under one (put_with_lease re-homes the
+  // entry); we already own the seat, so this overwrite races nobody.
+  lease_ = kv_->lease_grant(ttl_s_);
+  if (kv_->put_with_lease(key_, candidate, lease_) == 0) {
+    // Lease died between grant and put (zero/negative TTL): no seat.
+    lease_ = 0;
+    return false;
+  }
+  candidate_ = candidate;
+  return true;
+}
+
+std::optional<std::string> LeaseElection::holder() const {
+  const auto entry = kv_->get(key_);
+  if (!entry.has_value()) return std::nullopt;
+  return entry->value;
+}
+
+bool LeaseElection::is_holder() const {
+  if (lease_ == 0 || !kv_->lease_alive(lease_)) return false;
+  const auto entry = kv_->get(key_);
+  return entry.has_value() && entry->value == candidate_;
+}
+
+bool LeaseElection::renew() {
+  if (lease_ == 0) return false;
+  if (!kv_->lease_keepalive(lease_)) {
+    lease_ = 0;  // expired underneath us; seat already tombstoned
+    return false;
+  }
+  return true;
+}
+
+void LeaseElection::resign() {
+  if (lease_ == 0) return;
+  kv_->lease_revoke(lease_);
+  lease_ = 0;
+  candidate_.clear();
+}
+
+}  // namespace parcae::fleet

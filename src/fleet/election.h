@@ -1,0 +1,71 @@
+// Leader election over KvStore TTL leases — the primitive the
+// FleetArbiter uses to claim pool ownership (and a future standby
+// arbiter/scheduler would use for HA takeover, ROADMAP item 5).
+//
+// The protocol is the standard etcd election recipe on this repo's
+// KvStore primitives:
+//   campaign():  CAS-acquire — create-only write (expected version 0)
+//                of the candidate's name at the election key, attached
+//                to a fresh TTL lease. Exactly one contender wins a
+//                vacant seat; losers observe the CAS failure.
+//   renew():     heartbeat the lease. A holder that stops renewing
+//                (silent death) loses the key at TTL expiry — the
+//                logical clock (KvStore::advance_clock) erases it with
+//                a tombstone, at which point any candidate's next
+//                campaign() wins: re-election after holder death.
+//   resign():    revoke the lease (graceful handover; the key dies
+//                immediately).
+//
+// All calls are scheduler-thread operations; KvStore's own mutex makes
+// them safe to interleave with transport-thread traffic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace parcae {
+
+class KvStore;
+
+namespace fleet {
+
+class LeaseElection {
+ public:
+  // `kv` is non-owning and must outlive the election. `key` names the
+  // seat (e.g. "fleet/arbiter"); `ttl_s` is the holder's liveness TTL
+  // on the store's logical clock.
+  LeaseElection(KvStore* kv, std::string key, double ttl_s);
+
+  // Tries to become the holder. Returns true when `candidate` now
+  // holds the seat (including when it already held it). A live
+  // incumbent blocks the campaign; a dead one (expired lease) does
+  // not, because expiry already erased the key.
+  bool campaign(const std::string& candidate);
+
+  // The current holder, if any seat-holder key exists.
+  std::optional<std::string> holder() const;
+
+  // Whether this election object's own campaign is the live holder.
+  bool is_holder() const;
+
+  // Heartbeat; false when leadership was already lost (expired or
+  // revoked lease). A lost seat stays lost until a new campaign().
+  bool renew();
+
+  // Graceful resignation: revokes the lease, erasing the seat key.
+  void resign();
+
+  const std::string& key() const { return key_; }
+  double ttl_s() const { return ttl_s_; }
+
+ private:
+  KvStore* kv_;
+  std::string key_;
+  double ttl_s_;
+  std::uint64_t lease_ = 0;     // this object's own lease; 0 = none
+  std::string candidate_;       // name campaigned under
+};
+
+}  // namespace fleet
+}  // namespace parcae

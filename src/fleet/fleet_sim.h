@@ -1,0 +1,134 @@
+// Fleet simulator: N Parcae jobs multiplexed over one shared spot
+// pool.
+//
+// The single-job ClusterSimulator answers "what does one Parcae job
+// commit on this trace?". This layer answers the fleet question: given
+// one preemptible pool (a Table-1 trace) and many jobs with weights
+// and heterogeneous models, how much weighted liveput does the whole
+// fleet commit, and how fairly is the pool divided?
+//
+// Two allocation regimes are simulated over the same pool trace:
+//   - arbiter: the FleetArbiter rebalances leases every interval
+//     (weighted max-min growth, minimal marginal-loss revocation,
+//     objective-improving swaps);
+//   - static partitioning (the baseline): the pool is split once by
+//     weight (largest-remainder apportionment) and each job rides its
+//     fixed slice — preemptions hit slices proportionally, and no
+//     instance ever moves between jobs.
+// Each job then runs its own full Parcae stack (SchedulerCore inside
+// ParcaePolicy under the interval simulator) over its per-interval
+// grant series, exposed to it as a SeriesPoolView lease view — the job
+// never sees the pool, only its lease.
+//
+// Determinism: job j's scheduler seed is fleet_job_seed(fleet_seed, j)
+// (the FaultInjector forking scheme), so a fleet run replays
+// bit-for-bit and adding a job never perturbs the streams of the
+// others. Per-job metrics land in a shared registry under the
+// "job<j>." prefix; arbiter decisions under "fleet.*".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet_arbiter.h"
+#include "fleet/instance_pool.h"
+#include "obs/metrics.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+
+class KvStore;
+
+namespace fleet {
+
+struct FleetJobSpec {
+  int job_id = -1;
+  // Profile name resolved through model_by_name ("GPT-2", "BERT-Large",
+  // "ResNet-152", "VGG-19", "GPT-3").
+  std::string model = "GPT-2";
+  double weight = 1.0;
+};
+
+struct FleetSimOptions {
+  std::uint64_t fleet_seed = 42;
+  double interval_s = 60.0;
+  // Pool capacity; clamps the trace (Table-1 segments use 32).
+  int capacity = 32;
+  // Per-job decision-engine knobs (kept cheap: a 100-job fleet runs
+  // 100 full Parcae stacks).
+  int lookahead = 6;
+  int history = 8;
+  int mc_trials = 16;
+  // Optional shared sinks. Metrics get fleet.* and job<j>.* names;
+  // `kv` arms the arbiter's leader election.
+  obs::MetricsRegistry* metrics = nullptr;
+  KvStore* kv = nullptr;
+  double swap_margin = 0.05;
+};
+
+struct FleetJobResult {
+  int job_id = -1;
+  std::string model;
+  double weight = 1.0;
+  // Instances granted per interval (the job's lease series).
+  std::vector<int> grants;
+  double committed_samples = 0.0;
+  // Liveput normalized by the job's throughput at pool capacity (the
+  // value-table currency) — comparable across models.
+  double normalized_liveput = 0.0;
+  double mean_grant = 0.0;
+};
+
+struct FleetSimResult {
+  std::string trace;
+  std::string regime;  // "arbiter" | "static"
+  int jobs = 0;
+  int intervals = 0;
+  // The fleet objective: sum_j weight_j * normalized_liveput_j.
+  double weighted_liveput = 0.0;
+  // Mean over intervals of the misallocated pool fraction
+  // sum_j |grant_j - fair_j| / (2 * pool): 0 = exactly the weighted
+  // fair share every interval.
+  double weighted_share_deviation = 0.0;
+  long long lease_grants = 0;
+  long long lease_revocations = 0;
+  std::vector<FleetJobResult> per_job;
+  obs::MetricsSnapshot metrics;
+
+  std::string to_string() const;
+};
+
+// A standard heterogeneous fleet: jobs cycle through GPT-2,
+// BERT-Large, ResNet-152, VGG-19 with weights cycling 1.0/2.0/1.0/0.5.
+std::vector<FleetJobSpec> standard_fleet(int num_jobs);
+
+class FleetSimulator {
+ public:
+  FleetSimulator(std::vector<FleetJobSpec> jobs, FleetSimOptions options);
+
+  // Arbiter regime: FleetArbiter leases, then one full Parcae run per
+  // job over its lease view.
+  FleetSimResult run(const SpotTrace& pool_trace);
+
+  // Static-partitioning baseline over the same pool and jobs.
+  FleetSimResult run_static(const SpotTrace& pool_trace);
+
+  // The fixed slice each job owns under static partitioning
+  // (largest-remainder apportionment of `capacity` by weight).
+  std::vector<int> static_slices(int capacity) const;
+
+ private:
+  // Run every job's Parcae stack over its grant series and assemble
+  // the result (shared by both regimes).
+  FleetSimResult integrate(const SpotTrace& pool_trace,
+                           const std::string& regime,
+                           const std::vector<std::vector<int>>& grant_series,
+                           const FleetArbiter& arbiter);
+
+  std::vector<FleetJobSpec> jobs_;
+  FleetSimOptions options_;
+};
+
+}  // namespace fleet
+}  // namespace parcae

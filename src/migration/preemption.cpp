@@ -52,22 +52,28 @@ const PreemptionSummary& PreemptionSampler::summarize(ParallelConfig config,
   if (it == cache_.end()) {
     assert(!frozen_ && "PreemptionSampler: cache miss while frozen for "
                        "concurrent reads (warm-up missed a key)");
-    obs::ProfileSpan span("mc_sampler.sample", metrics_);
+    obs::ProfileSpan span(name_span_, metrics_);
     it = cache_.emplace(key, compute(config, idle, k)).first;
-    if (metrics_) metrics_->counter("mc_sampler.samples").inc();
+    if (metrics_) metrics_->counter(name_samples_).inc();
   } else if (metrics_) {
-    metrics_->counter("mc_sampler.cache_hits").inc();
+    metrics_->counter(name_cache_hits_).inc();
   }
   return it->second;
+}
+
+void PreemptionSampler::set_metric_prefix(const std::string& prefix) {
+  name_span_ = prefix + "mc_sampler.sample";
+  name_samples_ = prefix + "mc_sampler.samples";
+  name_cache_hits_ = prefix + "mc_sampler.cache_hits";
 }
 
 void PreemptionSampler::warm(ParallelConfig config, int idle, int k) {
   const auto key = std::make_tuple(config.dp, config.pp, idle, k);
   if (cache_.find(key) != cache_.end()) return;
   assert(!frozen_);
-  obs::ProfileSpan span("mc_sampler.sample", metrics_);
+  obs::ProfileSpan span(name_span_, metrics_);
   cache_.emplace(key, compute(config, idle, k));
-  if (metrics_) metrics_->counter("mc_sampler.samples").inc();
+  if (metrics_) metrics_->counter(name_samples_).inc();
 }
 
 PreemptionSummary PreemptionSampler::compute(ParallelConfig config, int idle,

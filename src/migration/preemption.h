@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -86,6 +87,10 @@ class PreemptionSampler {
   // step), hits/misses in counters.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  // Prepends `prefix` to every metric name (fleet jobs sharing one
+  // registry); "" keeps the historical names.
+  void set_metric_prefix(const std::string& prefix);
+
   // Ensure (config, idle, k)'s summary is cached, computing it now if
   // absent. Unlike summarize(), a hit records no cache-hit metric —
   // this is the pre-warm step the parallel liveput DP runs serially
@@ -106,6 +111,10 @@ class PreemptionSampler {
   int trials_;
   bool frozen_ = false;
   obs::MetricsRegistry* metrics_ = nullptr;
+  // Prefixed metric names, precomputed by set_metric_prefix.
+  std::string name_span_ = "mc_sampler.sample";
+  std::string name_samples_ = "mc_sampler.samples";
+  std::string name_cache_hits_ = "mc_sampler.cache_hits";
   std::map<std::tuple<int, int, int, int>, PreemptionSummary> cache_;
 };
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/instance_pool.h"
 #include "obs/metrics.h"
 #include "parallel/parallel_config.h"
 #include "runtime/pricing.h"
@@ -130,9 +131,23 @@ struct SimulationOptions {
   // coming. The injector is rewired to the run's registry so its
   // fault.* counters land in the result snapshot.
   FaultInjector* faults = nullptr;
+  // Prepended to every sim.* metric name and to the scheduler gauge
+  // the time-series recorder reads — set it to the same per-job prefix
+  // as the policy's SchedulerCoreOptions::metric_prefix when many
+  // simulations share a registry. "" keeps the historical names.
+  std::string metric_prefix;
 };
 
-// Runs `policy` over `trace` and returns the integrated result.
+// Runs `policy` over the instances `pool` grants it and returns the
+// integrated result. The pool is the whole trace for a single job
+// (TracePoolView) or an arbiter-granted lease slice for a fleet job
+// (SeriesPoolView).
+SimulationResult simulate(SpotTrainingPolicy& policy,
+                          const InstancePoolView& pool,
+                          const SimulationOptions& options);
+
+// Trace-backed convenience: wraps `trace` in a TracePoolView
+// (bit-identical to the historical direct-trace path).
 SimulationResult simulate(SpotTrainingPolicy& policy, const SpotTrace& trace,
                           const SimulationOptions& options);
 

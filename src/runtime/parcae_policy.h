@@ -28,6 +28,10 @@ class ParcaePolicy final : public SpotTrainingPolicy {
   // the true future availability).
   ParcaePolicy(ModelProfile model, ParcaePolicyOptions options,
                const SpotTrace* oracle = nullptr);
+  // Lease-view oracle: the instances this job may use (a fleet job's
+  // lease, or the whole pool through TracePoolView).
+  ParcaePolicy(ModelProfile model, ParcaePolicyOptions options,
+               const InstancePoolView* oracle);
 
   std::string name() const override;
   void reset() override;

@@ -111,6 +111,15 @@ SpotDriverReport SpotTrainingDriver::run(const SpotTrace& trace) {
   return run(cloud, trace.duration_s());
 }
 
+SpotDriverReport SpotTrainingDriver::run(const InstancePoolView& pool) {
+  if (const SpotTrace* trace = pool.backing_trace(); trace != nullptr)
+    return run(*trace);
+  const SpotTrace lease_trace = SpotTrace::from_minute_series(
+      pool.name(), pool.availability_series(options_.interval_s),
+      pool.capacity(), options_.interval_s);
+  return run(lease_trace);
+}
+
 SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
                                          double duration_s) {
   SpotDriverReport report;
@@ -132,7 +141,8 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
   // advance_clock window, so they never land in this vector.)
   std::vector<std::string> expired_keys;
   const std::uint64_t watch_id = cluster_.kv().watch(
-      "agent/", [&expired_keys](const std::string& key, const KvEntry& entry) {
+      cluster_.agent_key_prefix(),
+      [&expired_keys](const std::string& key, const KvEntry& entry) {
         if (entry.deleted) expired_keys.push_back(key);
       });
 
@@ -176,8 +186,8 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
       } else {
         const auto it = instance_to_agent.find(event.instance_id);
         if (it != instance_to_agent.end()) {
-          const auto record =
-              cluster_.kv().get("agent/" + std::to_string(it->second));
+          const auto record = cluster_.kv().get(
+              cluster_.agent_key_prefix() + std::to_string(it->second));
           cluster_.preempt({it->second});
           instance_to_agent.erase(it);
           if (record.has_value() && record->value != "preempted")
@@ -192,7 +202,8 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
     // a notice arrives), which is precisely why the execution path
     // below clamps the advice to the agents actually alive.
     int kv_available = 0;
-    for (const std::string& key : cluster_.kv().list("agent/")) {
+    for (const std::string& key :
+         cluster_.kv().list(cluster_.agent_key_prefix())) {
       const auto record = cluster_.kv().get(key);
       if (record.has_value() && record->value != "preempted") ++kv_available;
     }

@@ -20,6 +20,7 @@
 
 #include "common/fault.h"
 #include "core/scheduler_core.h"
+#include "fleet/instance_pool.h"
 #include "nn/dataset.h"
 #include "runtime/cloud_provider.h"
 #include "runtime/training_cluster.h"
@@ -109,6 +110,14 @@ class SpotTrainingDriver {
 
   // Convenience: replay `trace` through a TraceCloudProvider.
   SpotDriverReport run(const SpotTrace& trace);
+
+  // Replays the instances `pool` grants this job. A trace-backed view
+  // (TracePoolView) replays the original event-level trace —
+  // bit-identical with run(trace), sub-interval event timing included;
+  // an arbiter lease view (SeriesPoolView) replays the grant series
+  // with changes at interval boundaries (§5.2's quantization, which is
+  // exact for leases: the arbiter only resizes at boundaries).
+  SpotDriverReport run(const InstancePoolView& pool);
 
   TrainingCluster& cluster() { return cluster_; }
   // The decision engine (exposed for the sim-vs-real equivalence

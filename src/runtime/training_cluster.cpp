@@ -37,6 +37,7 @@ std::size_t stage_param_count(const std::vector<std::size_t>& dims) {
 TrainingCluster::TrainingCluster(TrainingClusterOptions options,
                                  const nn::Dataset* dataset)
     : options_(std::move(options)),
+      agent_key_prefix_(options_.kv_namespace + "agent/"),
       dataset_(dataset),
       samples_(options_.epoch_size, options_.seed ^ 0x5511ull),
       rng_(options_.seed ^ 0xc1u) {
@@ -94,7 +95,7 @@ std::vector<int> TrainingCluster::allocate(int count) {
     }
     ids.push_back(agent.id);
     if (agent.lease != 0)
-      kv_put_retried("agent/" + std::to_string(agent.id), "spare",
+      kv_put_retried(agent_key_prefix_ + std::to_string(agent.id), "spare",
                      agent.lease);
     agents_.push_back(std::move(agent));
   }
@@ -124,7 +125,7 @@ void TrainingCluster::preempt(const std::vector<int>& agent_ids) {
         count("cluster.kv_publish_dropped");
       }
       agent.lease = 0;
-      kv_put_retried("agent/" + std::to_string(id), "preempted");
+      kv_put_retried(agent_key_prefix_ + std::to_string(id), "preempted");
     }
   }
 }
@@ -203,7 +204,7 @@ void TrainingCluster::heartbeat() {
         count("cluster.lease_grants_dropped");
         continue;
       }
-      kv_put_retried("agent/" + std::to_string(agent.id),
+      kv_put_retried(agent_key_prefix_ + std::to_string(agent.id),
                      agent.assigned()
                          ? "p" + std::to_string(agent.pipeline) + "s" +
                                std::to_string(agent.stage)
@@ -348,11 +349,11 @@ std::vector<TrainingCluster::StageState> TrainingCluster::collect_stage_states(
 }
 
 void TrainingCluster::publish_assignments() {
-  kv_put_retried("cluster/config",
+  kv_put_retried(options_.kv_namespace + "cluster/config",
                  config_.valid() ? config_.to_string() : "suspended");
   for (const auto& agent : agents_) {
     if (!agent.alive) continue;
-    kv_put_retried("agent/" + std::to_string(agent.id),
+    kv_put_retried(agent_key_prefix_ + std::to_string(agent.id),
                    agent.assigned()
                        ? "p" + std::to_string(agent.pipeline) + "s" +
                              std::to_string(agent.stage)

@@ -11,6 +11,7 @@
 
 #include "common/fault.h"
 #include "common/retry.h"
+#include "fleet/election.h"
 #include "nn/dataset.h"
 #include "obs/metrics.h"
 #include "runtime/kv_store.h"
@@ -664,6 +665,81 @@ TEST(SpotDriverFaults, HoldsAtIdleWhenFaultsDropBelowMinViable) {
   // Killed capacity is only re-learned through lease expiry, and the
   // driver kept training (or holding) through all of it.
   EXPECT_GT(report.iterations, 0);
+}
+
+// ---------------------------------------------------------------------------
+// LeaseElection: the etcd election recipe on KvStore leases
+// (CAS-acquire, TTL expiry, re-election after holder death).
+
+TEST(LeaseElection, CasAcquireAdmitsExactlyOneContender) {
+  KvStore kv;
+  fleet::LeaseElection a(&kv, "fleet/arbiter", 120.0);
+  fleet::LeaseElection b(&kv, "fleet/arbiter", 120.0);
+  EXPECT_TRUE(a.campaign("arbiter-a"));
+  EXPECT_FALSE(b.campaign("arbiter-b"));  // live incumbent blocks
+  EXPECT_TRUE(a.is_holder());
+  EXPECT_FALSE(b.is_holder());
+  ASSERT_TRUE(a.holder().has_value());
+  EXPECT_EQ(*a.holder(), "arbiter-a");
+  // Re-campaigning as the incumbent is a cheap no-op success.
+  EXPECT_TRUE(a.campaign("arbiter-a"));
+}
+
+TEST(LeaseElection, RenewedSeatSurvivesManyTtlWindows) {
+  KvStore kv;
+  fleet::LeaseElection election(&kv, "fleet/arbiter", 100.0);
+  ASSERT_TRUE(election.campaign("arbiter-a"));
+  for (int i = 0; i < 5; ++i) {
+    kv.advance_clock(80.0);  // inside the TTL each time
+    EXPECT_TRUE(election.renew());
+  }
+  EXPECT_TRUE(election.is_holder());
+  EXPECT_EQ(kv.leases_expired(), 0u);
+}
+
+TEST(LeaseElection, TtlExpiryDethronesASilentHolder) {
+  KvStore kv;
+  fleet::LeaseElection holder(&kv, "fleet/arbiter", 100.0);
+  ASSERT_TRUE(holder.campaign("arbiter-a"));
+  // The holder goes silent: no renew across the TTL. The logical
+  // clock erases the seat with a tombstone.
+  bool tombstoned = false;
+  kv.watch("fleet/arbiter",
+           [&tombstoned](const std::string&, const KvEntry& entry) {
+             if (entry.deleted) tombstoned = true;
+           });
+  kv.advance_clock(150.0);
+  EXPECT_TRUE(tombstoned);
+  EXPECT_FALSE(holder.is_holder());
+  EXPECT_FALSE(holder.renew());  // a dead holder cannot revive itself
+  EXPECT_FALSE(holder.holder().has_value());
+}
+
+TEST(LeaseElection, ReElectionAfterHolderDeath) {
+  KvStore kv;
+  fleet::LeaseElection a(&kv, "fleet/arbiter", 100.0);
+  fleet::LeaseElection b(&kv, "fleet/arbiter", 100.0);
+  ASSERT_TRUE(a.campaign("arbiter-a"));
+  EXPECT_FALSE(b.campaign("arbiter-b"));
+  kv.advance_clock(150.0);  // a dies silently
+  EXPECT_TRUE(b.campaign("arbiter-b"));
+  EXPECT_TRUE(b.is_holder());
+  ASSERT_TRUE(b.holder().has_value());
+  EXPECT_EQ(*b.holder(), "arbiter-b");
+  // The old holder observes the new regime and cannot reclaim it.
+  EXPECT_FALSE(a.is_holder());
+  EXPECT_FALSE(a.campaign("arbiter-a"));
+}
+
+TEST(LeaseElection, ResignHandsTheSeatOverImmediately) {
+  KvStore kv;
+  fleet::LeaseElection a(&kv, "fleet/arbiter", 100.0);
+  fleet::LeaseElection b(&kv, "fleet/arbiter", 100.0);
+  ASSERT_TRUE(a.campaign("arbiter-a"));
+  a.resign();
+  EXPECT_FALSE(a.is_holder());
+  EXPECT_TRUE(b.campaign("arbiter-b"));  // no TTL wait after resign
+  EXPECT_TRUE(b.is_holder());
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/fault.h"
+#include "fleet/election.h"
 #include "nn/dataset.h"
 #include "obs/metrics.h"
 #include "rpc/kv_service.h"
@@ -215,6 +216,45 @@ TEST(Rpc, SilentPeerDeathSurfacesThroughLeaseExpiry) {
   EXPECT_FALSE(store.get("agent/7").has_value());
   EXPECT_TRUE(tombstoned);
   EXPECT_FALSE(kv.lease_alive(lease));
+}
+
+TEST(Rpc, LeaseElectionRecipeWorksOverTheWire) {
+  // The fleet arbiter's election seat lives in the hub's KvStore; a
+  // remote standby runs the same recipe (create-only CAS + TTL lease)
+  // through KvClient over the transport and takes over once the local
+  // holder's lease lapses.
+  KvStore store;
+  InProcRig rig;
+  rpc::KvService service(store);
+  service.bind(rig.server);
+  rig.server.start();
+
+  fleet::LeaseElection local(&store, "fleet/arbiter", 30.0);
+  ASSERT_TRUE(local.campaign("arbiter-local"));
+
+  rpc::RpcClient client = rig.client();
+  rpc::KvClient kv(client);
+  // The standby observes the incumbent over the wire and its
+  // CAS-acquire loses (the key exists, so version 0 cannot match).
+  ASSERT_TRUE(kv.get("fleet/arbiter").has_value());
+  EXPECT_EQ(kv.get("fleet/arbiter")->value, "arbiter-local");
+  EXPECT_FALSE(kv.cas("fleet/arbiter", 0, "arbiter-standby"));
+
+  // The holder goes silent; TTL expiry erases the seat.
+  store.advance_clock(31.0);
+  EXPECT_FALSE(local.is_holder());
+  EXPECT_FALSE(kv.get("fleet/arbiter").has_value());
+
+  // Remote re-election: create-only CAS wins, then the standby binds
+  // the seat to its own liveness lease — all through RPC primitives.
+  EXPECT_TRUE(kv.cas("fleet/arbiter", 0, "arbiter-standby"));
+  const std::uint64_t lease = kv.lease_grant(30.0);
+  ASSERT_NE(lease, 0u);
+  ASSERT_NE(kv.put_with_lease("fleet/arbiter", "arbiter-standby", lease), 0u);
+  EXPECT_EQ(store.get("fleet/arbiter")->value, "arbiter-standby");
+  // A late campaign by the dethroned local holder loses to the new
+  // incumbent.
+  EXPECT_FALSE(local.campaign("arbiter-local"));
 }
 
 TEST(Rpc, PartitionedPeerTimesOutAndHeals) {
