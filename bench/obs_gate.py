@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Observability-overhead gate over BENCH_obs_overhead.json.
+
+Usage:
+    obs_gate.py BENCH_obs_overhead.json [--max-overhead 0.05]
+
+Reads the paired simulate benchmarks (BM_SimulateBare vs
+BM_SimulateObserved) from one google-benchmark JSON file and fails
+when the fully-instrumented run (metrics + trace ids + time series +
+SLO engine) costs more than --max-overhead over the bare run. Unlike
+bench/compare.py this is machine-independent — both numbers come from
+the same process on the same machine — so the 5% contract holds on any
+hardware without a committed baseline.
+"""
+import argparse
+import json
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = (b["real_time"] *
+                          UNIT_NS.get(b.get("time_unit", "ns"), 1.0))
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="maximum fractional slowdown of the "
+                             "observed run over bare (default 0.05)")
+    args = parser.parse_args()
+
+    times = load(args.results)
+    try:
+        bare = times["BM_SimulateBare"]
+        observed = times["BM_SimulateObserved"]
+    except KeyError as missing:
+        print(f"obs_gate.py: {args.results} is missing {missing}",
+              file=sys.stderr)
+        return 2
+
+    overhead = observed / bare - 1.0
+    verdict = "OK" if overhead <= args.max_overhead else "FAIL"
+    print(f"obs_gate.py: bare {bare / 1e6:.2f} ms, "
+          f"observed {observed / 1e6:.2f} ms, "
+          f"overhead {overhead * 100:+.2f}% "
+          f"(limit {args.max_overhead * 100:.0f}%) {verdict}")
+    return 0 if verdict == "OK" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+// Observability-tax microbenchmarks for the bench-regression harness
+// (bench/run_benches.sh): the same simulated scheduling run with every
+// sink detached vs fully instrumented (metrics + trace ids + time
+// series + SLO engine), the Prometheus render itself, a live
+// obs.metrics scrape over the in-process transport, and the raw
+// ProfileSpan open/close. bench/obs_gate.py reads the paired simulate
+// numbers and fails the harness when the instrumented run costs more
+// than 5% over bare — the contract that lets the sinks stay compiled
+// in and enabled by default.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/slo.h"
+#include "model/model_profile.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/profile_span.h"
+#include "obs/timeseries.h"
+#include "obs/trace_context.h"
+#include "rpc/obs_service.h"
+#include "rpc/rpc.h"
+#include "rpc/transport.h"
+#include "runtime/cluster_sim.h"
+#include "runtime/parcae_policy.h"
+#include "trace/spot_trace.h"
+
+namespace parcae {
+namespace {
+
+// One full simulated run over the sparse high-availability segment.
+// `observed` attaches every sink the obs_dashboard attaches.
+void simulate_segment(benchmark::State& state, bool observed) {
+  const ModelProfile model = model_by_name("GPT-2");
+  const SpotTrace trace = canonical_segment(TraceSegment::kHighAvailSparse);
+
+  obs::MetricsRegistry registry;
+  obs::TraceWriter tracer;
+  obs::TimeSeriesRecorder series;
+
+  ParcaePolicyOptions popt;
+  if (observed) {
+    popt.metrics = &registry;
+    popt.tracer = &tracer;
+  }
+  ParcaePolicy policy(model, popt);
+
+  volatile double committed = 0.0;
+  for (auto _ : state) {
+    SimulationOptions sim;
+    sim.units_per_sample = model.tokens_per_sample;
+    sim.record_timeline = false;
+    SloEngine slo(SloEngine::default_rules());
+    if (observed) {
+      sim.metrics = &registry;
+      sim.tracer = &tracer;
+      sim.timeseries = &series;
+      sim.slo = &slo;
+    }
+    const SimulationResult r = simulate(policy, trace, sim);
+    committed = r.committed_units;
+    // Bound memory across iterations; the clears are part of the tax.
+    registry.clear();
+    tracer.clear();
+    series.clear();
+  }
+  state.SetLabel(observed ? "all sinks attached" : "no sinks");
+  state.counters["committed_units"] = committed;
+}
+
+void BM_SimulateBare(benchmark::State& state) {
+  simulate_segment(state, /*observed=*/false);
+}
+void BM_SimulateObserved(benchmark::State& state) {
+  simulate_segment(state, /*observed=*/true);
+}
+BENCHMARK(BM_SimulateBare)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateObserved)->Unit(benchmark::kMillisecond);
+
+// A registry shaped like the end of a real run: a few dozen
+// instruments, some job-prefixed, histograms with spread-out buckets.
+obs::MetricsRegistry& populate(obs::MetricsRegistry& registry) {
+  for (int job = 0; job < 8; ++job) {
+    const std::string prefix = "job" + std::to_string(job) + ".";
+    registry.counter(prefix + "sim.preemptions").add(job * 3.0);
+    registry.counter(prefix + "scheduler.intervals").add(720);
+    registry.gauge(prefix + "fleet.normalized_liveput").set(0.5 + job * 0.05);
+    auto& h = registry.histogram(prefix + "optimize.ms");
+    for (int i = 1; i <= 64; ++i) h.observe(i * 0.7);
+  }
+  registry.counter("rpc.requests").add(12345);
+  registry.counter("rpc.client.retries").add(17);
+  auto& spans = registry.histogram("execute-interval.ms");
+  for (int i = 1; i <= 256; ++i) spans.observe(i * 0.3);
+  return registry;
+}
+
+void BM_PrometheusRender(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  populate(registry);
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string prom = obs::to_prometheus(snapshot);
+    bytes = prom.size();
+    benchmark::DoNotOptimize(prom);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_PrometheusRender)->Unit(benchmark::kMicrosecond);
+
+// What one monitoring poll costs end to end: snapshot + render +
+// envelope + transport dispatch, via the obs.metrics endpoint.
+void BM_ObsScrapeInproc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  populate(registry);
+  rpc::InProcTransport transport;
+  rpc::RpcServer server(transport);
+  rpc::ObsService service(registry);
+  service.bind(server);
+  server.start();
+  rpc::RpcClient client(transport, "scraper");
+  rpc::ObsClient obs_client(client);
+
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string prom = obs_client.scrape();
+    bytes = prom.size();
+    benchmark::DoNotOptimize(prom);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  client.close();
+  server.stop();
+}
+BENCHMARK(BM_ObsScrapeInproc)->Unit(benchmark::kMicrosecond);
+
+// The per-span cost every instrumented call site pays: histogram
+// observe + trace event push + span-id allocation + context install.
+void BM_ProfileSpanTraced(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::TraceWriter tracer;
+  tracer.enable_trace_ids(obs::fork_trace_seed(1, 1));
+  obs::TraceContextScope root(
+      obs::TraceContext{obs::derive_trace_id(1, 0), 0});
+  std::size_t n = 0;
+  for (auto _ : state) {
+    obs::ProfileSpan span("bench.span", &registry, &tracer);
+    benchmark::DoNotOptimize(span.context().span_id);
+    if (++n % 8192 == 0) tracer.clear();  // bound memory, amortized in
+  }
+}
+BENCHMARK(BM_ProfileSpanTraced)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+}  // namespace parcae
+
+BENCHMARK_MAIN();

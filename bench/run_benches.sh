@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Bench-regression harness: the liveput decision path (Figure 18b),
-# the RPC transport layer (serializer / inproc / tcp round-trips) and
-# the fleet arbitration pass (10/50/100-job rebalance).
+# the RPC transport layer (serializer / inproc / tcp round-trips), the
+# fleet arbitration pass (10/50/100-job rebalance) and the
+# observability tax (instrumented vs bare simulate, Prometheus render,
+# obs.metrics scrape, ProfileSpan).
 #
 #   bench/run_benches.sh               run + compare against the
 #                                      committed baseline (fails on a
@@ -11,20 +13,22 @@
 #                                      whenever an intentional perf
 #                                      change lands)
 #
-# Emits BENCH_optimizer_time.json, BENCH_rpc_roundtrip.json and
-# BENCH_fleet_arbiter.json
+# Emits BENCH_optimizer_time.json, BENCH_rpc_roundtrip.json,
+# BENCH_fleet_arbiter.json and BENCH_obs_overhead.json
 # (google-benchmark JSON) at the repo root; the committed references
-# live in bench/baselines/. Builds the `release-bench` CMake preset
-# (pure Release) so numbers are not polluted by RelWithDebInfo
-# assertions in dependencies.
+# live in bench/baselines/. The obs bench additionally runs
+# bench/obs_gate.py, a machine-independent check that the fully
+# instrumented run stays within 5% of the bare one. Builds the
+# `release-bench` CMake preset (pure Release) so numbers are not
+# polluted by RelWithDebInfo assertions in dependencies.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 THRESHOLD="${THRESHOLD:-2.0}"
 MIN_TIME="${MIN_TIME:-0.1}"
-BENCHES=(fig18b_optimizer_time rpc_roundtrip fleet_arbiter)
-OUTS=(BENCH_optimizer_time.json BENCH_rpc_roundtrip.json BENCH_fleet_arbiter.json)
+BENCHES=(fig18b_optimizer_time rpc_roundtrip fleet_arbiter obs_overhead)
+OUTS=(BENCH_optimizer_time.json BENCH_rpc_roundtrip.json BENCH_fleet_arbiter.json BENCH_obs_overhead.json)
 
 cmake --preset release-bench >/dev/null
 cmake --build --preset release-bench --target "${BENCHES[@]}"
@@ -39,6 +43,10 @@ for i in "${!BENCHES[@]}"; do
         --benchmark_out="${out}" \
         --benchmark_out_format=json \
         --benchmark_min_time="${MIN_TIME}"
+
+    if [[ "${bench}" == "obs_overhead" ]]; then
+        python3 bench/obs_gate.py "${out}" || status=$?
+    fi
 
     if [[ "${1:-}" == "--rebaseline" ]]; then
         mkdir -p "$(dirname "${baseline}")"

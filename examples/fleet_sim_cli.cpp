@@ -7,10 +7,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "core/slo.h"
 #include "fleet/fleet_sim.h"
+#include "obs/exporter.h"
 #include "obs/metrics.h"
+#include "rpc/obs_service.h"
+#include "rpc/rpc.h"
 #include "runtime/kv_store.h"
 #include "trace/trace_io.h"
 
@@ -44,6 +49,15 @@ void print_usage() {
       "  election=0|1        arm KV-backed leader election for the\n"
       "                      arbiter (default 0)\n"
       "  metrics=0|1         print the metrics-registry snapshot\n"
+      "  rollup=0|1          print the FleetAggregator rollup (per-job\n"
+      "                      job<j>.* folded into fleet.* sums/maxima)\n"
+      "  alerts=<spec>       fleet SLO rules evaluated on the rollup\n"
+      "                      once per regime (docs/observability.md\n"
+      "                      grammar; alerts=default = built-ins)\n"
+      "  alerts_jsonl=<file> fired alerts as JSONL\n"
+      "  export_port=<int>   serve the live fleet rollup as Prometheus\n"
+      "                      text over TCP RPC (obs.metrics method,\n"
+      "                      0 = ephemeral)\n"
       "\n"
       "example:\n"
       "  fleet_sim_cli jobs=50 trace=LA-SP seed=7\n");
@@ -122,6 +136,48 @@ int main(int argc, char** argv) {
   KvStore kv;
   if (get(args, "election", "0") == "1") options.kv = &kv;
 
+  // Fleet SLOs: rules run against the FleetAggregator rollup once per
+  // regime, so they can target fleet-wide names ("fleet.sim.preemptions",
+  // "fleet.fleet.normalized_liveput.max", arbiter counters).
+  const std::string alerts_spec = get(args, "alerts", "");
+  const std::string alerts_jsonl = get(args, "alerts_jsonl", "");
+  std::unique_ptr<SloEngine> slo;
+  if (!alerts_spec.empty()) {
+    std::string error;
+    const std::vector<SloRule> rules =
+        alerts_spec == "default" ? SloEngine::default_rules()
+                                 : SloEngine::parse_rules(alerts_spec, &error);
+    if (rules.empty()) {
+      std::fprintf(stderr, "bad alert spec '%s': %s\n", alerts_spec.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    slo = std::make_unique<SloEngine>(rules);
+    options.slo = slo.get();
+  }
+
+  // Live export: every scrape folds a fresh registry snapshot through
+  // the aggregator, so a scraper watches fleet.* rollups move as jobs
+  // integrate.
+  const std::string export_port = get(args, "export_port", "");
+  std::unique_ptr<rpc::Transport> export_transport;
+  std::unique_ptr<rpc::RpcServer> export_server;
+  std::unique_ptr<rpc::ObsService> export_service;
+  if (!export_port.empty()) {
+    export_transport = rpc::make_tcp_transport(std::stoi(export_port));
+    export_server = std::make_unique<rpc::RpcServer>(*export_transport);
+    export_service = std::make_unique<rpc::ObsService>(
+        [&registry]() {
+          obs::FleetAggregator aggregator;
+          aggregator.fold(registry.snapshot());
+          return aggregator.rollup();
+        });
+    export_service->bind(*export_server);
+    export_server->start();
+    std::printf("serving fleet rollup on %s (rpc method \"obs.metrics\")\n",
+                export_transport->address().c_str());
+  }
+
   fleet::FleetSimulator simulator(fleet::standard_fleet(num_jobs), options);
   const fleet::FleetSimResult arbiter = simulator.run(trace);
   std::printf("%s", arbiter.to_string().c_str());
@@ -143,6 +199,39 @@ int main(int argc, char** argv) {
 
   if (get(args, "metrics", "0") == "1") {
     std::printf("\nmetrics:\n%s", registry.snapshot().render().c_str());
+  }
+  if (get(args, "rollup", "0") == "1") {
+    obs::FleetAggregator aggregator;
+    aggregator.fold(registry.snapshot());
+    std::printf("\nfleet rollup (%d jobs folded):\n%s", aggregator.jobs(),
+                aggregator.rollup().render().c_str());
+  }
+  if (slo != nullptr) {
+    const std::string table = slo->render();
+    if (table.empty())
+      std::printf("\nalerts: none fired (%zu rules armed)\n",
+                  slo->rules().size());
+    else
+      std::printf("\nalerts (%zu fired):\n%s", slo->alerts().size(),
+                  table.c_str());
+    if (!alerts_jsonl.empty()) {
+      if (slo->write_jsonl(alerts_jsonl))
+        std::printf("wrote %s (%zu alerts)\n", alerts_jsonl.c_str(),
+                    slo->alerts().size());
+      else
+        std::fprintf(stderr, "cannot write %s\n", alerts_jsonl.c_str());
+    }
+  }
+  if (export_server != nullptr) {
+    try {
+      rpc::RpcClient scraper(*export_transport,
+                             export_transport->address());
+      const std::string prom = rpc::ObsClient(scraper).scrape();
+      std::printf("exporter self-scrape: %zu bytes of Prometheus text\n",
+                  prom.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "exporter self-scrape failed: %s\n", e.what());
+    }
   }
   return 0;
 }

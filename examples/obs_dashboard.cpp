@@ -11,10 +11,15 @@
 //                   interval: availability, live instances, liveput
 //                   estimate, throughput, stall, cumulative samples, $)
 //   events.jsonl    the scheduler's structured EventLog
-// and prints the metrics-registry snapshot as aligned tables,
-// followed by a §8 robustness section: a chaos run of the *real*
-// training runtime under fault injection (PARCAE_FAULTS overrides the
-// default chaos spec) with its recovery counters.
+//   metrics.prom    the final registry snapshot in Prometheus text
+//                   exposition format (what the obs.metrics endpoint
+//                   serves)
+//   alerts.jsonl    SLO alerts (default rule set, src/core/slo.h)
+//                   fired during the run
+// and prints the metrics-registry snapshot as aligned tables and an
+// alerts summary, followed by a §8 robustness section: a chaos run of
+// the *real* training runtime under fault injection (PARCAE_FAULTS
+// overrides the default chaos spec) with its recovery counters.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -22,7 +27,9 @@
 
 #include "common/fault.h"
 #include "common/table.h"
+#include "core/slo.h"
 #include "nn/dataset.h"
+#include "obs/exporter.h"
 #include "obs/profile_span.h"
 #include "obs/timeseries.h"
 #include "runtime/parcae_policy.h"
@@ -70,6 +77,9 @@ int main(int argc, char** argv) {
   sim.tracer = &tracer;
   sim.timeseries = &series;
 
+  SloEngine slo(SloEngine::default_rules());
+  sim.slo = &slo;
+
   const SimulationResult r = simulate(policy, *trace, sim);
 
   std::printf("%s on %s: %s %ss committed (%s/s), $%.2f\n\n",
@@ -105,6 +115,29 @@ int main(int argc, char** argv) {
   } else {
     ok = false;
   }
+  const std::string prom_path = outdir + "/metrics.prom";
+  FILE* prom_file = std::fopen(prom_path.c_str(), "w");
+  if (prom_file != nullptr) {
+    const std::string prom = obs::to_prometheus(r.metrics);
+    std::fwrite(prom.data(), 1, prom.size(), prom_file);
+    std::fclose(prom_file);
+    std::printf("wrote %s (%zu bytes)\n", prom_path.c_str(), prom.size());
+  } else {
+    ok = false;
+  }
+  const std::string alerts_path = outdir + "/alerts.jsonl";
+  if (slo.write_jsonl(alerts_path))
+    std::printf("wrote %s (%zu alerts)\n", alerts_path.c_str(),
+                slo.alerts().size());
+  else
+    ok = false;
+  const std::string alert_table = slo.render();
+  if (alert_table.empty())
+    std::printf("\nalerts: none fired (%zu default rules armed)\n",
+                slo.rules().size());
+  else
+    std::printf("\nalerts (%zu fired):\n%s", slo.alerts().size(),
+                alert_table.c_str());
   if (!ok) {
     std::fprintf(stderr, "cannot write artifacts into %s\n", outdir.c_str());
     return 1;

@@ -24,6 +24,14 @@
 //   trace_json=<file>      Chrome trace events (chrome://tracing,
 //                          https://ui.perfetto.dev)
 //   events_jsonl=<file>    scheduler EventLog as JSONL (Parcae modes)
+//   alerts=<spec>          SLO rules evaluated every interval
+//                          (src/core/slo.h grammar; alerts=default
+//                          loads the built-in rule set)
+//   alerts_jsonl=<file>    fired alerts as JSONL
+//   export_port=<int>      serve the live registry as Prometheus text
+//                          over TCP RPC (method "obs.metrics";
+//                          0 = ephemeral) for the whole run, with a
+//                          self-scrape before exit
 //   transport=inproc|tcp   also run the *real* runtime (laptop-scale
 //                          SpotTrainingDriver) on a prefix of the
 //                          selected trace, with agents reaching the
@@ -33,14 +41,23 @@
 //                          (0 = ephemeral)
 //   runtime_minutes=<int>  trace prefix the runtime pass replays
 //                          (default 20)
+//   runtime_trace=<prefix> write the runtime pass's per-process trace
+//                          files <prefix>.scheduler.json (decision +
+//                          rpc.call spans) and <prefix>.hub.json
+//                          (rpc.handle spans) — fuse with
+//                          `trace_tool merge out.json <both files>`
 //
 // Example:
 //   spot_sim_cli model=GPT-3 trace=LA-SP system=varuna
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "core/slo.h"
+#include "rpc/obs_service.h"
+#include "rpc/rpc.h"
 #include "baselines/bamboo_policy.h"
 #include "common/fault.h"
 #include "baselines/checkfreq_policy.h"
@@ -89,12 +106,22 @@ void print_usage() {
       "  metrics_csv=<file>     per-interval time series as CSV\n"
       "  trace_json=<file>      Chrome trace events (chrome://tracing)\n"
       "  events_jsonl=<file>    scheduler EventLog as JSONL (Parcae modes)\n"
+      "  alerts=<spec>          SLO rules evaluated every interval\n"
+      "                         (docs/observability.md grammar;\n"
+      "                         alerts=default = built-in rule set)\n"
+      "  alerts_jsonl=<file>    fired alerts as JSONL\n"
+      "  export_port=<int>      serve the live registry as Prometheus\n"
+      "                         text over TCP RPC (obs.metrics method,\n"
+      "                         0 = ephemeral) for the whole run\n"
       "  transport=inproc|tcp   also run the real runtime on a prefix of\n"
       "                         the trace over this transport (docs/rpc.md)\n"
       "  rpc_port=<int>         TCP listen port for transport=tcp\n"
       "                         (0 = ephemeral)\n"
       "  runtime_minutes=<int>  trace prefix the runtime pass replays\n"
       "                         (default 20)\n"
+      "  runtime_trace=<prefix> write the runtime pass's per-process\n"
+      "                         trace files (<prefix>.scheduler.json +\n"
+      "                         <prefix>.hub.json; trace_tool merge)\n"
       "\n"
       "example:\n"
       "  spot_sim_cli model=GPT-3 trace=LA-SP system=varuna\n");
@@ -218,6 +245,46 @@ int main(int argc, char** argv) {
     sim.faults = &faults;
   }
 
+  // SLO alerting: alerts= arms a rule engine the simulator evaluates
+  // at the end of every interval. Rules over series columns need the
+  // time-series recorder, so alerting switches it on even without
+  // metrics_csv=.
+  const std::string alerts_spec = get(args, "alerts", "");
+  const std::string alerts_jsonl = get(args, "alerts_jsonl", "");
+  std::unique_ptr<SloEngine> slo;
+  if (!alerts_spec.empty()) {
+    std::string error;
+    const std::vector<SloRule> rules =
+        alerts_spec == "default" ? SloEngine::default_rules()
+                                 : SloEngine::parse_rules(alerts_spec, &error);
+    if (rules.empty()) {
+      std::fprintf(stderr, "bad alert spec '%s': %s\n", alerts_spec.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    slo = std::make_unique<SloEngine>(rules);
+    sim.slo = slo.get();
+    sim.timeseries = &series;
+  }
+
+  // Live export: serve the shared registry over a TCP RPC endpoint for
+  // the whole run — a scraper can watch the simulation move.
+  const std::string export_port = get(args, "export_port", "");
+  std::unique_ptr<rpc::Transport> export_transport;
+  std::unique_ptr<rpc::RpcServer> export_server;
+  std::unique_ptr<rpc::ObsService> export_service;
+  if (!export_port.empty()) {
+    export_transport = rpc::make_tcp_transport(std::stoi(export_port));
+    export_server = std::make_unique<rpc::RpcServer>(*export_transport);
+    export_service = std::make_unique<rpc::ObsService>(registry);
+    if (sim.faults != nullptr)
+      export_service->set_fault_injector(sim.faults);
+    export_service->bind(*export_server);
+    export_server->start();
+    std::printf("serving metrics on %s (rpc method \"obs.metrics\")\n",
+                export_transport->address().c_str());
+  }
+
   const ParcaePolicy* parcae_policy = nullptr;
   if (system == "parcae") {
     policy = std::make_unique<ParcaePolicy>(model, popt);
@@ -331,6 +398,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (slo != nullptr) {
+    const std::string table = slo->render();
+    if (table.empty())
+      std::printf("\nalerts: none fired (%zu rules armed)\n",
+                  slo->rules().size());
+    else
+      std::printf("\nalerts (%zu fired):\n%s", slo->alerts().size(),
+                  table.c_str());
+    if (!alerts_jsonl.empty()) {
+      if (slo->write_jsonl(alerts_jsonl))
+        std::printf("wrote %s (%zu alerts)\n", alerts_jsonl.c_str(),
+                    slo->alerts().size());
+      else
+        std::fprintf(stderr, "cannot write %s\n", alerts_jsonl.c_str());
+    }
+  }
+
+  if (export_server != nullptr) {
+    // Prove the endpoint works end to end: scrape our own exporter
+    // over the wire before shutting it down.
+    try {
+      rpc::RpcClient scraper(*export_transport,
+                             export_transport->address());
+      const std::string prom = rpc::ObsClient(scraper).scrape();
+      std::printf("exporter self-scrape: %zu bytes of Prometheus text\n",
+                  prom.size());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "exporter self-scrape failed: %s\n", e.what());
+    }
+  }
+
   // transport= asks for a real-runtime pass on top of the simulation:
   // replay a prefix of the same trace through the laptop-scale
   // SpotTrainingDriver with agents reaching the KV/PS hub over the
@@ -354,6 +452,17 @@ int main(int argc, char** argv) {
     SpotDriverOptions dopt;
     dopt.iterations_per_interval = 6;
     if (faults.armed()) dopt.faults = &faults;
+    // runtime_trace= attaches one writer per "process": scheduler
+    // (decision spans + client-side rpc.call spans) and hub (server-
+    // side rpc.handle spans). trace_tool merge fuses the two files
+    // into a single timeline with cross-process flow arrows.
+    const std::string runtime_trace = get(args, "runtime_trace", "");
+    obs::TraceWriter scheduler_tracer;
+    obs::TraceWriter hub_tracer;
+    if (!runtime_trace.empty()) {
+      dopt.scheduler.tracer = &scheduler_tracer;
+      dopt.hub_tracer = &hub_tracer;
+    }
     SpotTrainingDriver driver(copt, &dataset, dopt);
     std::printf("\nruntime pass (%s transport",
                 driver.cluster().rpc_transport().kind());
@@ -377,6 +486,22 @@ int main(int argc, char** argv) {
         rpc_counter("rpc.requests"), rpc_counter("rpc.client.retries"),
         rpc_counter("rpc.timeouts"), rpc_counter("rpc.frames_sent"),
         rpc_counter("rpc.frames_received"), rpc_counter("rpc.dropped"));
+    if (!runtime_trace.empty()) {
+      const std::string scheduler_path = runtime_trace + ".scheduler.json";
+      const std::string hub_path = runtime_trace + ".hub.json";
+      bool wrote = scheduler_tracer.write_file(scheduler_path);
+      wrote = hub_tracer.write_file(hub_path) && wrote;
+      if (wrote)
+        std::printf(
+            "  wrote %s (%zu events) + %s (%zu events); fuse with\n"
+            "    trace_tool merge merged.json %s %s\n",
+            scheduler_path.c_str(), scheduler_tracer.size(),
+            hub_path.c_str(), hub_tracer.size(), scheduler_path.c_str(),
+            hub_path.c_str());
+      else
+        std::fprintf(stderr, "cannot write %s / %s\n",
+                     scheduler_path.c_str(), hub_path.c_str());
+    }
   }
   return 0;
 }

@@ -6,15 +6,21 @@
 //   trace_tool gen    market <bid> <file.csv> [seed]
 //   trace_tool plot   <file.csv | segment>
 //   trace_tool events <file.csv | segment> <out.jsonl>
+//   trace_tool merge  <out.trace.json> <in.trace.json>...
 //
 // `plot` prints a terminal sparkline of the availability series.
 // `events` replays the trace through the Parcae scheduler and writes
 // its structured EventLog (preemptions, decisions, migrations) as
 // JSONL, one event per line.
+// `merge` fuses per-process Chrome trace files (the scheduler side and
+// the hub side of a run) into one Perfetto timeline with cross-process
+// flow arrows recovered from the distributed-trace ids (see
+// docs/observability.md).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "obs/trace_merge.h"
 #include "runtime/parcae_policy.h"
 #include "trace/spot_market.h"
 #include "trace/spot_trace.h"
@@ -85,8 +91,52 @@ int usage() {
                "  trace_tool gen synthetic <events> <avg> <file.csv> [seed]\n"
                "  trace_tool gen market <bid> <file.csv> [seed]\n"
                "  trace_tool plot <file|segment>\n"
-               "  trace_tool events <file|segment> <out.jsonl>\n");
+               "  trace_tool events <file|segment> <out.jsonl>\n"
+               "  trace_tool merge <out.trace.json> <in.trace.json>...\n");
   return 2;
+}
+
+int merge_trace_files(int argc, char** argv) {
+  // argv[2] = output, argv[3..] = per-process inputs. The process name
+  // on the merged timeline is the input filename (basename).
+  std::vector<obs::TraceMergeInput> inputs;
+  for (int i = 3; i < argc; ++i) {
+    FILE* f = std::fopen(argv[i], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    obs::TraceMergeInput in;
+    in.label = argv[i];
+    if (const auto slash = in.label.find_last_of('/');
+        slash != std::string::npos)
+      in.label = in.label.substr(slash + 1);
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+      in.json.append(buf, n);
+    std::fclose(f);
+    inputs.push_back(std::move(in));
+  }
+  std::string error;
+  obs::TraceMergeStats stats;
+  const std::string merged = obs::merge_traces(inputs, &error, &stats);
+  if (merged.empty()) {
+    std::fprintf(stderr, "merge failed: %s\n", error.c_str());
+    return 1;
+  }
+  FILE* out = std::fopen(argv[2], "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", argv[2]);
+    return 1;
+  }
+  std::fwrite(merged.data(), 1, merged.size(), out);
+  std::fclose(out);
+  std::printf(
+      "wrote %s (%zu processes, %zu events, %zu traces, "
+      "%zu cross-process flow arrows)\n",
+      argv[2], inputs.size(), stats.events, stats.traces, stats.flow_arrows);
+  return 0;
 }
 
 int dump_events(const SpotTrace& trace, const char* path) {
@@ -121,6 +171,10 @@ int main(int argc, char** argv) {
     else
       plot(*trace);
     return 0;
+  }
+  if (command == "merge") {
+    if (argc < 4) return usage();
+    return merge_trace_files(argc, argv);
   }
   if (command == "events") {
     if (argc < 4) return usage();

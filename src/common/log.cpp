@@ -4,9 +4,50 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+
+#include "obs/json_util.h"
+#include "obs/trace_context.h"
 
 namespace parcae {
 namespace {
+
+// JSONL mirror state, all behind one mutex: the sink stream, whether
+// we own (and must fclose) it, and the line sequence counter.
+struct JsonlSink {
+  std::mutex mu;
+  std::FILE* stream = nullptr;
+  bool owned = false;
+  bool env_checked = false;
+  std::uint64_t lines = 0;
+
+  // Replaces the stream, closing a previously owned one.
+  void replace(std::FILE* next, bool own) {
+    if (owned && stream != nullptr) std::fclose(stream);
+    stream = next;
+    owned = own;
+  }
+
+  // First-use PARCAE_LOG_JSONL resolution (mu held).
+  void check_env() {
+    if (env_checked) return;
+    env_checked = true;
+    const char* path = std::getenv("PARCAE_LOG_JSONL");
+    if (path == nullptr || *path == '\0') return;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "[WARN] PARCAE_LOG_JSONL=%s: cannot open\n",
+                   path);
+      return;
+    }
+    replace(f, /*own=*/true);
+  }
+};
+
+JsonlSink& jsonl_sink() {
+  static JsonlSink g_sink;
+  return g_sink;
+}
 
 LogLevel env_or_default_level() {
   LogLevel level = LogLevel::kWarn;
@@ -68,9 +109,52 @@ bool parse_log_level(std::string_view name, LogLevel& out) {
   return true;
 }
 
+void set_log_jsonl(std::FILE* sink) {
+  JsonlSink& s = jsonl_sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.env_checked = true;  // an explicit setter overrides the env var
+  s.replace(sink, /*own=*/false);
+}
+
+bool set_log_jsonl_path(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  JsonlSink& s = jsonl_sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.env_checked = true;
+  s.replace(f, /*own=*/true);
+  return true;
+}
+
+std::uint64_t log_jsonl_lines() {
+  JsonlSink& s = jsonl_sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.lines;
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  JsonlSink& s = jsonl_sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.check_env();
+  if (s.stream == nullptr) return;
+  // Trace identity comes from the caller's thread, not the sink: the
+  // line is stamped with whatever span was open where the PARCAE_*
+  // macro ran.
+  const obs::TraceContext& ctx = obs::current_trace_context();
+  const std::string quoted = obs::json_quote(msg);
+  std::fprintf(s.stream, "{\"seq\":%llu,\"level\":\"%s\",\"message\":%s",
+               static_cast<unsigned long long>(s.lines),
+               level_name(level), quoted.c_str());
+  if (ctx.valid())
+    std::fprintf(s.stream,
+                 ",\"trace_id\":\"%llx\",\"span_id\":\"%llx\"",
+                 static_cast<unsigned long long>(ctx.trace_id),
+                 static_cast<unsigned long long>(ctx.span_id));
+  std::fputs("}\n", s.stream);
+  std::fflush(s.stream);
+  ++s.lines;
 }
 
 }  // namespace parcae

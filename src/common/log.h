@@ -1,8 +1,21 @@
 // Minimal leveled logger. The cluster simulator logs migrations,
 // preemptions, and configuration changes through this so examples can
 // show a narrated run while benches keep quiet.
+//
+// Besides the human stderr lines, the logger can mirror every emitted
+// line into a structured JSONL sink (set_log_jsonl_path(), or the
+// PARCAE_LOG_JSONL environment variable naming a file). Each line is
+// one JSON object carrying a monotonic sequence number — not a wall
+// clock, so seeded runs produce byte-identical logs — and, when the
+// calling thread has an active obs::TraceContext, the trace/span ids
+// of the enclosing span (hex, the trace-file convention), tying log
+// lines to the distributed trace that caused them:
+//
+//   {"seq":7,"level":"WARN","message":"...","trace_id":"9c41...","span_id":"5a"}
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -23,6 +36,17 @@ LogLevel log_level();
 bool parse_log_level(std::string_view name, LogLevel& out);
 
 void log_message(LogLevel level, const std::string& msg);
+
+// JSONL mirror sink. set_log_jsonl() hands over a non-owning stream
+// (nullptr disables); set_log_jsonl_path() opens `path` for writing
+// (truncating) and owns the handle until replaced or disabled —
+// returns false and leaves the sink unchanged when the open fails.
+// The PARCAE_LOG_JSONL environment variable names a path opened the
+// same way at the logger's first use; explicit setters override it.
+void set_log_jsonl(std::FILE* sink);
+bool set_log_jsonl_path(const std::string& path);
+// Lines mirrored so far (the next line's "seq"); resets never.
+std::uint64_t log_jsonl_lines();
 
 namespace detail {
 class LogLine {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/table.h"
 #include "obs/profile_span.h"
@@ -30,6 +31,12 @@ SchedulerCore::SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
                                static_cast<double>(options.max_instances)))
                      : make_parcae_predictor(
                            static_cast<double>(options.max_instances))) {
+  // Distributed tracing: spans from this core get deterministic ids
+  // forked from the job seed (first enable wins when fleet cores share
+  // one writer — the id stream stays single).
+  if (options_.tracer != nullptr)
+    options_.tracer->enable_trace_ids(
+        obs::fork_trace_seed(options_.seed, /*component=*/1));
   reset();
 }
 
@@ -167,6 +174,18 @@ ClusterSnapshot SchedulerCore::observe_damage(
 SchedulerDecision SchedulerCore::step(int interval_index,
                                       const AvailabilityObservation& observed,
                                       double interval_s) {
+  // Root this interval's causal tree: everything the step does — and
+  // every RPC the backend issues while executing the decision, if the
+  // caller keeps the step span's context installed — shares one
+  // deterministic trace id derived from (seed, interval). An already
+  // active context (a driver-installed interval root) is respected.
+  std::optional<obs::TraceContextScope> root;
+  if (options_.tracer != nullptr && options_.tracer->trace_ids_enabled() &&
+      !obs::current_trace_context().valid())
+    root.emplace(obs::TraceContext{
+        obs::derive_trace_id(options_.seed,
+                             static_cast<std::uint64_t>(interval_index)),
+        0});
   obs::ProfileSpan step_span(names_.span_step, metrics_, options_.tracer,
                              "scheduler");
   SchedulerDecision decision;

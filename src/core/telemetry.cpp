@@ -21,6 +21,8 @@ const char* event_category_name(EventCategory category) {
       return "checkpoint";
     case EventCategory::kWarning:
       return "warning";
+    case EventCategory::kAlert:
+      return "alert";
   }
   return "?";
 }

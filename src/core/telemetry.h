@@ -24,6 +24,7 @@ enum class EventCategory {
   kMigration,   // executed migrations
   kCheckpoint,  // PS pushes / restores
   kWarning,     // anomalies (mispredictions, infeasible targets)
+  kAlert,       // SLO rule breaches (src/core/slo.h)
 };
 
 const char* event_category_name(EventCategory category);

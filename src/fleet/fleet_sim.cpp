@@ -5,7 +5,9 @@
 #include <numeric>
 
 #include "common/table.h"
+#include "core/slo.h"
 #include "model/model_profile.h"
+#include "obs/exporter.h"
 #include "parallel/throughput_model.h"
 #include "runtime/cluster_sim.h"
 #include "runtime/parcae_policy.h"
@@ -258,6 +260,18 @@ FleetSimResult FleetSimulator::integrate(
     options_.metrics->gauge("fleet.share_deviation." + regime)
         .set(result.weighted_share_deviation);
     result.metrics = options_.metrics->snapshot();
+    // Fleet-level SLOs run against the rollup (the per-job "job<j>."
+    // names folded into "fleet.*" sums/maxima), once per regime: the
+    // jobs execute sequentially, so the rollup only exists here.
+    if (options_.slo != nullptr) {
+      obs::FleetAggregator aggregator;
+      aggregator.fold(result.metrics);
+      const obs::MetricsSnapshot rollup = aggregator.rollup();
+      options_.slo->set_snapshot(&rollup);
+      options_.slo->evaluate(result.intervals,
+                             result.intervals * options_.interval_s);
+      options_.slo->set_snapshot(nullptr);
+    }
   }
   return result;
 }

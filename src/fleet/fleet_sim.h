@@ -39,6 +39,7 @@
 namespace parcae {
 
 class KvStore;
+class SloEngine;
 
 namespace fleet {
 
@@ -65,6 +66,13 @@ struct FleetSimOptions {
   obs::MetricsRegistry* metrics = nullptr;
   KvStore* kv = nullptr;
   double swap_margin = 0.05;
+  // SLO rule engine (non-owning, optional; needs `metrics`). Evaluated
+  // once per regime against the FleetAggregator rollup of the shared
+  // registry, so rules can target fleet-wide names no single registry
+  // holds — "fleet.sim.preemptions" (sum over jobs), gauge maxima like
+  // "fleet.fleet.normalized_liveput.max", or pass-through "fleet.*"
+  // arbiter counters. Rate rules see the delta between regimes.
+  SloEngine* slo = nullptr;
 };
 
 struct FleetJobResult {

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/table.h"
+#include "obs/json_util.h"
 
 namespace parcae::obs {
 
@@ -13,6 +16,17 @@ constexpr double kMinBound = 1e-6;
 const double kGrowth = std::pow(2.0, 1.0 / 8.0);
 const double kInvLogGrowth = 1.0 / std::log(kGrowth);
 }  // namespace
+
+std::string format_metric_value(double value) {
+  char buf[40];
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  // %.17g round-trips every double; prefer the shortest of %.15g/%.17g
+  // that parses back exactly, so common values stay human-sized.
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  if (std::strtod(buf, nullptr) != value)
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
 
 int Histogram::bucket_index(double value) {
   if (!(value > kMinBound)) return 0;  // underflow (and NaN) bucket
@@ -27,6 +41,13 @@ double Histogram::bucket_value(int index) {
   // Geometric midpoint of [kMinBound*g^(i-1), kMinBound*g^i].
   return kMinBound * std::pow(kGrowth, static_cast<double>(index) - 0.5);
 }
+
+double Histogram::bucket_upper_bound(int index) {
+  if (index <= 0) return kMinBound;
+  return kMinBound * std::pow(kGrowth, static_cast<double>(index));
+}
+
+double Histogram::bucket_midpoint(int index) { return bucket_value(index); }
 
 void Histogram::observe(double value) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -101,7 +122,61 @@ HistogramStats Histogram::stats() const {
   s.p50 = quantile_locked(0.50);
   s.p95 = quantile_locked(0.95);
   s.p99 = quantile_locked(0.99);
+  for (int i = 0; i <= kBuckets; ++i) {
+    const std::uint64_t n = buckets_[static_cast<std::size_t>(i)];
+    if (n != 0) s.buckets.push_back({i, bucket_upper_bound(i), n});
+  }
   return s;
+}
+
+double HistogramStats::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(
+             std::clamp(q, 0.0, 1.0) * static_cast<double>(count))));
+  if (target <= 1) return min;
+  if (target >= count) return max;
+  std::uint64_t cum = 0;
+  for (const HistogramBucket& b : buckets) {
+    cum += b.count;
+    if (cum >= target)
+      return std::clamp(Histogram::bucket_midpoint(b.index), min, max);
+  }
+  return max;
+}
+
+void HistogramStats::merge(const HistogramStats& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  // Bucket-wise sum: both lists are ascending by index.
+  std::vector<HistogramBucket> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t i = 0, j = 0;
+  while (i < buckets.size() || j < other.buckets.size()) {
+    if (j >= other.buckets.size() ||
+        (i < buckets.size() && buckets[i].index < other.buckets[j].index)) {
+      merged.push_back(buckets[i++]);
+    } else if (i >= buckets.size() ||
+               other.buckets[j].index < buckets[i].index) {
+      merged.push_back(other.buckets[j++]);
+    } else {
+      HistogramBucket b = buckets[i++];
+      b.count += other.buckets[j++].count;
+      merged.push_back(b);
+    }
+  }
+  buckets = std::move(merged);
+  mean = sum / static_cast<double>(count);
+  p50 = quantile(0.50);
+  p95 = quantile(0.95);
+  p99 = quantile(0.99);
 }
 
 double MetricsSnapshot::counter_or(const std::string& name,
@@ -152,7 +227,7 @@ std::string MetricsSnapshot::to_csv() const {
   for (const auto& [name, value] : gauges)
     t.row().add("gauge").add(name).add(1).add(value, 6).add("").add("")
         .add("").add("").add("");
-  for (const auto& [name, h] : histograms)
+  for (const auto& [name, h] : histograms) {
     t.row()
         .add("histogram")
         .add(name)
@@ -163,7 +238,67 @@ std::string MetricsSnapshot::to_csv() const {
         .add(h.p95, 6)
         .add(h.p99, 6)
         .add(h.max, 6);
+    // One row per occupied bucket: count = in-bucket, sum = cumulative
+    // (Prometheus-style le semantics) — external tools re-aggregate
+    // from these without the live registry.
+    std::uint64_t cum = 0;
+    for (const HistogramBucket& b : h.buckets) {
+      cum += b.count;
+      t.row()
+          .add("bucket")
+          .add(name + ".le=" + format_metric_value(b.upper))
+          .add(static_cast<long long>(b.count))
+          .add(static_cast<long long>(cum))
+          .add("")
+          .add("")
+          .add("")
+          .add("")
+          .add("");
+    }
+  }
   return t.to_csv();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(name) + ":" + format_metric_value(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(name) + ":" + format_metric_value(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += json_quote(name) + ":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + format_metric_value(h.sum) +
+           ",\"mean\":" + format_metric_value(h.mean) +
+           ",\"min\":" + format_metric_value(h.min) +
+           ",\"max\":" + format_metric_value(h.max) +
+           ",\"p50\":" + format_metric_value(h.p50) +
+           ",\"p95\":" + format_metric_value(h.p95) +
+           ",\"p99\":" + format_metric_value(h.p99) + ",\"buckets\":[";
+    bool bfirst = true;
+    for (const HistogramBucket& b : h.buckets) {
+      if (!bfirst) out += ",";
+      bfirst = false;
+      out += "{\"index\":" + std::to_string(b.index) +
+             ",\"le\":" + format_metric_value(b.upper) +
+             ",\"count\":" + std::to_string(b.count) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {

@@ -25,8 +25,15 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace parcae::obs {
+
+// Shortest round-trippable rendering shared by every numeric export
+// path (CSV buckets, JSON snapshots, the Prometheus exporter), so a
+// value serialized twice is byte-identical — no rounding drift between
+// snapshot and exporter.
+std::string format_metric_value(double value);
 
 // Monotonically increasing sum (events seen, seconds stalled, ...).
 class Counter {
@@ -54,7 +61,19 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
-// Summary of one histogram at snapshot time.
+// One occupied histogram bucket at snapshot time. `index` is the
+// log-bucket index (0 = underflow), `upper` its inclusive upper bound,
+// `count` the observations that landed in it (not cumulative).
+struct HistogramBucket {
+  int index = 0;
+  double upper = 0.0;
+  std::uint64_t count = 0;
+};
+
+// Summary of one histogram at snapshot time. `buckets` holds the
+// occupied buckets in ascending index order — enough for external
+// tools (and FleetAggregator) to re-aggregate and re-derive quantiles
+// exactly as the live Histogram would.
 struct HistogramStats {
   std::uint64_t count = 0;
   double sum = 0.0;
@@ -64,6 +83,16 @@ struct HistogramStats {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  std::vector<HistogramBucket> buckets;
+
+  // Same linear-rank-over-buckets estimate Histogram::quantile
+  // computes, re-derived from the sparse bucket list: merging two
+  // snapshots and asking for p99 gives the answer the merged live
+  // histograms would have given.
+  double quantile(double q) const;
+  // Folds `other` into this summary (bucket-wise sum, exact
+  // min/max/count/sum merge) and recomputes mean/p50/p95/p99.
+  void merge(const HistogramStats& other);
 };
 
 // Log-bucketed histogram: geometric buckets growing by 2^(1/8) (~9%
@@ -86,6 +115,12 @@ class Histogram {
   // [0, 1]. Returns 0 when empty.
   double quantile(double q) const;
   HistogramStats stats() const;
+
+  // Bucket geometry, public so snapshots and external tools can
+  // re-aggregate: the inclusive upper bound and the geometric midpoint
+  // (the quantile estimate) of bucket `index`.
+  static double bucket_upper_bound(int index);
+  static double bucket_midpoint(int index);
 
  private:
   static int bucket_index(double value);
@@ -118,8 +153,16 @@ struct MetricsSnapshot {
   // count/mean/p50/p95/p99/max).
   std::string render() const;
   // "kind,name,count,sum,mean,p50,p95,p99,max" rows for every
-  // instrument (counters/gauges fill only count=1 and sum).
+  // instrument (counters/gauges fill only count=1 and sum), plus one
+  // `bucket` row per occupied histogram bucket
+  // ("bucket,<hist>.le=<upper>,<count>,<cumulative>") so external
+  // tools can re-aggregate without the live registry.
   std::string to_csv() const;
+  // Full-fidelity JSON object: {"counters":{...},"gauges":{...},
+  // "histograms":{name:{count,sum,mean,min,max,p50,p95,p99,
+  // "buckets":[{"index":i,"le":bound,"count":n},...]}}}. Numbers use
+  // format_metric_value, byte-identical with the exporter.
+  std::string to_json() const;
 };
 
 // Named-instrument registry. References returned by counter() /

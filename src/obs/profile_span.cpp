@@ -16,18 +16,31 @@ double TraceWriter::now_us() const {
 }
 
 void TraceWriter::push(std::string_view name, std::string_view cat,
-                       char phase, double value) {
+                       char phase, double value, std::uint64_t trace_id,
+                       std::uint64_t span_id,
+                       std::uint64_t parent_span_id) {
   TraceEvent event;
   event.name = std::string(name);
   event.cat = std::string(cat);
   event.phase = phase;
   event.ts_us = now_us();
   event.value = value;
+  event.trace_id = trace_id;
+  event.span_id = span_id;
+  event.parent_span_id = parent_span_id;
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(event));
 }
 
 void TraceWriter::begin(std::string_view name, std::string_view cat) {
   push(name, cat, 'B', 0.0);
+}
+
+void TraceWriter::begin(std::string_view name, std::string_view cat,
+                        const TraceContext& context,
+                        std::uint64_t parent_span_id) {
+  push(name, cat, 'B', 0.0, context.trace_id, context.span_id,
+       parent_span_id);
 }
 
 void TraceWriter::end(std::string_view name, std::string_view cat) {
@@ -42,10 +55,62 @@ void TraceWriter::counter(std::string_view name, double value) {
   push(name, "counter", 'C', value);
 }
 
+void TraceWriter::enable_trace_ids(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ids_enabled_) return;  // first seed wins; one stream per writer
+  ids_enabled_ = true;
+  id_state_ = seed;
+}
+
+bool TraceWriter::trace_ids_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_enabled_;
+}
+
+std::uint64_t TraceWriter::next_span_id() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t id = 0;
+  while (id == 0) id = splitmix64(id_state_);
+  return id;
+}
+
+void TraceWriter::set_process(int pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pid_ = pid;
+  process_name_ = std::move(name);
+}
+
+std::vector<TraceEvent> TraceWriter::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceWriter::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceWriter::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
 std::string TraceWriter::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
-  char buf[96];
+  // Big enough for the three-id args block: 57 chars of fixed text
+  // plus up to 3 x 16 hex digits.
+  char buf[160];
+  if (!process_name_.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":1,\"args\":{\"name\":",
+                  pid_);
+    out += buf;
+    out += json_quote(process_name_) + "}}";
+    first = false;
+  }
   for (const TraceEvent& e : events_) {
     if (!first) out += ",";
     first = false;
@@ -53,12 +118,21 @@ std::string TraceWriter::to_json() const {
            ",\"cat\":" + json_quote(e.cat) + ",\"ph\":\"";
     out += e.phase;
     out += "\"";
-    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"pid\":1,\"tid\":1",
-                  e.ts_us);
+    std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"pid\":%d,\"tid\":1",
+                  e.ts_us, pid_);
     out += buf;
     if (e.phase == 'i') out += ",\"s\":\"t\"";
     if (e.phase == 'C') {
       std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.9g}", e.value);
+      out += buf;
+    } else if (e.span_id != 0) {
+      // Hex strings: u64 ids do not fit a JSON double exactly.
+      std::snprintf(buf, sizeof(buf),
+                    ",\"args\":{\"trace_id\":\"%llx\",\"span_id\":\"%llx\","
+                    "\"parent_span_id\":\"%llx\"}",
+                    static_cast<unsigned long long>(e.trace_id),
+                    static_cast<unsigned long long>(e.span_id),
+                    static_cast<unsigned long long>(e.parent_span_id));
       out += buf;
     }
     out += "}";
@@ -81,7 +155,17 @@ ProfileSpan::ProfileSpan(std::string_view name, MetricsRegistry* metrics,
       metrics_(metrics),
       trace_(trace),
       start_(std::chrono::steady_clock::now()) {
-  if (trace_) trace_->begin(name_, cat_);
+  if (trace_ == nullptr) return;
+  if (trace_->trace_ids_enabled()) {
+    const TraceContext& parent = current_trace_context();
+    context_.trace_id = parent.trace_id;
+    context_.span_id = trace_->next_span_id();
+    trace_->begin(name_, cat_, context_, parent.span_id);
+    saved_context_ = detail::exchange_current(context_);
+    installed_context_ = true;
+  } else {
+    trace_->begin(name_, cat_);
+  }
 }
 
 double ProfileSpan::elapsed_ms() const {
@@ -92,6 +176,7 @@ double ProfileSpan::elapsed_ms() const {
 
 ProfileSpan::~ProfileSpan() {
   if (metrics_) metrics_->histogram(name_ + ".ms").observe(elapsed_ms());
+  if (installed_context_) (void)detail::exchange_current(saved_context_);
   if (trace_) trace_->end(name_, cat_);
 }
 

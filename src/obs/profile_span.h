@@ -8,16 +8,28 @@
 // chrome://tracing or https://ui.perfetto.dev. Both sinks are
 // optional; with neither attached a span is two clock reads.
 //
+// Distributed tracing: a TraceWriter with trace ids enabled
+// (enable_trace_ids(seed)) allocates a deterministic span id for every
+// ProfileSpan, parents it under the thread's current TraceContext, and
+// installs the span as current for its scope — so nested spans, RPC
+// client call spans, and (via the envelope) server-side handler spans
+// in another process all join one causal trace. `trace_tool merge`
+// fuses per-process files on these ids (docs/observability.md).
+//
 // TraceWriter collects events in memory and serializes them as the
 // Chrome trace-event JSON object format ({"traceEvents": [...]}).
+// push() is mutex-guarded: the TCP transport's server thread may emit
+// handler spans into the hub writer while a timed-out client retries.
 #pragma once
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace_context.h"
 
 namespace parcae::obs {
 
@@ -29,6 +41,10 @@ struct TraceEvent {
   char phase = 'i';
   double ts_us = 0.0;   // microseconds since the writer's epoch
   double value = 0.0;   // counter events only
+  // Distributed-trace identity ('B' events; 0 = not part of a trace).
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 class TraceWriter {
@@ -36,31 +52,56 @@ class TraceWriter {
   TraceWriter();
 
   void begin(std::string_view name, std::string_view cat);
+  // Begin event carrying a distributed-trace identity.
+  void begin(std::string_view name, std::string_view cat,
+             const TraceContext& context, std::uint64_t parent_span_id);
   void end(std::string_view name, std::string_view cat);
   void instant(std::string_view name, std::string_view cat);
   void counter(std::string_view name, double value);
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  std::size_t size() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  // Turns on deterministic span-id allocation (SplitMix64 stream
+  // seeded from the job seed; see obs/trace_context.h). First call
+  // wins — N cores sharing one writer keep one id stream.
+  void enable_trace_ids(std::uint64_t seed);
+  bool trace_ids_enabled() const;
+  // Next span id from the writer's stream (never 0). Requires
+  // trace_ids_enabled().
+  std::uint64_t next_span_id();
+
+  // Process identity stamped on every event (defaults to pid 1, no
+  // name). `trace_tool merge` re-numbers pids, but naming the process
+  // here labels single-file timelines too.
+  void set_process(int pid, std::string name);
+
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+  void clear();
 
   // {"traceEvents": [...], "displayTimeUnit": "ms"} — loadable by
-  // chrome://tracing and Perfetto.
+  // chrome://tracing and Perfetto. Span ids render as hex strings in
+  // event args ({"trace_id":"...","span_id":"..."}).
   std::string to_json() const;
   bool write_file(const std::string& path) const;
 
  private:
   double now_us() const;
   void push(std::string_view name, std::string_view cat, char phase,
-            double value);
+            double value, std::uint64_t trace_id = 0,
+            std::uint64_t span_id = 0, std::uint64_t parent_span_id = 0);
 
+  mutable std::mutex mu_;
   std::chrono::steady_clock::time_point epoch_;
   std::vector<TraceEvent> events_;
+  bool ids_enabled_ = false;
+  std::uint64_t id_state_ = 0;
+  int pid_ = 1;
+  std::string process_name_;
 };
 
 // Scoped timer: histogram "<name>.ms" on destruction, plus a B/E pair
 // in `trace` when attached. Nest freely; nesting renders as stacked
-// slices on the timeline.
+// slices on the timeline. When the writer has trace ids enabled the
+// span joins the thread's current TraceContext (see header comment).
 class ProfileSpan {
  public:
   explicit ProfileSpan(std::string_view name,
@@ -72,12 +113,19 @@ class ProfileSpan {
   ProfileSpan& operator=(const ProfileSpan&) = delete;
 
   double elapsed_ms() const;
+  // This span's distributed identity ({0,0} when the writer has no
+  // trace ids). trace_id may still be 0 when no root context was
+  // active — the span id alone keeps parent/child edges intact.
+  const TraceContext& context() const { return context_; }
 
  private:
   std::string name_;
   std::string cat_;
   MetricsRegistry* metrics_;
   TraceWriter* trace_;
+  TraceContext context_;
+  TraceContext saved_context_;
+  bool installed_context_ = false;
   std::chrono::steady_clock::time_point start_;
 };
 

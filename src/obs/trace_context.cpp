@@ -1,0 +1,48 @@
+#include "obs/trace_context.h"
+
+namespace parcae::obs {
+
+namespace {
+thread_local TraceContext t_current;
+}  // namespace
+
+const TraceContext& current_trace_context() { return t_current; }
+
+TraceContextScope::TraceContextScope(TraceContext context)
+    : saved_(t_current) {
+  t_current = context;
+}
+
+TraceContextScope::~TraceContextScope() { t_current = saved_; }
+
+namespace detail {
+TraceContext exchange_current(TraceContext context) {
+  const TraceContext previous = t_current;
+  t_current = context;
+  return previous;
+}
+}  // namespace detail
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_trace_id(std::uint64_t seed, std::uint64_t interval) {
+  std::uint64_t state = seed ^ 0x7261726365746361ull;  // "parcaetra"-ish tag
+  (void)splitmix64(state);
+  state ^= interval;
+  const std::uint64_t id = splitmix64(state);
+  return id == 0 ? 1 : id;
+}
+
+std::uint64_t fork_trace_seed(std::uint64_t seed, std::uint64_t component) {
+  std::uint64_t state = seed;
+  (void)splitmix64(state);
+  state ^= component * 0x9e3779b97f4a7c15ull;
+  return splitmix64(state);
+}
+
+}  // namespace parcae::obs

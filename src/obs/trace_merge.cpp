@@ -1,0 +1,379 @@
+#include "obs/trace_merge.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "obs/json_util.h"
+
+namespace parcae::obs {
+
+namespace {
+
+// ---- minimal JSON parser (exactly what TraceWriter emits) -----------
+//
+// Flat values only as far as the merger needs them: a document is an
+// object, "traceEvents" is an array of objects whose fields are
+// strings, numbers, or one nested "args" object of strings/numbers.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse(std::string* error) {
+    auto v = value();
+    skip_ws();
+    if (!v || pos_ != text_.size()) {
+      if (error != nullptr)
+        *error = failed_.empty() ? "trailing bytes after JSON document"
+                                 : failed_;
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool fail(const std::string& what) {
+    if (failed_.empty())
+      failed_ = what + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c)
+      return fail(std::string("expected '") + c + "'");
+    ++pos_;
+    return true;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      if (text_.substr(pos_, 4) != "null") {
+        fail("bad literal");
+        return std::nullopt;
+      }
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return number();
+  }
+
+  std::optional<JsonValue> boolean() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return v;
+    }
+    fail("bad literal");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number() {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(begin, &end);
+    if (end == begin) {
+      fail("bad number");
+      return std::nullopt;
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::optional<JsonValue> string_value() {
+    if (!consume('"')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.string.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.string.push_back('"'); break;
+        case '\\': v.string.push_back('\\'); break;
+        case '/': v.string.push_back('/'); break;
+        case 'b': v.string.push_back('\b'); break;
+        case 'f': v.string.push_back('\f'); break;
+        case 'n': v.string.push_back('\n'); break;
+        case 'r': v.string.push_back('\r'); break;
+        case 't': v.string.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          const unsigned code = static_cast<unsigned>(
+              std::strtoul(std::string(text_.substr(pos_, 4)).c_str(),
+                           nullptr, 16));
+          pos_ += 4;
+          // The writer only escapes control characters (< 0x20), so a
+          // single byte is always enough here.
+          v.string.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default:
+          fail("bad escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> array() {
+    if (!consume('[')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      auto item = value();
+      if (!item) return std::nullopt;
+      v.array.push_back(std::move(*item));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!consume(']')) return std::nullopt;
+      return v;
+    }
+  }
+
+  std::optional<JsonValue> object() {
+    if (!consume('{')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      auto key = string_value();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.object.emplace(std::move(key->string), std::move(*val));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!consume('}')) return std::nullopt;
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string failed_;
+};
+
+// ---- merge ----------------------------------------------------------
+
+std::uint64_t hex_id(const JsonValue* v) {
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) return 0;
+  return std::strtoull(v->string.c_str(), nullptr, 16);
+}
+
+struct ParsedEvent {
+  const JsonValue* raw = nullptr;
+  int input = 0;  // 0-based input index
+  char phase = '?';
+  double ts = 0.0;
+  std::string name;
+  std::string cat;
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+void append_event_json(std::string& out, const ParsedEvent& e, int pid) {
+  // Big enough for the three-id args block: 57 chars of fixed text
+  // plus up to 3 x 16 hex digits.
+  char buf[160];
+  out += "{\"name\":" + json_quote(e.name) + ",\"cat\":" +
+         json_quote(e.cat) + ",\"ph\":\"";
+  out += e.phase;
+  out += "\"";
+  std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f,\"pid\":%d,\"tid\":1", e.ts,
+                pid);
+  out += buf;
+  if (e.phase == 'i') out += ",\"s\":\"t\"";
+  if (e.phase == 'C') {
+    const JsonValue* args = e.raw->find("args");
+    const JsonValue* v = args != nullptr ? args->find("value") : nullptr;
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.9g}",
+                  v != nullptr ? v->number : 0.0);
+    out += buf;
+  } else if (e.span_id != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"trace_id\":\"%llx\",\"span_id\":\"%llx\","
+                  "\"parent_span_id\":\"%llx\"}",
+                  static_cast<unsigned long long>(e.trace_id),
+                  static_cast<unsigned long long>(e.span_id),
+                  static_cast<unsigned long long>(e.parent_span_id));
+    out += buf;
+  }
+  out += "}";
+}
+
+}  // namespace
+
+std::string merge_traces(const std::vector<TraceMergeInput>& inputs,
+                         std::string* error, TraceMergeStats* stats) {
+  std::vector<JsonValue> docs;
+  docs.reserve(inputs.size());
+  std::vector<ParsedEvent> events;
+  std::map<std::uint64_t, std::size_t> begin_by_span;  // span id -> event
+  std::map<std::uint64_t, bool> trace_ids;
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    JsonParser parser(inputs[i].json);
+    auto doc = parser.parse(error);
+    if (!doc) {
+      if (error != nullptr)
+        *error = inputs[i].label + ": " + *error;
+      return "";
+    }
+    docs.push_back(std::move(*doc));
+  }
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const JsonValue* list = docs[i].find("traceEvents");
+    if (list == nullptr || list->kind != JsonValue::Kind::kArray) {
+      if (error != nullptr)
+        *error = inputs[i].label + ": no traceEvents array";
+      return "";
+    }
+    for (const JsonValue& raw : list->array) {
+      const JsonValue* ph = raw.find("ph");
+      if (ph == nullptr || ph->string.empty()) continue;
+      if (ph->string[0] == 'M') continue;  // re-labeled below
+      ParsedEvent e;
+      e.raw = &raw;
+      e.input = static_cast<int>(i);
+      e.phase = ph->string[0];
+      const JsonValue* name = raw.find("name");
+      const JsonValue* cat = raw.find("cat");
+      const JsonValue* ts = raw.find("ts");
+      e.name = name != nullptr ? name->string : "";
+      e.cat = cat != nullptr ? cat->string : "";
+      e.ts = ts != nullptr ? ts->number : 0.0;
+      if (const JsonValue* args = raw.find("args"); args != nullptr) {
+        e.trace_id = hex_id(args->find("trace_id"));
+        e.span_id = hex_id(args->find("span_id"));
+        e.parent_span_id = hex_id(args->find("parent_span_id"));
+      }
+      if (e.phase == 'B' && e.span_id != 0)
+        begin_by_span[e.span_id] = events.size();
+      if (e.trace_id != 0) trace_ids[e.trace_id] = true;
+      events.push_back(std::move(e));
+    }
+  }
+
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[128];
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":1,\"args\":{\"name\":",
+                  static_cast<int>(i) + 1);
+    out += buf;
+    out += json_quote(inputs[i].label) + "}}";
+  }
+  for (const ParsedEvent& e : events) {
+    if (!first) out += ",";
+    first = false;
+    append_event_json(out, e, e.input + 1);
+  }
+  // Cross-process flow arrows: child span whose parent begins in a
+  // different input. The flow id is the child span id (unique per
+  // edge); Chrome pairs 's'/'f' on (cat, name, id).
+  std::size_t arrows = 0;
+  for (const ParsedEvent& e : events) {
+    if (e.phase != 'B' || e.parent_span_id == 0) continue;
+    const auto it = begin_by_span.find(e.parent_span_id);
+    if (it == begin_by_span.end()) continue;
+    const ParsedEvent& parent = events[it->second];
+    if (parent.input == e.input) continue;  // same-process: nesting shows it
+    ++arrows;
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"rpc\",\"cat\":\"flow\",\"ph\":\"s\","
+                  "\"id\":\"%llx\",\"ts\":%.3f,\"pid\":%d,\"tid\":1}",
+                  static_cast<unsigned long long>(e.span_id), parent.ts,
+                  parent.input + 1);
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"rpc\",\"cat\":\"flow\",\"ph\":\"f\","
+                  "\"bp\":\"e\",\"id\":\"%llx\",\"ts\":%.3f,\"pid\":%d,"
+                  "\"tid\":1}",
+                  static_cast<unsigned long long>(e.span_id), e.ts,
+                  e.input + 1);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  if (stats != nullptr) {
+    stats->events = events.size();
+    stats->flow_arrows = arrows;
+    stats->traces = trace_ids.size();
+  }
+  return out;
+}
+
+}  // namespace parcae::obs

@@ -1,0 +1,44 @@
+// Fuse per-process Chrome trace files into one Perfetto timeline.
+//
+// Each input file (one TraceWriter's to_json output — the scheduler/
+// agent side and the cluster hub side of a run, or N fleet jobs)
+// becomes one process track (pid = input index + 1, labeled with a
+// process_name metadata event). Cross-process causality is recovered
+// from the distributed-trace ids ProfileSpan stamps into event args
+// (obs/trace_context.h): whenever a span's parent_span_id names a span
+// that begins in a *different* input, a Chrome flow arrow
+// (ph 's' -> ph 'f') is drawn from the parent's begin to the child's
+// begin — a scheduler decision span visibly fans out into the KV/PS
+// handler spans it caused on the hub.
+//
+// Merging is pure text-in/text-out and deterministic: output events
+// keep their per-input order and timestamps; flow events derive their
+// ids from the child span id. The parser accepts exactly the JSON
+// this repo emits (flat event objects, one optional args object) and
+// rejects anything else with a diagnostic rather than guessing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parcae::obs {
+
+struct TraceMergeInput {
+  std::string label;  // process name on the merged timeline
+  std::string json;   // one TraceWriter::to_json document
+};
+
+struct TraceMergeStats {
+  std::size_t events = 0;       // events re-emitted (all inputs)
+  std::size_t flow_arrows = 0;  // cross-process arrows added
+  std::size_t traces = 0;       // distinct trace ids seen
+};
+
+// Merges `inputs` into one Chrome trace JSON document. Returns an
+// empty string and fills *error on a malformed input; `stats` is
+// optional.
+std::string merge_traces(const std::vector<TraceMergeInput>& inputs,
+                         std::string* error,
+                         TraceMergeStats* stats = nullptr);
+
+}  // namespace parcae::obs

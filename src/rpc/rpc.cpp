@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 
 #include "common/fault.h"
 #include "obs/metrics.h"
+#include "obs/profile_span.h"
+#include "obs/trace_context.h"
 #include "rpc/serializer.h"
 
 namespace parcae::rpc {
@@ -61,6 +64,8 @@ void RpcServer::stop() { transport_.shutdown(); }
 std::string RpcServer::serve_frame(const std::string& frame) {
   std::uint64_t client_id = 0;
   std::uint64_t correlation_id = 0;
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
   std::string method;
   std::string payload;
   try {
@@ -69,6 +74,8 @@ std::string RpcServer::serve_frame(const std::string& frame) {
     client_id = r.u64();
     correlation_id = r.u64();
     if (kind != kKindRequest) throw SerializeError("not a request frame");
+    trace_id = r.u64();
+    parent_span_id = r.u64();
     method = r.str();
     payload = r.bytes();
     r.expect_done();
@@ -102,6 +109,17 @@ std::string RpcServer::serve_frame(const std::string& frame) {
                                "unknown method: " + method);
   } else {
     const double begin = wall_s();
+    // The handler runs under the envelope's trace context so its span
+    // (and any spans it opens) parent under the remote call span. The
+    // replay path above never reaches here — one handler span per
+    // logical call, no matter how many resends.
+    std::optional<obs::TraceContextScope> scope;
+    std::optional<obs::ProfileSpan> span;
+    if (tracer_ != nullptr) {
+      scope.emplace(obs::TraceContext{trace_id, parent_span_id});
+      span.emplace(std::string("rpc.handle.") + method, nullptr, tracer_,
+                   "rpc");
+    }
     try {
       response = encode_response(client_id, correlation_id, kStatusOk,
                                  handler(payload));
@@ -113,6 +131,8 @@ std::string RpcServer::serve_frame(const std::string& frame) {
       response =
           encode_response(client_id, correlation_id, kStatusError, e.what());
     }
+    span.reset();
+    scope.reset();
     if (metrics_ != nullptr)
       metrics_->histogram("rpc.server.handle_s").observe(wall_s() - begin);
   }
@@ -138,10 +158,25 @@ RpcClient::RpcClient(Transport& transport, std::string peer,
 
 std::string RpcClient::call(std::string_view method, std::string payload) {
   const std::uint64_t correlation_id = next_correlation_++;
+
+  // Optional client call span covering the whole retry loop; its
+  // identity rides in the envelope so the server handler span parents
+  // under it. Without a tracer the thread's current context (if any)
+  // still propagates. The frame is built once: every resend carries
+  // the same correlation id AND the same trace identity.
+  std::optional<obs::ProfileSpan> span;
+  if (tracer_ != nullptr)
+    span.emplace(std::string("rpc.call.") + std::string(method), nullptr,
+                 tracer_, "rpc");
+  const obs::TraceContext& ctx =
+      span ? span->context() : obs::current_trace_context();
+
   ByteWriter w;
   w.u8(1);  // kKindRequest
   w.u64(client_id_);
   w.u64(correlation_id);
+  w.u64(ctx.trace_id);
+  w.u64(ctx.span_id);
   w.str(method);
   w.bytes(payload);
   const std::string frame = w.take();

@@ -3,6 +3,7 @@
 //
 // Envelope (see docs/rpc.md):
 //   request:  u8 kind=1, u64 client_id, u64 correlation_id,
+//             u64 trace_id, u64 parent_span_id,
 //             str method, bytes payload
 //   response: u8 kind=2, u64 client_id, u64 correlation_id, u8 status,
 //             status 0 (ok):             bytes payload
@@ -16,7 +17,19 @@
 // server's replay cache (keyed by client_id + correlation_id) then
 // returns the recorded response without re-executing the handler, so
 // a non-idempotent operation whose *response* was lost is applied
-// exactly once. Application-level outcomes are never retried here:
+// exactly once.
+//
+// Distributed tracing: the request carries the caller's TraceContext
+// (trace_id + the client call span as parent_span_id). Because the
+// frame is built once before the retry loop, every resend carries the
+// same trace id; because the replay cache answers resends without
+// executing, a merged timeline shows exactly one server handler span
+// per logical call. Attach writers with set_tracer() on both ends —
+// the client opens an "rpc.call.<method>" span around the whole
+// retry loop, the server an "rpc.handle.<method>" span around actual
+// handler execution, parented across the wire.
+//
+// Application-level outcomes are never retried here:
 // a status-2 response is rethrown as the original InjectedFault
 // (callers' retry/fallback paths fire exactly as they would have
 // in-process), and status 1 becomes RpcError.
@@ -34,6 +47,10 @@
 
 #include "common/retry.h"
 #include "rpc/transport.h"
+
+namespace parcae::obs {
+class TraceWriter;
+}  // namespace parcae::obs
 
 namespace parcae::rpc {
 
@@ -68,6 +85,9 @@ class RpcServer {
   void stop();
 
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Emits an "rpc.handle.<method>" span per executed handler, parented
+  // under the envelope's trace context. Replayed responses emit none.
+  void set_tracer(obs::TraceWriter* tracer) { tracer_ = tracer; }
 
   // Frame in, frame out — exposed for tests; normally invoked by the
   // transport (possibly on its thread: state is locked).
@@ -78,6 +98,7 @@ class RpcServer {
 
   Transport& transport_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceWriter* tracer_ = nullptr;
   mutable std::mutex mu_;
   std::map<std::string, Handler, std::less<>> methods_;
   // Replay cache: (client id, correlation id) -> response frame, FIFO
@@ -107,6 +128,9 @@ class RpcClient {
   std::string call(std::string_view method, std::string payload);
 
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Emits an "rpc.call.<method>" span per call (all retries inside one
+  // span) whose identity rides in the request envelope.
+  void set_tracer(obs::TraceWriter* tracer) { tracer_ = tracer; }
   Connection& connection() { return *connection_; }
   void close() { connection_->close(); }
 
@@ -115,6 +139,7 @@ class RpcClient {
   std::unique_ptr<Connection> connection_;
   RpcClientOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceWriter* tracer_ = nullptr;
   std::uint64_t client_id_;
   std::uint64_t next_correlation_ = 1;
 };

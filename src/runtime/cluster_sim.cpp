@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "common/log.h"
+#include "core/slo.h"
 #include "obs/profile_span.h"
 #include "obs/timeseries.h"
 
@@ -50,6 +51,12 @@ SimulationResult simulate(SpotTrainingPolicy& policy,
           : options.pricing.spot_gpu_usd_per_second();
 
   if (options.faults != nullptr) options.faults->set_metrics(metrics);
+  if (options.slo != nullptr) {
+    options.slo->set_metrics(metrics);
+    options.slo->set_timeseries(series_out);
+    options.slo->set_alert_metrics(metrics);
+    options.slo->set_fault_injector(options.faults);
+  }
 
   double committed = 0.0;
   int prev_available = series.empty() ? 0 : series.front();
@@ -153,6 +160,9 @@ SimulationResult simulate(SpotTrainingPolicy& policy,
                           policy.support_cost_usd_per_hour() *
                               static_cast<double>(i + 1) * T / 3600.0);
     }
+    if (options.slo != nullptr)
+      options.slo->evaluate(static_cast<int>(i),
+                            static_cast<double>(i) * T);
     if (!d.note.empty()) {
       PARCAE_DEBUG << "[" << policy.name() << "] t=" << i << " " << d.note;
     }

@@ -22,6 +22,7 @@
 namespace parcae {
 
 class FaultInjector;
+class SloEngine;
 
 namespace obs {
 class TraceWriter;
@@ -131,6 +132,13 @@ struct SimulationOptions {
   // coming. The injector is rewired to the run's registry so its
   // fault.* counters land in the result snapshot.
   FaultInjector* faults = nullptr;
+  // SLO rule engine (non-owning, optional). simulate() points it at
+  // the run's registry, time series, and fault injector, then
+  // evaluates every rule at the end of each interval (after the
+  // series row is recorded), so alerts carry the interval they fired
+  // in. With a metric_prefix, rules naming counters/gauges must use
+  // the prefixed names; series columns are unprefixed.
+  SloEngine* slo = nullptr;
   // Prepended to every sim.* metric name and to the scheduler gauge
   // the time-series recorder reads — set it to the same per-job prefix
   // as the policy's SchedulerCoreOptions::metric_prefix when many

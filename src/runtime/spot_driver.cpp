@@ -6,8 +6,11 @@
 #include <cstdlib>
 
 #include <map>
+#include <optional>
 
+#include "core/slo.h"
 #include "obs/profile_span.h"
+#include "obs/trace_context.h"
 
 namespace parcae {
 
@@ -52,9 +55,27 @@ SpotTrainingDriver::SpotTrainingDriver(TrainingClusterOptions cluster_options,
   // report/dashboard covers decisions and fault recoveries alike.
   cluster_.set_metrics(&core_.metrics());
   cluster_.set_event_log(&core_.event_log());
+  // Distributed tracing across the wire: agent-side rpc.call spans go
+  // to the scheduler's writer (nesting under decision spans); hub-side
+  // rpc.handle spans go to the separate hub writer, with its own
+  // deterministic id stream — two files `trace_tool merge` fuses.
+  if (options_.hub_tracer != nullptr) {
+    options_.hub_tracer->enable_trace_ids(
+        obs::fork_trace_seed(options_.seed, /*component=*/2));
+    options_.hub_tracer->set_process(2, "hub");
+  }
+  if (options_.scheduler.tracer != nullptr)
+    options_.scheduler.tracer->set_process(1, "scheduler");
+  cluster_.set_tracers(options_.scheduler.tracer, options_.hub_tracer);
   if (faults_ != nullptr) {
     faults_->set_metrics(&core_.metrics());
     cluster_.set_fault_injector(faults_);
+  }
+  if (options_.slo != nullptr) {
+    options_.slo->set_metrics(&core_.metrics());
+    options_.slo->set_event_log(&core_.event_log());
+    options_.slo->set_alert_metrics(&core_.metrics());
+    options_.slo->set_fault_injector(faults_);
   }
 }
 
@@ -147,6 +168,15 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
       });
 
   for (int i = 0; i < intervals; ++i) {
+    // One trace per interval, id derived from (seed, interval): the
+    // execute-interval span is the root, Algorithm 1's spans nest
+    // under it, and every RPC the execution issues carries this trace
+    // across the wire into the hub's handler spans.
+    std::optional<obs::TraceContextScope> trace_root;
+    if (core_.tracer() != nullptr && core_.tracer()->trace_ids_enabled())
+      trace_root.emplace(obs::TraceContext{
+          obs::derive_trace_id(options_.seed, static_cast<std::uint64_t>(i)),
+          0});
     obs::ProfileSpan interval_span("execute-interval", &metrics,
                                    core_.tracer(), "driver");
     ++report.intervals;
@@ -277,6 +307,7 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
       report.final_loss = outcome->loss;
       if (outcome->epoch_finished) ++report.epochs_completed;
     }
+    if (options_.slo != nullptr) options_.slo->evaluate(i, boundary);
   }
   cluster_.kv().unwatch(watch_id);
 

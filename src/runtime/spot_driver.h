@@ -28,6 +28,8 @@
 
 namespace parcae {
 
+class SloEngine;
+
 struct SpotDriverOptions {
   double interval_s = 60.0;
   int lookahead = 8;
@@ -52,6 +54,17 @@ struct SpotDriverOptions {
   // injector is forwarded to the cluster (kill points), the KvStore
   // (kv.* points) and every ParcaePS replica (ps.push).
   FaultInjector* faults = nullptr;
+  // Hub-side trace writer (non-owning, optional): receives the
+  // rpc.handle.* spans the cluster's RPC server emits, as its own
+  // "process" file for `trace_tool merge`. The agent/scheduler side
+  // traces into scheduler.tracer.
+  obs::TraceWriter* hub_tracer = nullptr;
+  // SLO rule engine (non-owning, optional). The driver points it at
+  // the core's registry and event log (and the active fault injector)
+  // and evaluates every rule at the end of each interval, so alerts
+  // land in the run's own audit trail as kAlert events. No time
+  // series is wired — the driver records none; use rate/gauge rules.
+  SloEngine* slo = nullptr;
 };
 
 struct SpotDriverReport {

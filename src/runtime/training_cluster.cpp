@@ -174,6 +174,12 @@ void TrainingCluster::set_metrics(obs::MetricsRegistry* metrics) {
   rpc_client_->set_metrics(metrics);
 }
 
+void TrainingCluster::set_tracers(obs::TraceWriter* agent_tracer,
+                                  obs::TraceWriter* hub_tracer) {
+  rpc_client_->set_tracer(agent_tracer);
+  server_->set_tracer(hub_tracer);
+}
+
 void TrainingCluster::heartbeat() {
   for (auto& agent : agents_) {
     if (!agent.alive) continue;

@@ -58,6 +58,7 @@ namespace parcae {
 
 namespace obs {
 class MetricsRegistry;
+class TraceWriter;
 }  // namespace obs
 
 // One spot instance. When assigned, it hosts a replica of one pipeline
@@ -204,6 +205,14 @@ class TrainingCluster {
   // Forwarded to the transport, server, and client so rpc.* counters
   // land next to the cluster.* ones.
   void set_metrics(obs::MetricsRegistry* metrics);
+  // Distributed tracing, split by side of the wire: `agent_tracer`
+  // receives the agent-side "rpc.call.*" spans (it is usually the
+  // driver's writer, so calls nest under scheduler decision spans) and
+  // `hub_tracer` the hub-side "rpc.handle.*" spans — two files that
+  // `trace_tool merge` fuses into one cross-process timeline. Either
+  // may be null; pass the same writer twice for a single-file view.
+  void set_tracers(obs::TraceWriter* agent_tracer,
+                   obs::TraceWriter* hub_tracer);
   void set_event_log(EventLog* events) { events_ = events; }
   void set_time(double now_s) { now_s_ = now_s; }
   // Renews the liveness lease of every alive agent (driven once per

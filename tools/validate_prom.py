@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) file.
+
+Usage:
+    validate_prom.py metrics.prom [more.prom ...]
+
+Checks the grammar the obs.metrics endpoint promises (src/obs/
+exporter.h): HELP/TYPE headers precede their family's samples, metric
+and label names are legal, sample values parse as floats, histogram
+families carry cumulative le-buckets ending at +Inf plus _sum/_count,
+and counter sample names end in _total. Exits non-zero with one line
+per violation — no Prometheus installation required, so CI can gate
+the exporter on any runner.
+"""
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\d+))?$")
+LABEL_PAIR = re.compile(r'^(?P<key>[^=]+)="(?P<val>(?:[^"\\]|\\.)*)"$')
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "NaN"):
+        return float(text.replace("Inf", "inf").replace("NaN", "nan"))
+    return float(text)
+
+
+def validate(path):
+    errors = []
+    types = {}          # family -> declared type
+    helped = set()
+    samples = {}        # family -> [(labels dict, value)]
+    declared_order = []
+
+    def err(lineno, what):
+        errors.append(f"{path}:{lineno}: {what}")
+
+    with open(path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(" ", 3)
+                if len(parts) < 4 or not METRIC_NAME.match(parts[2]):
+                    err(lineno, f"malformed HELP line: {line!r}")
+                else:
+                    helped.add(parts[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split(" ")
+                if (len(parts) != 4 or not METRIC_NAME.match(parts[2]) or
+                        parts[3] not in ("counter", "gauge", "histogram",
+                                         "summary", "untyped")):
+                    err(lineno, f"malformed TYPE line: {line!r}")
+                    continue
+                family, kind = parts[2], parts[3]
+                if family in types:
+                    err(lineno, f"duplicate TYPE for {family}")
+                types[family] = kind
+                declared_order.append(family)
+                continue
+            if line.startswith("#"):
+                continue  # free-form comment
+            m = SAMPLE.match(line)
+            if m is None:
+                err(lineno, f"unparsable sample line: {line!r}")
+                continue
+            name = m.group("name")
+            labels = {}
+            if m.group("labels"):
+                for pair in m.group("labels").split(","):
+                    lm = LABEL_PAIR.match(pair)
+                    if lm is None or not LABEL_NAME.match(lm.group("key")):
+                        err(lineno, f"malformed label {pair!r} in {line!r}")
+                        continue
+                    labels[lm.group("key")] = lm.group("val")
+            try:
+                value = parse_value(m.group("value"))
+            except ValueError:
+                err(lineno, f"bad sample value {m.group('value')!r}")
+                continue
+            # Resolve the family this sample belongs to: histogram
+            # samples use <family>_bucket/_sum/_count.
+            family = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = name[:-len(suffix)] if name.endswith(suffix) else None
+                if base and types.get(base) == "histogram":
+                    family = base
+                    break
+            if family not in types:
+                err(lineno, f"sample {name!r} has no preceding TYPE")
+                continue
+            if types[family] == "counter" and not name.endswith("_total"):
+                err(lineno, f"counter sample {name!r} must end in _total")
+            samples.setdefault(family, []).append((name, labels, value))
+
+    for family in declared_order:
+        if family not in helped:
+            errors.append(f"{path}: family {family} has TYPE but no HELP")
+        rows = samples.get(family, [])
+        if not rows:
+            errors.append(f"{path}: family {family} declared but empty")
+            continue
+        if types[family] != "histogram":
+            continue
+        # Cumulative buckets per label-set (minus `le`), +Inf last,
+        # counts non-decreasing, plus one _sum and one _count each.
+        series = {}
+        for name, labels, value in rows:
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            series.setdefault(key, {"buckets": [], "sum": 0, "count": 0})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{path}: {family} bucket without le")
+                    continue
+                series[key]["buckets"].append(
+                    (parse_value(labels["le"]), value))
+            elif name.endswith("_sum"):
+                series[key]["sum"] += 1
+            elif name.endswith("_count"):
+                series[key]["count"] += 1
+        for key, s in series.items():
+            where = f"{family}{dict(key) if key else ''}"
+            buckets = s["buckets"]
+            if not buckets or buckets[-1][0] != float("inf"):
+                errors.append(f"{path}: {where} buckets must end at +Inf")
+            uppers = [b[0] for b in buckets]
+            counts = [b[1] for b in buckets]
+            if uppers != sorted(uppers):
+                errors.append(f"{path}: {where} le bounds not ascending")
+            if counts != sorted(counts):
+                errors.append(f"{path}: {where} bucket counts not cumulative")
+            if s["sum"] != 1 or s["count"] != 1:
+                errors.append(
+                    f"{path}: {where} needs exactly one _sum and _count")
+
+    return errors
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in sys.argv[1:]:
+        errors = validate(path)
+        for e in errors:
+            print(e, file=sys.stderr)
+        if errors:
+            failures += 1
+        else:
+            print(f"{path}: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
