@@ -3,11 +3,18 @@
 
 Usage:
     compare.py BASELINE.json CURRENT.json [--threshold 2.0]
+               [--filter REGEX] [--exclude REGEX]
 
 Exits non-zero when any benchmark present in BOTH files regressed by
 more than --threshold x in real_time. Benchmarks present in only one
 file are reported but never fail the check (the suite may grow or
 retire cases). Times are normalized across time_unit fields.
+
+--filter/--exclude restrict which benchmark names participate
+(unanchored regex search), so one suite can be gated at two
+thresholds: run once with --exclude PATTERN at the default threshold
+and once with --filter PATTERN at a stricter one (run_benches.sh does
+this for the incremental-DP cases).
 
 The committed baseline under bench/baselines/ is machine-relative:
 re-record it (bench/run_benches.sh --rebaseline) when moving to new
@@ -15,6 +22,7 @@ hardware instead of comparing across machines.
 """
 import argparse
 import json
+import re
 import sys
 
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
@@ -40,14 +48,29 @@ def main():
     parser.add_argument("--threshold", type=float, default=2.0,
                         help="fail when current > threshold * baseline "
                              "(default 2.0)")
+    parser.add_argument("--filter", default=None, metavar="REGEX",
+                        help="only compare benchmarks whose name matches "
+                             "this regex (unanchored search)")
+    parser.add_argument("--exclude", default=None, metavar="REGEX",
+                        help="skip benchmarks whose name matches this "
+                             "regex (applied after --filter)")
     args = parser.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    def selected(name):
+        if args.filter and not re.search(args.filter, name):
+            return False
+        if args.exclude and re.search(args.exclude, name):
+            return False
+        return True
+
+    base = {n: t for n, t in load(args.baseline).items() if selected(n)}
+    cur = {n: t for n, t in load(args.current).items() if selected(n)}
     shared = sorted(set(base) & set(cur))
     if not shared:
         print("compare.py: no common benchmarks between "
-              f"{args.baseline} and {args.current}", file=sys.stderr)
+              f"{args.baseline} and {args.current}"
+              + (" after --filter/--exclude" if args.filter or args.exclude
+                 else ""), file=sys.stderr)
         return 2
 
     failures = []

@@ -43,6 +43,12 @@ void print_usage() {
       "  lookahead=<int>     per-job lookahead (default 6)\n"
       "  history=<int>       per-job prediction history (default 8)\n"
       "  mc_trials=<int>     per-job Monte-Carlo trials (default 16)\n"
+      "  mode=tick|event     per-job re-optimization trigger: tick\n"
+      "                      (default) re-solves every interval; event\n"
+      "                      re-solves only on lease-change events\n"
+      "                      (warm-started incremental DP)\n"
+      "  debounce_ms=<float> event coalescing window for mode=event\n"
+      "                      (default 250)\n"
       "  swap_margin=<float> arbiter swap hysteresis (default 0.05)\n"
       "  static=0|1          also run the static-partitioning baseline\n"
       "                      and print the comparison (default 1)\n"
@@ -130,6 +136,14 @@ int main(int argc, char** argv) {
   options.history = std::stoi(get(args, "history", "8"));
   options.mc_trials = std::stoi(get(args, "mc_trials", "16"));
   options.swap_margin = std::stod(get(args, "swap_margin", "0.05"));
+  const std::string sched_mode = get(args, "mode", "tick");
+  if (sched_mode != "tick" && sched_mode != "event") {
+    std::fprintf(stderr, "mode=%s: expected tick or event\n",
+                 sched_mode.c_str());
+    return 1;
+  }
+  options.event_driven = sched_mode == "event";
+  options.debounce_ms = std::stod(get(args, "debounce_ms", "250"));
 
   obs::MetricsRegistry registry;
   options.metrics = &registry;

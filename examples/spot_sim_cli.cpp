@@ -93,6 +93,14 @@ void print_usage() {
       "         hybrid|elastic|ondemand\n"
       "  lookahead=<int>        history=<int>      reoptimize=<int>\n"
       "  mc_trials=<int>        hysteresis=<float> seed=<int>\n"
+      "  mode=tick|event        scheduler re-optimization trigger:\n"
+      "                         tick (default) re-solves every\n"
+      "                         reoptimize= intervals; event re-solves\n"
+      "                         only on preemption notices / lease\n"
+      "                         expiries / allocations (warm-started\n"
+      "                         incremental DP, docs/performance.md)\n"
+      "  debounce_ms=<float>    event coalescing window for mode=event\n"
+      "                         (default 250)\n"
       "  threads=<int>          liveput-DP worker threads (0 = auto:\n"
       "                         PARCAE_THREADS env var, else hardware\n"
       "                         concurrency; default 1 = serial;\n"
@@ -196,6 +204,14 @@ int main(int argc, char** argv) {
   popt.mc_trials = std::stoi(get(args, "mc_trials", "256"));
   popt.depth_change_hysteresis = std::stod(get(args, "hysteresis", "0.15"));
   popt.seed = std::stoull(get(args, "seed", "123"));
+  const std::string sched_mode = get(args, "mode", "tick");
+  if (sched_mode != "tick" && sched_mode != "event") {
+    std::fprintf(stderr, "mode=%s: expected tick or event\n",
+                 sched_mode.c_str());
+    return 1;
+  }
+  popt.event_driven = sched_mode == "event";
+  popt.debounce_ms = std::stod(get(args, "debounce_ms", "250"));
   // threads: explicit value wins (0 = auto-resolve); with no flag the
   // PARCAE_THREADS env var applies, else the serial default of 1.
   const std::string threads_arg = get(args, "threads", "");
@@ -321,9 +337,16 @@ int main(int argc, char** argv) {
 
   std::printf("system:           %s\n", r.policy.c_str());
   std::printf("model:            %s\n", model.name.c_str());
-  if (parcae_policy != nullptr)
+  if (parcae_policy != nullptr) {
     std::printf("decision threads: %d%s\n", threads_shown,
                 threads_shown == 1 ? " (serial)" : "");
+    if (popt.event_driven)
+      std::printf("scheduler mode:   event (debounce_ms=%.0f)\n",
+                  popt.debounce_ms);
+    else
+      std::printf("scheduler mode:   tick (reoptimize every %d)\n",
+                  std::max(1, popt.reoptimize_every));
+  }
   std::printf("trace:            %s (%.0f min, avg %.2f instances)\n",
               r.trace.c_str(), r.duration_s / 60.0,
               trace.stats().avg_instances);
@@ -451,6 +474,8 @@ int main(int argc, char** argv) {
 
     SpotDriverOptions dopt;
     dopt.iterations_per_interval = 6;
+    dopt.scheduler.event_driven = popt.event_driven;
+    dopt.scheduler.debounce_ms = popt.debounce_ms;
     if (faults.armed()) dopt.faults = &faults;
     // runtime_trace= attaches one writer per "process": scheduler
     // (decision spans + client-side rpc.call spans) and hub (server-

@@ -1,8 +1,9 @@
 #include "core/liveput_optimizer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
 
@@ -11,6 +12,8 @@
 
 namespace parcae {
 namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
 // Packed memo key: 10 bits per config dimension, 12 bits for idle and
 // k — far beyond the 32-64 instance clusters this system models.
@@ -36,7 +39,14 @@ LiveputOptimizer::LiveputOptimizer(const ThroughputModel* throughput,
       name_edge_hits_(options.metric_prefix + "liveput_dp.edge_cache_hits"),
       name_edge_misses_(options.metric_prefix +
                         "liveput_dp.edge_cache_misses"),
+      name_edge_bypass_(options.metric_prefix +
+                        "liveput_dp.edge_cache_bypass"),
       name_tasks_(options.metric_prefix + "threadpool.tasks"),
+      name_states_reused_(options.metric_prefix + "liveput_dp.states_reused"),
+      name_states_re_expanded_(options.metric_prefix +
+                               "liveput_dp.states_re_expanded"),
+      name_space_evictions_(options.metric_prefix +
+                            "liveput_dp.space_cache_evictions"),
       sampler_(options.seed, options.mc_trials),
       threads_(options.threads == 1 ? 1 : ThreadPool::resolve(options.threads)) {
   sampler_.set_metrics(options.metrics);
@@ -44,6 +54,8 @@ LiveputOptimizer::LiveputOptimizer(const ThroughputModel* throughput,
 }
 
 LiveputOptimizer::~LiveputOptimizer() = default;
+
+void LiveputOptimizer::invalidate() { warm_ = WarmState{}; }
 
 double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
                                                  int n_from, ParallelConfig to,
@@ -59,6 +71,7 @@ double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
   if (k == 0 && to == from) return 0.0;
 
   const std::uint64_t key = transition_key(from, idle, to, k);
+  const std::size_t cap = options_.edge_cache_capacity;
   if (threads_ == 1) {
     // Serial path: no concurrent callers, skip the lock entirely.
     const auto it = memo_.find(key);
@@ -68,7 +81,10 @@ double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
     }
     memo_misses_.fetch_add(1, std::memory_order_relaxed);
     const double cost = transition_cost(from, idle, to, k);
-    memo_.emplace(key, cost);
+    if (memo_.size() < cap)
+      memo_.emplace(key, cost);
+    else
+      memo_bypass_.fetch_add(1, std::memory_order_relaxed);
     return cost;
   }
   {
@@ -83,7 +99,10 @@ double LiveputOptimizer::expected_migration_cost(ParallelConfig from,
   const double cost = transition_cost(from, idle, to, k);
   {
     std::unique_lock<std::shared_mutex> lock(memo_mu_);
-    memo_.emplace(key, cost);
+    if (memo_.size() < cap)
+      memo_.emplace(key, cost);
+    else
+      memo_bypass_.fetch_add(1, std::memory_order_relaxed);
   }
   return cost;
 }
@@ -140,138 +159,243 @@ double LiveputOptimizer::transition_cost(ParallelConfig from, int idle,
   return cost;
 }
 
-void LiveputOptimizer::warm_transition(ParallelConfig from, int n_from,
-                                       int k) {
-  if (!from.valid()) return;  // resume-from-suspension needs no summary
-  const int idle = std::max(0, n_from - from.instances());
-  const int kk = std::clamp(k, 0, from.instances() + idle);
-  sampler_.warm(from, idle, kk);
-}
-
-void LiveputOptimizer::flush_metrics() {
-  if (options_.metrics == nullptr) return;
-  const std::uint64_t hits = memo_hits_.load(std::memory_order_relaxed);
-  const std::uint64_t misses = memo_misses_.load(std::memory_order_relaxed);
-  if (hits != flushed_hits_)
-    options_.metrics->counter(name_edge_hits_)
-        .add(static_cast<double>(hits - flushed_hits_));
-  if (misses != flushed_misses_)
-    options_.metrics->counter(name_edge_misses_)
-        .add(static_cast<double>(misses - flushed_misses_));
-  flushed_hits_ = hits;
-  flushed_misses_ = misses;
-  if (pool_) {
-    const std::uint64_t tasks = pool_->tasks_run();
-    if (tasks != flushed_tasks_)
-      options_.metrics->counter(name_tasks_)
-          .add(static_cast<double>(tasks - flushed_tasks_));
-    flushed_tasks_ = tasks;
+std::shared_ptr<const ConfigSpaceSoA> LiveputOptimizer::resolve_space(int n) {
+  const auto it = space_cache_.find(n);
+  if (it != space_cache_.end()) {
+    space_lru_.splice(space_lru_.begin(), space_lru_, it->second.lru);
+    return it->second.space;
   }
+  auto space = std::make_shared<ConfigSpaceSoA>();
+  space->configs = throughput_->enumerate_configs(n);
+  space->configs.push_back(kIdleConfig);
+  space->throughput.reserve(space->configs.size());
+  for (const ParallelConfig& c : space->configs)
+    space->throughput.push_back(throughput_->throughput(c));
+  space_lru_.push_front(n);
+  space_cache_.emplace(n, SpaceEntry{space, space_lru_.begin()});
+  const std::size_t cap = std::max<std::size_t>(1, options_.space_cache_capacity);
+  while (space_cache_.size() > cap) {
+    space_cache_.erase(space_lru_.back());
+    space_lru_.pop_back();
+    ++space_cache_evictions_;
+  }
+  return space;
 }
 
-LiveputPlan LiveputOptimizer::optimize(ParallelConfig current, int n_now,
-                                       const std::vector<int>& predicted) {
-  LiveputPlan plan;
-  const auto I = predicted.size();
-  if (I == 0) return plan;
-  if (options_.metrics) options_.metrics->counter(name_runs_).inc();
+void LiveputOptimizer::compute_column(std::size_t i, ParallelConfig current,
+                                      int n_now,
+                                      const std::vector<int>& predicted,
+                                      const ConfigSpaceSoA* prev_space,
+                                      const std::vector<double>* best_prev,
+                                      const ConfigSpaceSoA& cur_space,
+                                      std::vector<double>& best_out,
+                                      std::vector<int>& parent_out) {
   const double T = options_.interval_s;
+  const int n_prev = i == 0 ? n_now : predicted[i - 1];
+  const int k = std::max(0, n_prev - predicted[i]);
+  const std::size_t C = cur_space.size();
+  best_out.assign(C, kNegInf);
+  parent_out.assign(C, -1);
 
-  // Per-interval configuration spaces (feasible configs + "suspended"),
-  // enumerated once per distinct N and cached across optimize() calls
-  // (forecasts repeat values heavily; enumeration itself walks the
-  // whole (D, P) grid through the memory model).
-  std::vector<const std::vector<ParallelConfig>*> space(I);
-  for (std::size_t i = 0; i < I; ++i) {
-    auto it = space_cache_.find(predicted[i]);
-    if (it == space_cache_.end()) {
-      std::vector<ParallelConfig> configs =
-          throughput_->enumerate_configs(predicted[i]);
-      configs.push_back(kIdleConfig);
-      it = space_cache_.emplace(predicted[i], std::move(configs)).first;
-    }
-    space[i] = &it->second;
-  }
-
-  const bool parallel = threads_ > 1;
+  const bool parallel = threads_ > 1 && C > 1;
   if (parallel && !pool_) pool_ = std::make_unique<ThreadPool>(threads_);
 
-  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
-  std::vector<std::vector<double>> best(I);
-  std::vector<std::vector<int>> parent(I);
-
-  for (std::size_t i = 0; i < I; ++i) {
-    const std::vector<ParallelConfig>& cur_space = *space[i];
-    best[i].assign(cur_space.size(), kNegInf);
-    parent[i].assign(cur_space.size(), -1);
-    const int n_prev = i == 0 ? n_now : predicted[i - 1];
-    const int n_cur = predicted[i];
-    const int k = std::max(0, n_prev - n_cur);
-
-    // One candidate column of the DP. Writes only best[i][j] /
-    // parent[i][j]; the inner predecessor scan stays serial so
-    // max/tie-breaking is identical at any thread count.
-    auto eval_candidate = [&](std::size_t j) {
-      const ParallelConfig& cand = cur_space[j];
-      const double tput = throughput_->throughput(cand);
-      if (i == 0) {
-        const double mig = expected_migration_cost(current, n_now, cand, k);
-        best[0][j] = tput * std::max(0.0, T - mig);
-        return;
-      }
-      const std::vector<ParallelConfig>& prev_space = *space[i - 1];
-      for (std::size_t jj = 0; jj < prev_space.size(); ++jj) {
-        if (best[i - 1][jj] == kNegInf) continue;
-        const double mig =
-            expected_migration_cost(prev_space[jj], n_prev, cand, k);
-        const double value =
-            best[i - 1][jj] + tput * std::max(0.0, T - mig);
-        if (value > best[i][j]) {
-          best[i][j] = value;
-          parent[i][j] = static_cast<int>(jj);
-        }
-      }
+  if (i == 0) {
+    // First interval: one transition per candidate, from the live
+    // config. Serial fill keeps MC first-touch order identical to the
+    // legacy candidate scan.
+    slab_.resize(C);
+    for (std::size_t j = 0; j < C; ++j)
+      slab_[j] = expected_migration_cost(current, n_now, cur_space.configs[j],
+                                         k);
+    auto eval = [&](std::size_t j) {
+      best_out[j] =
+          cur_space.throughput[j] * std::max(0.0, T - slab_[j]);
     };
-
-    if (parallel && cur_space.size() > 1) {
-      // Pre-warm the MC sampler cache serially, visiting sources in
-      // the exact order the serial DP would first touch them (the
-      // candidate loop hits every valid predecessor at its first
-      // valid candidate), so rng_ consumption — and every summary —
-      // is bit-identical to the threads=1 path. cur_space.size() > 1
-      // guarantees a valid candidate exists (the idle sentinel is
-      // appended last); with only the sentinel no summary is ever
-      // requested, matching the serial path's skips.
-      if (i == 0) {
-        warm_transition(current, n_now, k);
-      } else {
-        const std::vector<ParallelConfig>& prev_space = *space[i - 1];
-        for (std::size_t jj = 0; jj < prev_space.size(); ++jj) {
-          if (best[i - 1][jj] == kNegInf) continue;
-          warm_transition(prev_space[jj], n_prev, k);
-        }
-      }
-      sampler_.set_frozen(true);
-      pool_->parallel_for(cur_space.size(), eval_candidate);
-      sampler_.set_frozen(false);
-    } else {
-      for (std::size_t j = 0; j < cur_space.size(); ++j) eval_candidate(j);
-    }
+    if (parallel)
+      pool_->parallel_for(C, eval);
+    else
+      for (std::size_t j = 0; j < C; ++j) eval(j);
+    return;
   }
 
-  // argmax over final interval, then backtrack.
+  // Transition-cost slab [candidate j][predecessor jj]. Filled
+  // predecessor-major: the MC sampler's key depends only on the
+  // predecessor (and idle/k), so visiting jj in ascending order first
+  // touches each summary exactly when the legacy serial scan (j = 0,
+  // jj ascending) would — RNG consumption is unchanged. Invalid
+  // predecessors (-inf) are skipped, matching the legacy skips; their
+  // slab entries are never read.
+  const std::size_t P = prev_space->size();
+  slab_.resize(C * P);
+  const double* bp = best_prev->data();
+  for (std::size_t jj = 0; jj < P; ++jj) {
+    if (bp[jj] == kNegInf) continue;
+    const ParallelConfig from = prev_space->configs[jj];
+    for (std::size_t j = 0; j < C; ++j)
+      slab_[j * P + jj] =
+          expected_migration_cost(from, n_prev, cur_space.configs[j], k);
+  }
+
+  // Hot scan: contiguous doubles only, no hashing, no pointer
+  // chasing; first-wins strict > keeps tie-breaks identical to the
+  // legacy loop.
+  auto eval = [&](std::size_t j) {
+    const double tput = cur_space.throughput[j];
+    const double* cost_row = slab_.data() + j * P;
+    double best = kNegInf;
+    int arg = -1;
+    for (std::size_t jj = 0; jj < P; ++jj) {
+      if (bp[jj] == kNegInf) continue;
+      const double value = bp[jj] + tput * std::max(0.0, T - cost_row[jj]);
+      if (value > best) {
+        best = value;
+        arg = static_cast<int>(jj);
+      }
+    }
+    best_out[j] = best;
+    parent_out[j] = arg;
+  };
+  if (parallel)
+    pool_->parallel_for(C, eval);
+  else
+    for (std::size_t j = 0; j < C; ++j) eval(j);
+}
+
+LiveputPlan LiveputOptimizer::backtrack(
+    const std::vector<std::shared_ptr<const ConfigSpaceSoA>>& spaces,
+    const std::vector<std::vector<double>>& best,
+    const std::vector<std::vector<int>>& parent) const {
+  LiveputPlan plan;
+  const std::size_t I = spaces.size();
   std::size_t arg = 0;
-  for (std::size_t j = 1; j < space[I - 1]->size(); ++j)
+  for (std::size_t j = 1; j < spaces[I - 1]->size(); ++j)
     if (best[I - 1][j] > best[I - 1][arg]) arg = j;
   plan.expected_samples = std::max(0.0, best[I - 1][arg]);
   plan.configs.assign(I, kIdleConfig);
   int cursor = static_cast<int>(arg);
   for (std::size_t i = I; i-- > 0;) {
-    plan.configs[i] = (*space[i])[static_cast<std::size_t>(cursor)];
+    plan.configs[i] = spaces[i]->configs[static_cast<std::size_t>(cursor)];
     cursor = i > 0 ? parent[i][static_cast<std::size_t>(cursor)] : -1;
   }
+  return plan;
+}
+
+LiveputPlan LiveputOptimizer::optimize(ParallelConfig current, int n_now,
+                                       const std::vector<int>& predicted) {
+  const std::size_t I = predicted.size();
+  if (I == 0) return LiveputPlan{};
+  if (options_.metrics) options_.metrics->counter(name_runs_).inc();
+
+  std::vector<std::shared_ptr<const ConfigSpaceSoA>> spaces(I);
+  for (std::size_t i = 0; i < I; ++i) spaces[i] = resolve_space(predicted[i]);
+
+  // Warm start: a column is reusable iff its direct inputs are
+  // unchanged since the previous solve AND its predecessor column's
+  // values are unchanged (docs/performance.md §7 for the induction
+  // argument that this is bit-exact).
+  const bool warm_ok =
+      !options_.full_resolve && warm_.valid && warm_.predicted.size() == I;
+  if (!warm_ok) {
+    warm_.best.assign(I, {});
+    warm_.parent.assign(I, {});
+  }
+
+  std::uint64_t reused = 0, re_expanded = 0;
+  std::size_t reused_columns = 0;
+  bool prev_changed = false;  // did column i-1's values change this solve?
+  for (std::size_t i = 0; i < I; ++i) {
+    const bool inputs_same =
+        warm_ok && predicted[i] == warm_.predicted[i] &&
+        (i == 0 ? (current == warm_.current && n_now == warm_.n_now)
+                : predicted[i - 1] == warm_.predicted[i - 1]);
+    if (inputs_same && !prev_changed) {
+      reused += spaces[i]->size();
+      ++reused_columns;
+      continue;  // column values carry over verbatim; prev_changed stays false
+    }
+    // Convergence cutoff: if the recomputed column comes out
+    // value-identical to last solve's (same N, often the case a few
+    // steps past a localized forecast change), the suffix can resume
+    // reuse.
+    const bool comparable = warm_ok && predicted[i] == warm_.predicted[i] &&
+                            warm_.best[i].size() == spaces[i]->size();
+    if (comparable) old_column_ = warm_.best[i];
+    compute_column(i, current, n_now, predicted,
+                   i == 0 ? nullptr : spaces[i - 1].get(),
+                   i == 0 ? nullptr : &warm_.best[i - 1], *spaces[i],
+                   warm_.best[i], warm_.parent[i]);
+    re_expanded += spaces[i]->size();
+    prev_changed = !comparable || warm_.best[i] != old_column_;
+  }
+
+  warm_.valid = true;
+  warm_.current = current;
+  warm_.n_now = n_now;
+  warm_.predicted = predicted;
+  warm_.spaces = spaces;
+
+  LiveputPlan plan = backtrack(spaces, warm_.best, warm_.parent);
+
+  states_reused_ += reused;
+  states_re_expanded_ += re_expanded;
+  last_states_reused_ = reused;
+  last_states_re_expanded_ = re_expanded;
+
+  if (options_.verify_incremental && reused_columns > 0) {
+    // Debug pin: full re-solve from scratch must agree bit-for-bit.
+    // All MC summaries the full pass needs are already cached (reused
+    // columns saw identical inputs before), so this consumes no RNG
+    // and cannot perturb subsequent solves.
+    std::vector<std::vector<double>> vbest(I);
+    std::vector<std::vector<int>> vparent(I);
+    for (std::size_t i = 0; i < I; ++i)
+      compute_column(i, current, n_now, predicted,
+                     i == 0 ? nullptr : spaces[i - 1].get(),
+                     i == 0 ? nullptr : &vbest[i - 1], *spaces[i], vbest[i],
+                     vparent[i]);
+    for (std::size_t i = 0; i < I; ++i) {
+      if (vbest[i] != warm_.best[i] || vparent[i] != warm_.parent[i]) {
+        std::fprintf(stderr,
+                     "liveput incremental DP diverged from full re-solve at "
+                     "column %zu/%zu (N=%d)\n",
+                     i, I, predicted[i]);
+        std::abort();
+      }
+    }
+    const LiveputPlan full = backtrack(spaces, vbest, vparent);
+    if (full.configs != plan.configs ||
+        full.expected_samples != plan.expected_samples) {
+      std::fprintf(stderr,
+                   "liveput incremental DP plan diverged from full re-solve\n");
+      std::abort();
+    }
+  }
+
   flush_metrics();
   return plan;
+}
+
+void LiveputOptimizer::flush_metrics() {
+  if (options_.metrics == nullptr) return;
+  auto flush_delta = [this](const std::string& name, std::uint64_t now,
+                            std::uint64_t& flushed) {
+    if (now != flushed)
+      options_.metrics->counter(name).add(static_cast<double>(now - flushed));
+    flushed = now;
+  };
+  flush_delta(name_edge_hits_, memo_hits_.load(std::memory_order_relaxed),
+              flushed_hits_);
+  flush_delta(name_edge_misses_, memo_misses_.load(std::memory_order_relaxed),
+              flushed_misses_);
+  flush_delta(name_edge_bypass_, memo_bypass_.load(std::memory_order_relaxed),
+              flushed_bypass_);
+  flush_delta(name_states_reused_, states_reused_, flushed_states_reused_);
+  flush_delta(name_states_re_expanded_, states_re_expanded_,
+              flushed_states_re_expanded_);
+  flush_delta(name_space_evictions_, space_cache_evictions_,
+              flushed_space_evictions_);
+  if (pool_) flush_delta(name_tasks_, pool_->tasks_run(), flushed_tasks_);
 }
 
 ParallelConfig LiveputOptimizer::advise(ParallelConfig current, int n_now,

@@ -15,22 +15,36 @@
 // as a ParcaePS rollback).
 //
 // Performance layer (the paper's < 0.3 s/optimization budget,
-// Figure 18b):
-//   - every evaluated DP edge (from, idle, to, k) is memoized, so
-//     repeated interval pairs — ubiquitous under flat forecasts and
-//     across the scheduler's once-a-minute re-optimizations — cost a
-//     hash lookup instead of re-running the mixture arithmetic;
+// Figure 18b; docs/performance.md §7 for the scale story):
+//   - every evaluated DP edge (from, idle, to, k) is memoized (bounded
+//     by options.edge_cache_capacity), so repeated interval pairs —
+//     ubiquitous under flat forecasts and across the scheduler's
+//     re-optimizations — cost a hash lookup instead of re-running the
+//     mixture arithmetic;
+//   - per-interval candidate spaces are stored as SoA slabs
+//     (ConfigSpaceSoA): configs plus a contiguous throughput array,
+//     and transition costs for one DP column land in a dense
+//     [candidate][predecessor] slab, so the hot predecessor scan is a
+//     branch-light walk over contiguous doubles instead of
+//     pointer-chasing + hash lookups;
+//   - consecutive optimize() calls warm-start from the previous value
+//     table: a column i is recomputed only when its direct inputs
+//     (predicted[i-1], predicted[i]; for i = 0 the live config and
+//     n_now) changed or its predecessor column's values changed.
+//     Reused columns are bit-identical to what a full re-solve would
+//     produce (options.verify_incremental re-runs the full DP and
+//     aborts on any divergence; options.full_resolve disables reuse);
 //   - with options.threads > 1 the candidate loop over c' runs on a
-//     ThreadPool. Each candidate's inner scan over predecessors stays
-//     serial, so max/tie-breaking — and therefore every plan — is
-//     bit-identical at any thread count. The MC sampler cache is
-//     pre-warmed serially in the exact order the serial DP would
-//     first touch each key, keeping RNG consumption (and thus all
-//     summaries) unchanged, then frozen for lock-free parallel reads.
+//     ThreadPool. Transition costs and MC summaries are materialized
+//     serially into the slab first (in the exact order the serial DP
+//     would first touch each key, keeping RNG consumption unchanged),
+//     so the parallel phase only reads plain arrays and every plan is
+//     bit-identical at any thread count.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <shared_mutex>
 #include <string>
@@ -64,6 +78,21 @@ struct LiveputOptimizerOptions {
   // Prepended to every metric name (fleet jobs sharing a registry);
   // "" keeps the historical names. Applied once at construction.
   std::string metric_prefix;
+  // Escape hatch: disable warm-started column reuse and re-solve the
+  // full DP every optimize() call.
+  bool full_resolve = false;
+  // Debug pin: after an incremental solve that reused any column, run
+  // the full DP too and abort the process if any value, parent, or
+  // plan entry differs. Expensive; for tests and triage only.
+  bool verify_incremental = false;
+  // LRU bound on the per-N config-space cache (a churning fleet sees
+  // many distinct N over a long run). Minimum 1.
+  std::size_t space_cache_capacity = 64;
+  // Insertion cap on the transition-cost memo. Beyond this the memo
+  // stops growing and further unique edges are computed directly
+  // (counted as liveput_dp.edge_cache_bypass). At N = 1024 the edge
+  // universe is ~10^7 pairs; the cap keeps memory bounded.
+  std::size_t edge_cache_capacity = 1u << 20;
 };
 
 struct LiveputPlan {
@@ -75,6 +104,15 @@ struct LiveputPlan {
   ParallelConfig next() const {
     return configs.empty() ? kIdleConfig : configs.front();
   }
+};
+
+// SoA view of one interval's candidate space: the feasible configs
+// for N instances (+ the idle sentinel, always last) next to a
+// contiguous throughput slab, so the DP scans plain arrays.
+struct ConfigSpaceSoA {
+  std::vector<ParallelConfig> configs;
+  std::vector<double> throughput;  // throughput(configs[j])
+  std::size_t size() const { return configs.size(); }
 };
 
 class LiveputOptimizer {
@@ -107,8 +145,12 @@ class LiveputOptimizer {
   // DP worker threads after resolution (1 = serial).
   int threads() const { return threads_; }
 
+  // Drop the warm-started value table; the next optimize() re-solves
+  // every column. Cheap; used on scheduler reset.
+  void invalidate();
+
   // Transition-cost memo telemetry (also flushed to the metrics
-  // registry as liveput_dp.edge_cache_{hits,misses} after each
+  // registry as liveput_dp.edge_cache_{hits,misses,bypass} after each
   // optimize() call).
   std::uint64_t edge_cache_hits() const {
     return memo_hits_.load(std::memory_order_relaxed);
@@ -116,41 +158,111 @@ class LiveputOptimizer {
   std::uint64_t edge_cache_misses() const {
     return memo_misses_.load(std::memory_order_relaxed);
   }
+  std::uint64_t edge_cache_bypass() const {
+    return memo_bypass_.load(std::memory_order_relaxed);
+  }
+
+  // Incremental-DP telemetry (liveput_dp.states_reused /
+  // liveput_dp.states_re_expanded): DP states carried over from the
+  // previous solve vs. recomputed, cumulatively and for the most
+  // recent optimize() call.
+  std::uint64_t states_reused() const { return states_reused_; }
+  std::uint64_t states_re_expanded() const { return states_re_expanded_; }
+  std::uint64_t last_states_reused() const { return last_states_reused_; }
+  std::uint64_t last_states_re_expanded() const {
+    return last_states_re_expanded_;
+  }
+
+  // Config-space LRU telemetry (liveput_dp.space_cache_evictions).
+  std::uint64_t space_cache_evictions() const {
+    return space_cache_evictions_;
+  }
+  std::size_t space_cache_size() const { return space_cache_.size(); }
 
  private:
+  // Previous solve, persisted for warm starts. `spaces` holds strong
+  // refs so LRU eviction can never invalidate a column we may reuse.
+  struct WarmState {
+    bool valid = false;
+    ParallelConfig current = kIdleConfig;
+    int n_now = 0;
+    std::vector<int> predicted;
+    std::vector<std::shared_ptr<const ConfigSpaceSoA>> spaces;
+    std::vector<std::vector<double>> best;
+    std::vector<std::vector<int>> parent;
+  };
+
   // The mixture arithmetic behind expected_migration_cost, after the
   // trivial cases are peeled off; `idle`/`k` are already normalized.
   double transition_cost(ParallelConfig from, int idle, ParallelConfig to,
                          int k);
-  // Serially populate the sampler cache for one DP edge's source so
-  // the parallel candidate loop only ever reads it.
-  void warm_transition(ParallelConfig from, int n_from, int k);
+  // Config space for N instances through the bounded LRU cache.
+  std::shared_ptr<const ConfigSpaceSoA> resolve_space(int n);
+  // Compute DP column i into best_out/parent_out: serially fill the
+  // transition-cost slab (first-touch order identical to the legacy
+  // serial scan), then run the candidate argmax loop (parallel when
+  // threads > 1). prev_space/best_prev are null for i == 0.
+  void compute_column(std::size_t i, ParallelConfig current, int n_now,
+                      const std::vector<int>& predicted,
+                      const ConfigSpaceSoA* prev_space,
+                      const std::vector<double>* best_prev,
+                      const ConfigSpaceSoA& cur_space,
+                      std::vector<double>& best_out,
+                      std::vector<int>& parent_out);
+  // Backtrack a plan out of per-column value/parent tables.
+  LiveputPlan backtrack(
+      const std::vector<std::shared_ptr<const ConfigSpaceSoA>>& spaces,
+      const std::vector<std::vector<double>>& best,
+      const std::vector<std::vector<int>>& parent) const;
   void flush_metrics();
 
   const ThroughputModel* throughput_;
   CostEstimator estimator_;
   LiveputOptimizerOptions options_;
   // Prefixed metric names, precomputed (see options_.metric_prefix).
-  std::string name_runs_, name_edge_hits_, name_edge_misses_, name_tasks_;
+  std::string name_runs_, name_edge_hits_, name_edge_misses_,
+      name_edge_bypass_, name_tasks_, name_states_reused_,
+      name_states_re_expanded_, name_space_evictions_;
   PreemptionSampler sampler_;
   int threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // created on first threaded run
 
   // Transition-cost memo: packed (from, idle, to, k) -> expected
-  // stall seconds. Guarded for the parallel candidate loop; keys
-  // evaluated concurrently within one interval are distinct, so a
-  // value is computed exactly once.
+  // stall seconds. Guarded for concurrent public callers when
+  // threads > 1; the DP itself only touches it serially (slab fill).
   std::shared_mutex memo_mu_;
   std::unordered_map<std::uint64_t, double> memo_;
-  // Config-space cache: N -> enumerate_configs(N) + idle sentinel.
-  // Only touched serially (space resolution happens before the
-  // parallel candidate loop).
-  std::unordered_map<int, std::vector<ParallelConfig>> space_cache_;
+  // Config-space LRU: N -> SoA space. front() of the list is the most
+  // recently used N. Only touched serially.
+  struct SpaceEntry {
+    std::shared_ptr<const ConfigSpaceSoA> space;
+    std::list<int>::iterator lru;
+  };
+  std::unordered_map<int, SpaceEntry> space_cache_;
+  std::list<int> space_lru_;
+  std::uint64_t space_cache_evictions_ = 0;
+
+  WarmState warm_;
+  // Scratch reused across optimize() calls (allocation-free in steady
+  // state): the per-column transition-cost slab and the copy of a
+  // recomputed column's previous values (for the convergence cutoff).
+  std::vector<double> slab_;
+  std::vector<double> old_column_;
+  std::uint64_t states_reused_ = 0;
+  std::uint64_t states_re_expanded_ = 0;
+  std::uint64_t last_states_reused_ = 0;
+  std::uint64_t last_states_re_expanded_ = 0;
+
   std::atomic<std::uint64_t> memo_hits_{0};
   std::atomic<std::uint64_t> memo_misses_{0};
+  std::atomic<std::uint64_t> memo_bypass_{0};
   std::uint64_t flushed_hits_ = 0;
   std::uint64_t flushed_misses_ = 0;
+  std::uint64_t flushed_bypass_ = 0;
   std::uint64_t flushed_tasks_ = 0;
+  std::uint64_t flushed_states_reused_ = 0;
+  std::uint64_t flushed_states_re_expanded_ = 0;
+  std::uint64_t flushed_space_evictions_ = 0;
 };
 
 }  // namespace parcae

@@ -24,7 +24,9 @@ SchedulerCore::SchedulerCore(ModelProfile model, SchedulerCoreOptions options,
                  LiveputOptimizerOptions{options.interval_s,
                                          options.mc_trials, options.seed,
                                          metrics_, options.threads,
-                                         options.metric_prefix}),
+                                         options.metric_prefix,
+                                         options.optimizer_full_resolve,
+                                         options.optimizer_verify_incremental}),
       predictor_(options.adaptive_predictor
                      ? std::unique_ptr<AvailabilityPredictor>(
                            AdaptivePredictor::standard_pool(
@@ -65,7 +67,11 @@ SchedulerCore::MetricNames SchedulerCore::make_names(
           prefix + "scheduler.step",
           prefix + "plan-migration",
           prefix + "predict",
-          prefix + "optimize"};
+          prefix + "optimize",
+          prefix + "scheduler.events_enqueued",
+          prefix + "scheduler.events_coalesced",
+          prefix + "scheduler.event_reoptimizations",
+          prefix + "scheduler.event_latency"};
 }
 
 void SchedulerCore::reset() {
@@ -74,6 +80,11 @@ void SchedulerCore::reset() {
   current_ = kIdleConfig;
   planned_next_ = kIdleConfig;
   prev_available_ = 0;
+  pending_events_ = 0;
+  last_event_s_ = -1.0e18;
+  // Warm-started DP state belongs to the finished run; a replay must
+  // behave exactly like a fresh core.
+  optimizer_.invalidate();
   migration_log_.clear();
   telemetry_.clear();
   // A fresh run starts a fresh core-owned registry; an injected one
@@ -288,8 +299,33 @@ SchedulerDecision SchedulerCore::step(int interval_index,
   current_ = adapted;
   prev_available_ = available;
   if (options_.mode != PredictionMode::kReactive) {
-    if (interval_index % std::max(1, options_.reoptimize_every) == 0) {
+    bool reoptimize;
+    if (options_.event_driven) {
+      // Backends with an out-of-band notice channel (the spot driver)
+      // enqueue events via notify_event() before stepping; tick-
+      // quantized backends get one synthesized from the boundary
+      // observation itself. Interval 0 always solves (bootstrap).
+      if (pending_events_ == 0 &&
+          (observed.preempted > 0 || observed.allocated > 0))
+        notify_event(observed.preempted > 0 ? "preemption" : "allocation",
+                     now);
+      reoptimize = interval_index == 0 || pending_events_ > 0;
+    } else {
+      reoptimize =
+          interval_index % std::max(1, options_.reoptimize_every) == 0;
+    }
+    if (reoptimize) {
+      const bool event_reaction =
+          options_.event_driven && pending_events_ > 0;
       metrics_->counter(names_.reoptimizations).inc();
+      if (event_reaction)
+        metrics_->counter(names_.event_reoptimizations).inc();
+      // Reaction latency: notice -> new plan, i.e. predict + (warm-
+      // started) optimize. Lands in scheduler.event_latency.ms.
+      std::optional<obs::ProfileSpan> event_latency;
+      if (event_reaction)
+        event_latency.emplace(names_.span_event_latency, metrics_,
+                              options_.tracer, "scheduler");
       {
         obs::ProfileSpan predict_span(names_.span_predict, metrics_,
                                       options_.tracer, "scheduler");
@@ -302,12 +338,27 @@ SchedulerDecision SchedulerCore::step(int interval_index,
       planned_next_ = liveput.next();
       metrics_->gauge(names_.liveput_expected_samples)
           .set(liveput.expected_samples);
+      pending_events_ = 0;
     }
     // Otherwise keep the previously planned target (Figure 11's lower
-    // prediction rates).
+    // prediction rates; in event mode, quiet intervals).
   }
   decision.planned_next = planned_next_;
   return decision;
+}
+
+void SchedulerCore::notify_event(std::string_view kind, double now_s) {
+  if (!options_.event_driven) return;
+  metrics_->counter(names_.events_enqueued).inc();
+  if (pending_events_ > 0 &&
+      now_s - last_event_s_ <= options_.debounce_ms / 1000.0) {
+    metrics_->counter(names_.events_coalesced).inc();
+  } else {
+    telemetry_.record(now_s, EventCategory::kCloud, "reoptimize event",
+                      {{"kind", std::string(kind)}});
+  }
+  ++pending_events_;
+  last_event_s_ = now_s;
 }
 
 }  // namespace parcae

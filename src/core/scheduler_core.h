@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "core/liveput_optimizer.h"
@@ -53,6 +54,25 @@ struct SchedulerCoreOptions {
   int lookahead = 12;         // I: intervals the optimizer plans over
   int history = 12;           // H: intervals of history fed to ARIMA
   int reoptimize_every = 1;   // prediction rate (Figure 11)
+  // Event-driven control (mode=event in the CLIs): instead of
+  // re-optimizing on the reoptimize_every tick, re-solve only when a
+  // re-optimization event is pending — preemption notices and lease
+  // expirations enqueued via notify_event(), or availability changes
+  // observed at a step boundary. Reaction latency then is the
+  // (incremental) solve time rather than the tick period; the warm-
+  // started DP makes the solve cheap. Interval 0 always solves (the
+  // bootstrap plan).
+  bool event_driven = false;
+  // Coalescing window for notify_event(): events landing within this
+  // many milliseconds (simulated time) of the previous pending event
+  // are counted as scheduler.events_coalesced and folded into the
+  // same re-solve.
+  double debounce_ms = 250.0;
+  // Passthroughs to LiveputOptimizerOptions (triage knobs): disable
+  // the warm-started incremental DP, or run both paths and abort on
+  // any divergence (tests, chaos runs).
+  bool optimizer_full_resolve = false;
+  bool optimizer_verify_incremental = false;
   // Use the backtest-selecting adaptive predictor pool instead of the
   // paper's guarded ARIMA (an extension; see src/predict/adaptive.h).
   bool adaptive_predictor = false;
@@ -157,6 +177,14 @@ class SchedulerCore {
                          const AvailabilityObservation& observed,
                          double interval_s);
 
+  // Event-driven mode: enqueue a re-optimization event (a preemption
+  // notice, lease expiry, allocation grant...) observed at simulated
+  // time `now_s`. Events within options.debounce_ms of the previous
+  // pending one are coalesced; the next step() re-solves once and
+  // drains the queue. No-op unless options.event_driven.
+  void notify_event(std::string_view kind, double now_s);
+  int pending_events() const { return pending_events_; }
+
   const SchedulerCoreOptions& options() const { return options_; }
   const ModelProfile& model() const { return model_; }
   const ThroughputModel& throughput_model() const { return throughput_; }
@@ -194,7 +222,9 @@ class SchedulerCore {
     std::string intervals, available, preemptions_seen, allocations_seen,
         hysteresis_suppressions, config_changes, migrations_planned,
         migration_stall_s, reoptimizations, liveput_expected_samples,
-        span_step, span_plan_migration, span_predict, span_optimize;
+        span_step, span_plan_migration, span_predict, span_optimize,
+        events_enqueued, events_coalesced, event_reoptimizations,
+        span_event_latency;
   };
   static MetricNames make_names(const std::string& prefix);
 
@@ -220,6 +250,10 @@ class SchedulerCore {
   ParallelConfig current_ = kIdleConfig;
   ParallelConfig planned_next_ = kIdleConfig;
   int prev_available_ = 0;
+  // Event-driven mode: re-optimization events waiting for the next
+  // step, and the time of the most recent one (debounce anchor).
+  int pending_events_ = 0;
+  double last_event_s_ = -1.0e18;
   std::vector<MigrationLogEntry> migration_log_;
   EventLog telemetry_;
 };

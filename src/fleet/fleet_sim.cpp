@@ -167,6 +167,11 @@ FleetSimResult FleetSimulator::integrate(
   FleetSimResult result;
   result.trace = pool_trace.name();
   result.regime = regime;
+  result.scheduler_mode =
+      options_.event_driven
+          ? "event (debounce_ms=" + format_double(options_.debounce_ms, 0) +
+                ")"
+          : "tick";
   result.jobs = static_cast<int>(jobs_.size());
   const std::vector<int> pool =
       pool_trace.availability_series(options_.interval_s);
@@ -221,6 +226,8 @@ FleetSimResult FleetSimulator::integrate(
     policy_options.max_instances = options_.capacity;
     policy_options.metrics = options_.metrics;
     policy_options.metric_prefix = prefix;
+    policy_options.event_driven = options_.event_driven;
+    policy_options.debounce_ms = options_.debounce_ms;
     ParcaePolicy policy(profile, policy_options, &lease);
 
     SimulationOptions sim_options;
@@ -285,6 +292,7 @@ std::string FleetSimResult::to_string() const {
          format_double(weighted_share_deviation, 4) + "\n";
   out += "  lease churn       +" + std::to_string(lease_grants) + " / -" +
          std::to_string(lease_revocations) + "\n";
+  out += "  scheduler mode    " + scheduler_mode + "\n";
   for (const FleetJobResult& job : per_job) {
     out += "  job" + std::to_string(job.job_id) + " " + job.model +
            " w=" + format_double(job.weight, 1) +

@@ -61,6 +61,11 @@ struct FleetSimOptions {
   int lookahead = 6;
   int history = 8;
   int mc_trials = 16;
+  // Event-driven per-job scheduling (mode=event in fleet_sim_cli):
+  // each job's core re-optimizes on lease-change events instead of
+  // every tick (SchedulerCoreOptions::event_driven).
+  bool event_driven = false;
+  double debounce_ms = 250.0;
   // Optional shared sinks. Metrics get fleet.* and job<j>.* names;
   // `kv` arms the arbiter's leader election.
   obs::MetricsRegistry* metrics = nullptr;
@@ -101,6 +106,9 @@ struct FleetSimResult {
   double weighted_share_deviation = 0.0;
   long long lease_grants = 0;
   long long lease_revocations = 0;
+  // "tick" or "event (debounce_ms=...)": how the per-job cores decided
+  // when to re-optimize.
+  std::string scheduler_mode = "tick";
   std::vector<FleetJobResult> per_job;
   obs::MetricsSnapshot metrics;
 

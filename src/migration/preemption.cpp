@@ -91,35 +91,50 @@ PreemptionSummary PreemptionSampler::compute(ParallelConfig config, int idle,
     s.expected_alive = config.instances() + idle;
     return s;
   }
-  // One draw + scratch pair reused across all trials: the MC loop
-  // performs no per-trial heap allocation after the first iteration.
-  PreemptionDraw draw;
-  PreemptionScratch scratch;
+  // Batched trial evaluation: each draw tallies into integer
+  // histograms (scratch reused across compute() calls — no per-trial
+  // heap allocation), and the statistics are derived from the
+  // histograms afterwards. Every statistic is an exact integer sum,
+  // so this is bit-identical to the per-trial double accumulation it
+  // replaced, while dropping the O(D * P)-per-trial inter-move scan
+  // to a single O(D^2) pass over the histogram.
+  const auto D = static_cast<std::size_t>(config.dp);
+  batch_.min_alive_hist.assign(D + 1, 0);
+  batch_.stage_alive_hist.assign(D + 1, 0);
+  PreemptionDraw& draw = batch_.draw;
+  std::int64_t alive_total = 0;
   for (int t = 0; t < trials_; ++t) {
-    sample_preemption(config, idle, k, rng_, draw, scratch);
-    s.intra_pipelines_prob[static_cast<std::size_t>(draw.min_alive_stage)] +=
-        1.0;
-    s.expected_intra_pipelines += draw.min_alive_stage;
-    if (draw.min_alive_stage == 0) s.stage_wipeout_prob += 1.0;
-    int alive = draw.idle_alive;
+    sample_preemption(config, idle, k, rng_, draw, batch_.sample);
+    ++batch_.min_alive_hist[static_cast<std::size_t>(draw.min_alive_stage)];
+    std::int64_t alive = draw.idle_alive;
     for (int a : draw.alive_per_stage) {
       alive += a;
-      s.stage_alive_prob[static_cast<std::size_t>(a)] += 1.0;
+      ++batch_.stage_alive_hist[static_cast<std::size_t>(a)];
     }
-    s.expected_alive += alive;
-    for (int d = 0; d <= config.dp; ++d) {
-      double moves = 0.0;
-      for (int a : draw.alive_per_stage) moves += std::max(0, d - a);
-      s.expected_inter_moves[static_cast<std::size_t>(d)] += moves;
-    }
+    alive_total += alive;
   }
   const auto n = static_cast<double>(trials_);
-  for (auto& p : s.intra_pipelines_prob) p /= n;
-  for (auto& m : s.expected_inter_moves) m /= n;
-  for (auto& p : s.stage_alive_prob) p /= n * static_cast<double>(config.pp);
-  s.expected_intra_pipelines /= n;
-  s.stage_wipeout_prob /= n;
-  s.expected_alive /= n;
+  std::int64_t min_alive_total = 0;
+  for (std::size_t d = 0; d <= D; ++d) {
+    const std::int64_t c = batch_.min_alive_hist[d];
+    s.intra_pipelines_prob[d] = static_cast<double>(c) / n;
+    min_alive_total += static_cast<std::int64_t>(d) * c;
+  }
+  s.expected_intra_pipelines = static_cast<double>(min_alive_total) / n;
+  s.stage_wipeout_prob = static_cast<double>(batch_.min_alive_hist[0]) / n;
+  s.expected_alive = static_cast<double>(alive_total) / n;
+  // E[sum_s max(0, d - a_s)] summed over trials =
+  // sum_{a < d} stage_alive_hist[a] * (d - a), exactly.
+  for (std::size_t d = 0; d <= D; ++d) {
+    std::int64_t moves = 0;
+    for (std::size_t a = 0; a < d; ++a)
+      moves +=
+          batch_.stage_alive_hist[a] * static_cast<std::int64_t>(d - a);
+    s.expected_inter_moves[d] = static_cast<double>(moves) / n;
+  }
+  for (std::size_t a = 0; a <= D; ++a)
+    s.stage_alive_prob[a] = static_cast<double>(batch_.stage_alive_hist[a]) /
+                            (n * static_cast<double>(config.pp));
   return s;
 }
 

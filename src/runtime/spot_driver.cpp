@@ -197,6 +197,9 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
       core_.event_log().record(
           boundary, EventCategory::kWarning,
           "silent agent death detected via lease expiry", {{"key", key}});
+      // Event-driven mode: a lease expiry is a (late) preemption
+      // signal; enqueue the re-solve now (no-op on tick scheduling).
+      core_.notify_event("lease-expiry", boundary);
     }
     cluster_.heartbeat();
 
@@ -213,6 +216,7 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
         const std::vector<int> agents = cluster_.allocate(1);
         instance_to_agent[event.instance_id] = agents.front();
         ++observed.allocated;
+        core_.notify_event("instance-granted", boundary);
       } else {
         const auto it = instance_to_agent.find(event.instance_id);
         if (it != instance_to_agent.end()) {
@@ -220,8 +224,10 @@ SpotDriverReport SpotTrainingDriver::run(CloudProvider& cloud,
               cluster_.agent_key_prefix() + std::to_string(it->second));
           cluster_.preempt({it->second});
           instance_to_agent.erase(it);
-          if (record.has_value() && record->value != "preempted")
+          if (record.has_value() && record->value != "preempted") {
             ++observed.preempted;
+            core_.notify_event("preemption-notice", boundary);
+          }
         }
       }
     }
