@@ -7,8 +7,13 @@
 //   trace_tool plot   <file.csv | segment>
 //   trace_tool events <file.csv | segment> <out.jsonl>
 //   trace_tool merge  <out.trace.json> <in.trace.json>...
+//   trace_tool wal    <file.wal>
 //
 // `plot` prints a terminal sparkline of the availability series.
+// `wal` dumps and validates a scheduler write-ahead log
+// (src/runtime/wal.h): one line per record, then a summary with the
+// torn-tail truncation count — the offline half of the crash-recovery
+// story in docs/robustness.md.
 // `events` replays the trace through the Parcae scheduler and writes
 // its structured EventLog (preemptions, decisions, migrations) as
 // JSONL, one event per line.
@@ -22,6 +27,7 @@
 
 #include "obs/trace_merge.h"
 #include "runtime/parcae_policy.h"
+#include "runtime/wal.h"
 #include "trace/spot_market.h"
 #include "trace/spot_trace.h"
 #include "trace/trace_analysis.h"
@@ -92,8 +98,69 @@ int usage() {
                "  trace_tool gen market <bid> <file.csv> [seed]\n"
                "  trace_tool plot <file|segment>\n"
                "  trace_tool events <file|segment> <out.jsonl>\n"
-               "  trace_tool merge <out.trace.json> <in.trace.json>...\n");
+               "  trace_tool merge <out.trace.json> <in.trace.json>...\n"
+               "  trace_tool wal <file.wal>\n");
   return 2;
+}
+
+int dump_wal(const char* path) {
+  const WalReadResult result = read_wal(path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", path, result.error.c_str());
+    return 1;
+  }
+  if (result.missing_header && result.truncated_records > 0) {
+    std::fprintf(stderr, "%s: not a WAL file (bad header)\n", path);
+    return 1;
+  }
+  std::size_t seq = 0;
+  for (const WalRecord& r : result.records) {
+    std::printf("%6zu %-15s", seq++, wal_record_type_name(r.type));
+    switch (r.type) {
+      case WalRecordType::kPut:
+        std::printf(" key=%s value=%zuB", r.key.c_str(), r.value.size());
+        break;
+      case WalRecordType::kPutWithLease:
+        std::printf(" key=%s value=%zuB lease=%llu", r.key.c_str(),
+                    r.value.size(),
+                    static_cast<unsigned long long>(r.lease_id));
+        break;
+      case WalRecordType::kCas:
+        std::printf(" key=%s expected=%llu value=%zuB", r.key.c_str(),
+                    static_cast<unsigned long long>(r.expected_version),
+                    r.value.size());
+        break;
+      case WalRecordType::kErase:
+        std::printf(" key=%s", r.key.c_str());
+        break;
+      case WalRecordType::kLeaseGrant:
+        std::printf(" ttl=%.3fs", r.ttl_s);
+        break;
+      case WalRecordType::kLeaseKeepalive:
+      case WalRecordType::kLeaseRevoke:
+        std::printf(" lease=%llu",
+                    static_cast<unsigned long long>(r.lease_id));
+        break;
+      case WalRecordType::kAdvanceClock:
+        std::printf(" dt=%.3fs", r.dt_s);
+        break;
+      case WalRecordType::kDecision:
+        std::printf(
+            " interval=%d available=%d preempted=%d allocated=%d "
+            "advised=%dx%d stall=%.3fs agents=%zu",
+            r.interval, r.available, r.preempted, r.allocated, r.advised_dp,
+            r.advised_pp, r.stall_s, r.agents.size());
+        break;
+    }
+    std::printf("\n");
+  }
+  std::printf("%zu records, %llu valid bytes", result.records.size(),
+              static_cast<unsigned long long>(result.valid_bytes));
+  if (result.truncated_records > 0)
+    std::printf(", TORN TAIL: %llu bytes dropped",
+                static_cast<unsigned long long>(result.truncated_bytes));
+  std::printf("\n");
+  return result.truncated_records > 0 ? 3 : 0;
 }
 
 int merge_trace_files(int argc, char** argv) {
@@ -175,6 +242,9 @@ int main(int argc, char** argv) {
   if (command == "merge") {
     if (argc < 4) return usage();
     return merge_trace_files(argc, argv);
+  }
+  if (command == "wal") {
+    return dump_wal(argv[2]);
   }
   if (command == "events") {
     if (argc < 4) return usage();

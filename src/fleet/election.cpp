@@ -55,4 +55,31 @@ void LeaseElection::resign() {
   candidate_.clear();
 }
 
+void StandbyMonitor::start(double now_s) {
+  started_ = true;
+  last_healthy_s_ = now_s;
+  failed_probes_ = 0;
+}
+
+void StandbyMonitor::record_probe(bool healthy, double now_s) {
+  if (!started_) start(now_s);
+  if (healthy) {
+    last_healthy_s_ = now_s;
+    failed_probes_ = 0;
+  } else {
+    ++failed_probes_;
+  }
+}
+
+bool StandbyMonitor::should_take_over(double now_s) const {
+  if (!started_) return false;
+  return failed_probes_ >= options_.min_failed_probes &&
+         silent_for(now_s) >= options_.takeover_after_s;
+}
+
+double StandbyMonitor::silent_for(double now_s) const {
+  if (!started_) return 0.0;
+  return now_s - last_healthy_s_;
+}
+
 }  // namespace parcae::fleet

@@ -1,6 +1,7 @@
 // Leader election over KvStore TTL leases — the primitive the
-// FleetArbiter uses to claim pool ownership (and a future standby
-// arbiter/scheduler would use for HA takeover, ROADMAP item 5).
+// FleetArbiter uses to claim pool ownership and the standby
+// scheduler uses for HA takeover (SchedulerProcess,
+// src/runtime/scheduler_process.h).
 //
 // The protocol is the standard etcd election recipe on this repo's
 // KvStore primitives:
@@ -65,6 +66,52 @@ class LeaseElection {
   double ttl_s_;
   std::uint64_t lease_ = 0;     // this object's own lease; 0 = none
   std::string candidate_;       // name campaigned under
+};
+
+// Failure detector a standby runs against the primary it shadows.
+//
+// The standby cannot watch the primary's KvStore (the store dies with
+// the primary); all it has is an out-of-band probe — a short-deadline
+// RPC against the primary's endpoint. This class turns that probe
+// stream into a takeover decision, deliberately requiring BOTH
+// conditions so neither a single dropped packet (probes fail, but
+// silence is short) nor a paused-but-alive primary mid-GC (silence
+// long, but probes recover) triggers a split brain:
+//   - at least `min_failed_probes` consecutive failures, and
+//   - at least `takeover_after_s` seconds since the last success.
+//
+// Pure bookkeeping over caller-supplied timestamps: no clock, no
+// threads, unit-testable with synthetic times. The caller owns the
+// probe loop (SchedulerProcess::run_standby).
+struct StandbyMonitorOptions {
+  double takeover_after_s = 0.75;  // silence required before takeover
+  int min_failed_probes = 3;       // consecutive failures required
+};
+
+class StandbyMonitor {
+ public:
+  explicit StandbyMonitor(StandbyMonitorOptions options = {})
+      : options_(options) {}
+
+  // Baselines "last heard from" at `now_s`; the primary is presumed
+  // healthy until probes say otherwise.
+  void start(double now_s);
+
+  void record_probe(bool healthy, double now_s);
+
+  // True once both the failure-count and silence conditions hold.
+  bool should_take_over(double now_s) const;
+
+  // Seconds since the last healthy probe (or start()).
+  double silent_for(double now_s) const;
+  int failed_probes() const { return failed_probes_; }
+  const StandbyMonitorOptions& options() const { return options_; }
+
+ private:
+  StandbyMonitorOptions options_;
+  bool started_ = false;
+  double last_healthy_s_ = 0.0;
+  int failed_probes_ = 0;
 };
 
 }  // namespace fleet

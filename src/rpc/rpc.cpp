@@ -1,8 +1,11 @@
 #include "rpc/rpc.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <optional>
+#include <thread>
 
 #include "common/fault.h"
 #include "obs/metrics.h"
@@ -20,11 +23,16 @@ constexpr std::uint8_t kStatusOk = 0;
 constexpr std::uint8_t kStatusError = 1;
 constexpr std::uint8_t kStatusInjectedFault = 2;
 
-// Client ids only need process-wide uniqueness (they key the server's
-// replay cache); they never influence results or appear in output.
+// Client ids key the server's replay cache, so they must be unique
+// across every process that dials one server — two agents presenting
+// the same (client_id, correlation_id) would be served each other's
+// cached responses. Mixing in the pid keeps a bare counter from
+// colliding between fork/exec'd agents; the ids never influence
+// results or appear in output.
 std::uint64_t next_client_id() {
   static std::atomic<std::uint64_t> counter{1};
-  return counter.fetch_add(1);
+  return (static_cast<std::uint64_t>(::getpid()) << 32) |
+         counter.fetch_add(1);
 }
 
 double wall_s() {
@@ -152,9 +160,28 @@ std::string RpcServer::serve_frame(const std::string& frame) {
 RpcClient::RpcClient(Transport& transport, std::string peer,
                      RpcClientOptions options)
     : transport_(transport),
-      connection_(transport.connect(std::move(peer))),
+      peer_(std::move(peer)),
       options_(options),
-      client_id_(next_client_id()) {}
+      client_id_(next_client_id()) {
+  if (options_.reconnect) {
+    // Tolerant first dial: the server may not be up yet (agent spawned
+    // before the scheduler binds, or mid-takeover). call() redials.
+    try {
+      ensure_connected();
+    } catch (const TransportError&) {
+    }
+  } else {
+    ensure_connected();
+  }
+}
+
+void RpcClient::ensure_connected() {
+  if (connection_ != nullptr) return;
+  connection_ = transport_.connect(peer_);
+  if (ever_connected_ && metrics_ != nullptr)
+    metrics_->counter("rpc.reconnects").inc();
+  ever_connected_ = true;
+}
 
 std::string RpcClient::call(std::string_view method, std::string payload) {
   const std::uint64_t correlation_id = next_correlation_++;
@@ -186,6 +213,10 @@ std::string RpcClient::call(std::string_view method, std::string payload) {
   for (int attempt = 1;; ++attempt) {
     if (metrics_ != nullptr) metrics_->counter("rpc.requests").inc();
     try {
+      // In reconnect mode the connection may be down (never came up,
+      // or torn down by the previous attempt's failure): re-dial here
+      // so a refused dial retries on the same backoff schedule.
+      ensure_connected();
       // Same correlation id on every attempt: a resend of a request
       // whose response was lost replays server-side (exactly-once).
       connection_->send(frame);
@@ -230,10 +261,21 @@ std::string RpcClient::call(std::string_view method, std::string payload) {
       // Transport-level failure (drop, timeout, reset, bad frame):
       // retry on the deterministic with_retry backoff schedule.
       if (metrics_ != nullptr) metrics_->counter("rpc.timeouts").inc();
+      if (options_.reconnect && connection_ != nullptr) {
+        // The socket's far end may be gone (scheduler killed); dial
+        // fresh next attempt rather than resending into a dead pipe.
+        connection_->close();
+        connection_.reset();
+      }
       if (!detail::retry_admits_another(options_.retry, attempt,
                                         backoff_accum))
         throw;
       if (metrics_ != nullptr) metrics_->counter("rpc.client.retries").inc();
+      if (options_.sleep_on_retry) {
+        const double delay_s = options_.retry.backoff_for_attempt(attempt + 1);
+        if (delay_s > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(delay_s));
+      }
     }
   }
 }

@@ -115,6 +115,18 @@ struct RpcClientOptions {
   // Backoff schedule for transport-level retries (same-correlation-id
   // resends). Application errors are never retried at this layer.
   RetryOptions retry;
+  // Reconnect mode, for clients whose server may die and come back
+  // (agent → scheduler across a restart or standby takeover): the
+  // constructor tolerates a refused dial, every attempt re-dials when
+  // the connection is down, and a transport failure tears the
+  // connection down so the next attempt dials fresh instead of
+  // reusing a socket whose far end is gone. Successful re-dials after
+  // a loss count into rpc.reconnects.
+  bool reconnect = false;
+  // Sleep the real backoff between attempts instead of accumulating
+  // it virtually — required in reconnect mode for the retry window to
+  // span an actual scheduler restart (hundreds of ms of wall time).
+  bool sleep_on_retry = false;
 };
 
 class RpcClient {
@@ -131,17 +143,28 @@ class RpcClient {
   // Emits an "rpc.call.<method>" span per call (all retries inside one
   // span) whose identity rides in the request envelope.
   void set_tracer(obs::TraceWriter* tracer) { tracer_ = tracer; }
+  // Valid only while connected; in reconnect mode the connection may
+  // be absent between failures (connected() tells which).
   Connection& connection() { return *connection_; }
-  void close() { connection_->close(); }
+  bool connected() const { return connection_ != nullptr; }
+  void close() {
+    if (connection_ != nullptr) connection_->close();
+  }
 
  private:
+  // Dials transport_.connect(peer_) when the connection is down.
+  // Throws TransportError when the dial fails.
+  void ensure_connected();
+
   Transport& transport_;
+  std::string peer_;
   std::unique_ptr<Connection> connection_;
   RpcClientOptions options_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceWriter* tracer_ = nullptr;
   std::uint64_t client_id_;
   std::uint64_t next_correlation_ = 1;
+  bool ever_connected_ = false;
 };
 
 }  // namespace parcae::rpc

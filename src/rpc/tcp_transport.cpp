@@ -83,11 +83,50 @@ double now_s() {
       .count();
 }
 
-class TcpTransport;
+class TcpConnection;
+
+// Shared base of the serving transport and the client-only dialer:
+// grants TcpConnection access to the admit/count hooks inherited from
+// Transport, and hosts the common dial logic.
+class TcpEndpoint : public Transport {
+ protected:
+  friend class TcpConnection;
+
+  // Nonblocking connect to 127.0.0.1:port with a poll()ed timeout;
+  // returns the connected fd or throws TransportError.
+  static int dial_localhost(int port, double timeout_s) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw TransportError(errno_text("socket"));
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
+        errno != EINPROGRESS) {
+      const std::string err = errno_text("connect");
+      ::close(fd);
+      throw TransportError(err);
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int r = poll(&pfd, 1, static_cast<int>(timeout_s * 1000.0));
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (r <= 0 || soerr != 0) {
+      ::close(fd);
+      throw TransportError(r <= 0 ? "connect timeout"
+                                  : "connect: " + std::string(
+                                        std::strerror(soerr)));
+    }
+    return fd;
+  }
+};
 
 class TcpConnection : public Connection {
  public:
-  TcpConnection(TcpTransport* transport, std::string peer, int fd);
+  TcpConnection(TcpEndpoint* transport, std::string peer, int fd);
   ~TcpConnection() override { close(); }
 
   void send(const std::string& frame) override;
@@ -95,12 +134,12 @@ class TcpConnection : public Connection {
   void close() override;
 
  private:
-  TcpTransport* transport_;
+  TcpEndpoint* transport_;
   int fd_;
   std::string rx_;  // bytes read but not yet framed
 };
 
-class TcpTransport : public Transport {
+class TcpTransport : public TcpEndpoint {
  public:
   TcpTransport(int port, double connect_timeout_s)
       : requested_port_(port), connect_timeout_s_(connect_timeout_s) {}
@@ -151,32 +190,7 @@ class TcpTransport : public Transport {
 
   std::unique_ptr<Connection> connect(std::string peer) override {
     if (listen_fd_ < 0) throw TransportError("endpoint is not serving");
-    const int fd = socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw TransportError(errno_text("socket"));
-    set_nonblocking(fd);
-    set_nodelay(fd);
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(static_cast<std::uint16_t>(bound_port_));
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 &&
-        errno != EINPROGRESS) {
-      const std::string err = errno_text("connect");
-      ::close(fd);
-      throw TransportError(err);
-    }
-    pollfd pfd{fd, POLLOUT, 0};
-    const int r =
-        poll(&pfd, 1, static_cast<int>(connect_timeout_s_ * 1000.0));
-    int soerr = 0;
-    socklen_t len = sizeof(soerr);
-    getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
-    if (r <= 0 || soerr != 0) {
-      ::close(fd);
-      throw TransportError(r <= 0 ? "connect timeout"
-                                  : "connect: " + std::string(
-                                        std::strerror(soerr)));
-    }
+    const int fd = dial_localhost(bound_port_, connect_timeout_s_);
     return std::make_unique<TcpConnection>(this, std::move(peer), fd);
   }
 
@@ -286,7 +300,36 @@ class TcpTransport : public Transport {
   std::thread server_thread_;
 };
 
-TcpConnection::TcpConnection(TcpTransport* transport, std::string peer,
+// Client half of a process that dials a remote scheduler hub. No
+// server thread, no listener: connect() opens a fresh socket to the
+// fixed port every time it is called, which is what lets an agent
+// re-reach a restarted scheduler (or the standby that took over the
+// port) — the old Connection is dead, the next connect() succeeds
+// once something listens again.
+class TcpDialTransport : public TcpEndpoint {
+ public:
+  TcpDialTransport(int port, double connect_timeout_s)
+      : port_(port), connect_timeout_s_(connect_timeout_s) {}
+
+  void serve(FrameHandler) override {
+    throw TransportError("dial transport is client-only");
+  }
+  void shutdown() override {}
+  std::unique_ptr<Connection> connect(std::string peer) override {
+    const int fd = dial_localhost(port_, connect_timeout_s_);
+    return std::make_unique<TcpConnection>(this, std::move(peer), fd);
+  }
+  const char* kind() const override { return "tcp"; }
+  std::string address() const override {
+    return "tcp://127.0.0.1:" + std::to_string(port_);
+  }
+
+ private:
+  int port_;
+  double connect_timeout_s_;
+};
+
+TcpConnection::TcpConnection(TcpEndpoint* transport, std::string peer,
                              int fd)
     : Connection(std::move(peer)), transport_(transport), fd_(fd) {
   transport_->connection_delta(+1);
@@ -301,7 +344,11 @@ void TcpConnection::send(const std::string& frame) {
   append_frame(framed, frame);
   std::size_t off = 0;
   while (off < framed.size()) {
-    const ssize_t n = write(fd_, framed.data() + off, framed.size() - off);
+    // MSG_NOSIGNAL: a peer that died (scheduler SIGKILLed under an
+    // agent) must surface as EPIPE -> TransportError for the reconnect
+    // path, not as a process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off,
+                             MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;
@@ -355,6 +402,11 @@ void TcpConnection::close() {
 std::unique_ptr<Transport> make_tcp_transport(int port,
                                               double connect_timeout_s) {
   return std::make_unique<TcpTransport>(port, connect_timeout_s);
+}
+
+std::unique_ptr<Transport> make_tcp_dial_transport(int port,
+                                                   double connect_timeout_s) {
+  return std::make_unique<TcpDialTransport>(port, connect_timeout_s);
 }
 
 }  // namespace parcae::rpc

@@ -158,4 +158,14 @@ class InProcTransport : public Transport {
 std::unique_ptr<Transport> make_tcp_transport(int port = 0,
                                               double connect_timeout_s = 2.0);
 
+// Client-only TCP transport: dials a *remote* endpoint on localhost
+// port `port` instead of one hosted in this process — what a
+// ParcaeAgent child process uses to reach the scheduler hub. serve()
+// throws (there is no server half); connect() dials fresh each call,
+// so an RpcClient with reconnect enabled can re-dial the same address
+// after the scheduler restarts or a standby takes the port over. A
+// refused/timed-out dial throws TransportError.
+std::unique_ptr<Transport> make_tcp_dial_transport(
+    int port, double connect_timeout_s = 2.0);
+
 }  // namespace parcae::rpc

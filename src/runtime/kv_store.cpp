@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/fault.h"
+#include "runtime/wal.h"
 
 namespace parcae {
 
@@ -11,6 +12,7 @@ std::uint64_t KvStore::put(const std::string& key, std::string value) {
   KvEntry entry;
   {
     std::lock_guard lock(mutex_);
+    if (wal_ != nullptr) wal_->append(WalRecord::put(key, value));
     ++revision_;
     auto& slot = data_[key];
     slot.value = std::move(value);
@@ -30,6 +32,8 @@ std::uint64_t KvStore::put_with_lease(const std::string& key,
     std::lock_guard lock(mutex_);
     const auto it = leases_.find(lease_id);
     if (it == leases_.end()) return 0;
+    if (wal_ != nullptr)
+      wal_->append(WalRecord::put_with_lease(key, value, lease_id));
     ++revision_;
     auto& slot = data_[key];
     // Re-homing a key onto a different lease detaches it from the old
@@ -62,6 +66,8 @@ bool KvStore::cas(const std::string& key, std::uint64_t expected_version,
     const auto it = data_.find(key);
     const std::uint64_t current = it == data_.end() ? 0 : it->second.version;
     if (current != expected_version) return false;
+    if (wal_ != nullptr)
+      wal_->append(WalRecord::cas(key, expected_version, value));
     ++revision_;
     auto& slot = data_[key];
     slot.value = std::move(value);
@@ -87,6 +93,8 @@ bool KvStore::erase(const std::string& key) {
   std::optional<KvEntry> tombstone;
   {
     std::lock_guard lock(mutex_);
+    if (data_.find(key) == data_.end()) return false;
+    if (wal_ != nullptr) wal_->append(WalRecord::erase(key));
     tombstone = erase_locked(key);
   }
   if (!tombstone) return false;
@@ -124,6 +132,7 @@ std::uint64_t KvStore::revision() const {
 
 std::uint64_t KvStore::lease_grant(double ttl_s) {
   std::lock_guard lock(mutex_);
+  if (wal_ != nullptr) wal_->append(WalRecord::lease_grant(ttl_s));
   const std::uint64_t id = next_lease_id_++;
   leases_[id] = Lease{ttl_s, now_s_ + ttl_s, {}};
   return id;
@@ -134,6 +143,7 @@ bool KvStore::lease_keepalive(std::uint64_t lease_id) {
   std::lock_guard lock(mutex_);
   const auto it = leases_.find(lease_id);
   if (it == leases_.end()) return false;
+  if (wal_ != nullptr) wal_->append(WalRecord::lease_keepalive(lease_id));
   it->second.deadline_s = now_s_ + it->second.ttl_s;
   return true;
 }
@@ -144,6 +154,7 @@ bool KvStore::lease_revoke(std::uint64_t lease_id) {
     std::lock_guard lock(mutex_);
     const auto it = leases_.find(lease_id);
     if (it == leases_.end()) return false;
+    if (wal_ != nullptr) wal_->append(WalRecord::lease_revoke(lease_id));
     for (const std::string& key : it->second.keys) {
       const auto entry = data_.find(key);
       if (entry == data_.end() || entry->second.lease != lease_id) continue;
@@ -188,6 +199,7 @@ void KvStore::advance_clock(double dt_s) {
   std::vector<std::pair<std::string, KvEntry>> tombstones;
   {
     std::lock_guard lock(mutex_);
+    if (wal_ != nullptr) wal_->append(WalRecord::advance_clock(dt_s));
     now_s_ += dt_s;
     expire_due_leases_locked(tombstones);
   }

@@ -42,6 +42,7 @@
 namespace parcae {
 
 class FaultInjector;
+class WalWriter;
 
 struct KvEntry {
   std::string value;
@@ -113,6 +114,16 @@ class KvStore {
   // the header comment.
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
+  // Durability (src/runtime/wal.h): with a writer attached, every
+  // mutation appends one record *before* applying, under this store's
+  // mutex, so WAL order equals application order and a replayed log
+  // reproduces revisions, lease ids, expiries, and the clock exactly.
+  // A failed append (torn write) aborts the mutation — callers retry.
+  // Non-owning; must outlive the store or be detached first. Attach
+  // only to a store whose state the log already reflects (fresh, or
+  // just replayed from this same log).
+  void set_wal(WalWriter* wal) { wal_ = wal; }
+
  private:
   struct Lease {
     double ttl_s = 0.0;
@@ -141,6 +152,7 @@ class KvStore {
   double now_s_ = 0.0;
   std::uint64_t leases_expired_ = 0;
   FaultInjector* faults_ = nullptr;
+  WalWriter* wal_ = nullptr;
 };
 
 }  // namespace parcae

@@ -1,0 +1,201 @@
+#include "runtime/process_supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace parcae {
+
+namespace {
+constexpr double kPollIntervalS = 0.01;
+}  // namespace
+
+ProcessSupervisor::~ProcessSupervisor() {
+  // No grace on teardown: the supervisor dying means the run is over,
+  // and an orphaned agent would spin forever against a dead port.
+  shutdown_all(0.0);
+}
+
+pid_t ProcessSupervisor::spawn(const SpawnSpec& spec) {
+  if (faults_ != nullptr) faults_->maybe_throw("proc.spawn");
+
+  // Build argv before forking: no allocation between fork and exec.
+  std::vector<char*> argv;
+  argv.reserve(spec.args.size() + 2);
+  argv.push_back(const_cast<char*>(spec.binary.c_str()));
+  for (const std::string& arg : spec.args)
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0)
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    ::execv(spec.binary.c_str(), argv.data());
+    // Exec failed; only async-signal-safe calls from here. 127 is the
+    // shell's "command not found" convention.
+    _exit(127);
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    children_[pid] = Child{spec.name, true, {}};
+  }
+  if (metrics_ != nullptr) metrics_->counter("proc.spawned").inc();
+  return pid;
+}
+
+void ProcessSupervisor::record_exit_locked(Child& child, int wait_status) {
+  child.running = false;
+  if (WIFSIGNALED(wait_status)) {
+    child.exit.signaled = true;
+    child.exit.term_signal = WTERMSIG(wait_status);
+  } else {
+    child.exit.exit_code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status)
+                                                  : -1;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("proc.reaped").inc();
+    if (!child.exit.signaled && child.exit.exit_code != 0)
+      metrics_->counter("proc.exited_nonzero").inc();
+  }
+}
+
+bool ProcessSupervisor::probe_locked(pid_t pid) {
+  auto it = children_.find(pid);
+  if (it == children_.end()) return false;
+  if (!it->second.running) return false;
+  int status = 0;
+  const pid_t r = ::waitpid(pid, &status, WNOHANG);
+  if (r == 0) return true;  // still running
+  if (r == pid) {
+    record_exit_locked(it->second, status);
+    return false;
+  }
+  // ECHILD: someone else reaped it (should not happen — we own our
+  // children). Treat as dead with unknown status.
+  it->second.running = false;
+  it->second.exit.exit_code = -1;
+  return false;
+}
+
+bool ProcessSupervisor::alive(pid_t pid) {
+  std::lock_guard lock(mu_);
+  return probe_locked(pid);
+}
+
+bool ProcessSupervisor::sigkill(pid_t pid) {
+  {
+    std::lock_guard lock(mu_);
+    const auto it = children_.find(pid);
+    if (it == children_.end() || !it->second.running) return false;
+  }
+  ::kill(pid, SIGKILL);
+  if (metrics_ != nullptr) metrics_->counter("proc.sigkills").inc();
+  return true;
+}
+
+bool ProcessSupervisor::signal(pid_t pid, int sig) {
+  {
+    std::lock_guard lock(mu_);
+    const auto it = children_.find(pid);
+    if (it == children_.end() || !it->second.running) return false;
+  }
+  ::kill(pid, sig);
+  if (metrics_ != nullptr) metrics_->counter("proc.signals").inc();
+  return true;
+}
+
+std::optional<ExitStatus> ProcessSupervisor::wait_exit(pid_t pid,
+                                                       double timeout_s) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (true) {
+    {
+      std::lock_guard lock(mu_);
+      const auto it = children_.find(pid);
+      if (it == children_.end()) return std::nullopt;
+      if (!probe_locked(pid)) return it->second.exit;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::duration<double>(kPollIntervalS));
+  }
+}
+
+std::optional<ExitStatus> ProcessSupervisor::exit_status(pid_t pid) const {
+  std::lock_guard lock(mu_);
+  const auto it = children_.find(pid);
+  if (it == children_.end() || it->second.running) return std::nullopt;
+  return it->second.exit;
+}
+
+int ProcessSupervisor::shutdown_all(double grace_s) {
+  std::vector<pid_t> live;
+  {
+    std::lock_guard lock(mu_);
+    for (auto& [pid, child] : children_)
+      if (probe_locked(pid)) live.push_back(pid);
+  }
+  if (live.empty()) return 0;
+
+  if (grace_s > 0.0) {
+    for (const pid_t pid : live) ::kill(pid, SIGTERM);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(grace_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool any = false;
+      {
+        std::lock_guard lock(mu_);
+        for (const pid_t pid : live)
+          if (probe_locked(pid)) any = true;
+      }
+      if (!any) return 0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(kPollIntervalS));
+    }
+  }
+
+  int killed = 0;
+  for (const pid_t pid : live) {
+    bool running;
+    {
+      std::lock_guard lock(mu_);
+      running = probe_locked(pid);
+    }
+    if (!running) continue;
+    ::kill(pid, SIGKILL);
+    ++killed;
+    if (metrics_ != nullptr) metrics_->counter("proc.sigkills").inc();
+    // SIGKILL cannot be ignored; a blocking wait here terminates.
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    std::lock_guard lock(mu_);
+    record_exit_locked(children_[pid], status);
+  }
+  return killed;
+}
+
+std::vector<pid_t> ProcessSupervisor::running() const {
+  std::lock_guard lock(mu_);
+  std::vector<pid_t> out;
+  for (const auto& [pid, child] : children_)
+    if (child.running) out.push_back(pid);
+  return out;
+}
+
+std::string ProcessSupervisor::name_of(pid_t pid) const {
+  std::lock_guard lock(mu_);
+  const auto it = children_.find(pid);
+  return it == children_.end() ? std::string("<unknown>") : it->second.name;
+}
+
+}  // namespace parcae

@@ -1,0 +1,119 @@
+// Real child processes for the multi-process deployment layer.
+//
+// Everything below src/runtime runs the scheduler and agents in one
+// process (InProcTransport, shared KvStore). ProcessSupervisor is the
+// piece that turns those roles into *operating-system processes*: it
+// fork/execs the tools/ binaries (parcae_agent, parcae_scheduler) as
+// children, tracks their liveness through waitpid, and delivers the
+// one fault this layer is about — SIGKILL, the untrappable death that
+// models a spot preemption taking the whole VM. A SIGKILLed agent
+// sends no goodbye; the scheduler only learns of its death when the
+// agent's KV lease TTL lapses, exactly like production etcd.
+//
+// Fault injection: "proc.spawn" fires before fork() (spawn fails with
+// InjectedFault, no child created) so drivers exercise their respawn
+// paths.
+//
+// Metrics: proc.spawned / proc.sigkills / proc.signals / proc.reaped /
+// proc.exited_nonzero.
+//
+// Thread-safety: all methods lock an internal mutex; waitpid
+// bookkeeping is therefore safe from a monitor thread. The supervisor
+// reaps only its own children (never waitpid(-1)), so it composes
+// with other wait users in the same process.
+#pragma once
+
+#include <sys/types.h>
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcae {
+
+class FaultInjector;
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+struct SpawnSpec {
+  std::string name;    // label for listings/metrics ("agent-3")
+  std::string binary;  // absolute or relative path to the executable
+  std::vector<std::string> args;  // argv[1..]; argv[0] is `binary`
+};
+
+// Terminal state of a reaped child.
+struct ExitStatus {
+  bool signaled = false;  // killed by a signal (term_signal) vs exited
+  int exit_code = 0;      // valid when !signaled
+  int term_signal = 0;    // valid when signaled (SIGKILL = 9)
+};
+
+class ProcessSupervisor {
+ public:
+  ProcessSupervisor() = default;
+  // Kills (SIGKILL) and reaps every still-running child.
+  ~ProcessSupervisor();
+
+  ProcessSupervisor(const ProcessSupervisor&) = delete;
+  ProcessSupervisor& operator=(const ProcessSupervisor&) = delete;
+
+  // fork/execs the spec as a child process and returns its pid.
+  // Throws InjectedFault at "proc.spawn" (before fork), or
+  // std::runtime_error when fork itself fails. An exec failure inside
+  // the child surfaces as exit code 127, observed at the next
+  // alive()/wait_exit().
+  pid_t spawn(const SpawnSpec& spec);
+
+  // Non-blocking liveness probe: reaps the child if it has exited
+  // (recording its ExitStatus) and returns whether it is still
+  // running. Unknown pids are "not alive".
+  bool alive(pid_t pid);
+
+  // The injectable fault: untrappable kill, as a preemption that
+  // takes the VM. Returns false for unknown/already-reaped pids.
+  bool sigkill(pid_t pid);
+  // Graceful variant (SIGTERM, SIGUSR1, ...).
+  bool signal(pid_t pid, int sig);
+
+  // Blocks (polling) until the child exits or `timeout_s` wall seconds
+  // elapse. nullopt on timeout or unknown pid.
+  std::optional<ExitStatus> wait_exit(pid_t pid, double timeout_s);
+
+  // Exit status of an already-reaped child, if any.
+  std::optional<ExitStatus> exit_status(pid_t pid) const;
+
+  // SIGTERMs every running child, waits up to `grace_s` for them to
+  // exit, SIGKILLs the stragglers, reaps everything. Returns how many
+  // needed the SIGKILL.
+  int shutdown_all(double grace_s);
+
+  // Pids of children not yet observed dead (reap-state, not a probe).
+  std::vector<pid_t> running() const;
+  std::string name_of(pid_t pid) const;  // "<unknown>" for foreign pids
+
+  // Non-owning sinks; nullptr disables.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ private:
+  struct Child {
+    std::string name;
+    bool running = true;
+    ExitStatus exit;
+  };
+
+  // Reaps `pid` if exited (WNOHANG); true when still running.
+  // Requires mu_ held.
+  bool probe_locked(pid_t pid);
+  void record_exit_locked(Child& child, int wait_status);
+
+  mutable std::mutex mu_;
+  std::map<pid_t, Child> children_;
+  FaultInjector* faults_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace parcae

@@ -1,0 +1,488 @@
+#include "runtime/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "rpc/serializer.h"
+#include "runtime/kv_store.h"
+
+namespace parcae {
+
+namespace {
+
+// 8-byte file header: magic + format version, padded.
+constexpr char kHeader[8] = {'P', 'W', 'A', 'L', '\x01', 0, 0, 0};
+constexpr std::size_t kHeaderSize = sizeof(kHeader);
+constexpr std::size_t kFrameHeader = 8;  // u32 length + u32 crc
+// A record is a handful of keys and small values; anything bigger is
+// framing corruption, not data.
+constexpr std::uint32_t kMaxRecord = 16u << 20;
+
+std::uint32_t load_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+void store_u32(char* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    p[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+// Writes all of buf (restarting on EINTR / short writes).
+bool write_fully(int fd, const char* buf, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, buf + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = crc_table()[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+const char* wal_record_type_name(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kPut: return "kv.put";
+    case WalRecordType::kPutWithLease: return "kv.put_with_lease";
+    case WalRecordType::kCas: return "kv.cas";
+    case WalRecordType::kErase: return "kv.erase";
+    case WalRecordType::kLeaseGrant: return "kv.lease_grant";
+    case WalRecordType::kLeaseKeepalive: return "kv.lease_keepalive";
+    case WalRecordType::kLeaseRevoke: return "kv.lease_revoke";
+    case WalRecordType::kAdvanceClock: return "kv.advance_clock";
+    case WalRecordType::kDecision: return "scheduler.decision";
+  }
+  return "unknown";
+}
+
+std::string WalRecord::encode() const {
+  rpc::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  switch (type) {
+    case WalRecordType::kPut:
+      w.str(key);
+      w.str(value);
+      break;
+    case WalRecordType::kPutWithLease:
+      w.str(key);
+      w.str(value);
+      w.u64(lease_id);
+      break;
+    case WalRecordType::kCas:
+      w.str(key);
+      w.u64(expected_version);
+      w.str(value);
+      break;
+    case WalRecordType::kErase:
+      w.str(key);
+      break;
+    case WalRecordType::kLeaseGrant:
+      w.f64(ttl_s);
+      break;
+    case WalRecordType::kLeaseKeepalive:
+    case WalRecordType::kLeaseRevoke:
+      w.u64(lease_id);
+      break;
+    case WalRecordType::kAdvanceClock:
+      w.f64(dt_s);
+      break;
+    case WalRecordType::kDecision:
+      w.u64(static_cast<std::uint64_t>(interval));
+      w.i64(available);
+      w.i64(preempted);
+      w.i64(allocated);
+      w.i64(advised_dp);
+      w.i64(advised_pp);
+      w.f64(stall_s);
+      w.u32(static_cast<std::uint32_t>(agents.size()));
+      for (const std::string& id : agents) w.str(id);
+      break;
+  }
+  return w.take();
+}
+
+std::optional<WalRecord> WalRecord::decode(const std::string& payload) {
+  try {
+    rpc::ByteReader r(payload);
+    WalRecord rec;
+    const std::uint8_t raw = r.u8();
+    if (raw < 1 || raw > static_cast<std::uint8_t>(WalRecordType::kDecision))
+      return std::nullopt;
+    rec.type = static_cast<WalRecordType>(raw);
+    switch (rec.type) {
+      case WalRecordType::kPut:
+        rec.key = r.str();
+        rec.value = r.str();
+        break;
+      case WalRecordType::kPutWithLease:
+        rec.key = r.str();
+        rec.value = r.str();
+        rec.lease_id = r.u64();
+        break;
+      case WalRecordType::kCas:
+        rec.key = r.str();
+        rec.expected_version = r.u64();
+        rec.value = r.str();
+        break;
+      case WalRecordType::kErase:
+        rec.key = r.str();
+        break;
+      case WalRecordType::kLeaseGrant:
+        rec.ttl_s = r.f64();
+        break;
+      case WalRecordType::kLeaseKeepalive:
+      case WalRecordType::kLeaseRevoke:
+        rec.lease_id = r.u64();
+        break;
+      case WalRecordType::kAdvanceClock:
+        rec.dt_s = r.f64();
+        break;
+      case WalRecordType::kDecision: {
+        rec.interval = static_cast<int>(r.u64());
+        rec.available = static_cast<int>(r.i64());
+        rec.preempted = static_cast<int>(r.i64());
+        rec.allocated = static_cast<int>(r.i64());
+        rec.advised_dp = static_cast<int>(r.i64());
+        rec.advised_pp = static_cast<int>(r.i64());
+        rec.stall_s = r.f64();
+        const std::uint32_t n = r.u32();
+        rec.agents.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) rec.agents.push_back(r.str());
+        break;
+      }
+    }
+    r.expect_done();
+    return rec;
+  } catch (const rpc::SerializeError&) {
+    return std::nullopt;
+  }
+}
+
+WalRecord WalRecord::put(std::string key, std::string value) {
+  WalRecord r;
+  r.type = WalRecordType::kPut;
+  r.key = std::move(key);
+  r.value = std::move(value);
+  return r;
+}
+
+WalRecord WalRecord::put_with_lease(std::string key, std::string value,
+                                    std::uint64_t lease_id) {
+  WalRecord r;
+  r.type = WalRecordType::kPutWithLease;
+  r.key = std::move(key);
+  r.value = std::move(value);
+  r.lease_id = lease_id;
+  return r;
+}
+
+WalRecord WalRecord::cas(std::string key, std::uint64_t expected_version,
+                         std::string value) {
+  WalRecord r;
+  r.type = WalRecordType::kCas;
+  r.key = std::move(key);
+  r.expected_version = expected_version;
+  r.value = std::move(value);
+  return r;
+}
+
+WalRecord WalRecord::erase(std::string key) {
+  WalRecord r;
+  r.type = WalRecordType::kErase;
+  r.key = std::move(key);
+  return r;
+}
+
+WalRecord WalRecord::lease_grant(double ttl_s) {
+  WalRecord r;
+  r.type = WalRecordType::kLeaseGrant;
+  r.ttl_s = ttl_s;
+  return r;
+}
+
+WalRecord WalRecord::lease_keepalive(std::uint64_t lease_id) {
+  WalRecord r;
+  r.type = WalRecordType::kLeaseKeepalive;
+  r.lease_id = lease_id;
+  return r;
+}
+
+WalRecord WalRecord::lease_revoke(std::uint64_t lease_id) {
+  WalRecord r;
+  r.type = WalRecordType::kLeaseRevoke;
+  r.lease_id = lease_id;
+  return r;
+}
+
+WalRecord WalRecord::advance_clock(double dt_s) {
+  WalRecord r;
+  r.type = WalRecordType::kAdvanceClock;
+  r.dt_s = dt_s;
+  return r;
+}
+
+// ---- writer -----------------------------------------------------------
+
+bool WalWriter::open(const std::string& path, std::string* error) {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    path_.clear();
+  }
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    if (error != nullptr)
+      *error = std::string("open: ") + std::strerror(errno);
+    return false;
+  }
+  struct stat st{};
+  if (fstat(fd_, &st) != 0) {
+    if (error != nullptr)
+      *error = std::string("fstat: ") + std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  path_ = path;
+  torn_ = false;
+  if (st.st_size == 0) {
+    if (!write_fully(fd_, kHeader, kHeaderSize)) {
+      if (error != nullptr)
+        *error = std::string("write header: ") + std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      path_.clear();
+      return false;
+    }
+    end_offset_ = kHeaderSize;
+  } else {
+    end_offset_ = static_cast<std::uint64_t>(st.st_size);
+    ::lseek(fd_, 0, SEEK_END);
+  }
+  return true;
+}
+
+void WalWriter::close() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+void WalWriter::append(const WalRecord& record) {
+  std::lock_guard lock(mu_);
+  if (fd_ < 0) throw std::runtime_error("wal: append on closed writer");
+  if (torn_) {
+    // Self-heal: drop the torn frame a failed append left behind, the
+    // way a real log writer resets its tail before retrying.
+    if (ftruncate(fd_, static_cast<off_t>(end_offset_)) != 0)
+      throw std::runtime_error(std::string("wal: ftruncate: ") +
+                               std::strerror(errno));
+    ::lseek(fd_, static_cast<off_t>(end_offset_), SEEK_SET);
+    torn_ = false;
+  }
+  const std::string payload = record.encode();
+  std::string frame(kFrameHeader, '\0');
+  store_u32(frame.data(), static_cast<std::uint32_t>(payload.size()));
+  store_u32(frame.data() + 4, crc32(payload.data(), payload.size()));
+  frame.append(payload);
+
+  if (faults_ != nullptr && faults_->should_fire("kv.wal_write")) {
+    // Torn write: only a prefix of the frame reaches the file — what a
+    // crash mid-write leaves. The mutation is NOT applied (the store
+    // appends write-ahead); the caller's retry path re-appends and the
+    // truncate above repairs the tail.
+    const std::size_t torn_bytes = frame.size() / 2;
+    write_fully(fd_, frame.data(), torn_bytes);
+    torn_ = true;
+    throw InjectedFault("kv.wal_write", faults_->hits("kv.wal_write"));
+  }
+
+  if (!write_fully(fd_, frame.data(), frame.size()))
+    throw std::runtime_error(std::string("wal: write: ") +
+                             std::strerror(errno));
+  end_offset_ += frame.size();
+  bytes_written_ += frame.size();
+  ++records_appended_;
+  if (options_.fsync_each) ::fsync(fd_);
+  if (metrics_ != nullptr) metrics_->counter("kv.wal_records").inc();
+}
+
+void WalWriter::sync() {
+  std::lock_guard lock(mu_);
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+// ---- reader -----------------------------------------------------------
+
+WalReadResult read_wal(const std::string& path, bool repair) {
+  WalReadResult result;
+  const int fd = ::open(path.c_str(), repair ? O_RDWR : O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      result.valid_bytes = 0;
+      return result;  // fresh log: ok, zero records
+    }
+    result.error = std::string("open: ") + std::strerror(errno);
+    return result;
+  }
+  std::string buf;
+  {
+    char chunk[65536];
+    while (true) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        result.error = std::string("read: ") + std::strerror(errno);
+        ::close(fd);
+        return result;
+      }
+      if (n == 0) break;
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  if (buf.size() < kHeaderSize ||
+      std::memcmp(buf.data(), kHeader, kHeaderSize) != 0) {
+    result.missing_header = true;
+    if (!buf.empty()) {
+      // Not a WAL (or a crash before the header finished): the whole
+      // file is a torn tail.
+      result.truncated_records = 1;
+      result.truncated_bytes = buf.size();
+    }
+    result.valid_bytes = 0;
+    ::close(fd);
+    return result;
+  }
+
+  std::size_t pos = kHeaderSize;
+  result.valid_bytes = pos;
+  while (pos < buf.size()) {
+    if (buf.size() - pos < kFrameHeader) break;  // torn frame header
+    const std::uint32_t len = load_u32(buf.data() + pos);
+    const std::uint32_t crc = load_u32(buf.data() + pos + 4);
+    if (len > kMaxRecord) break;                          // corrupt length
+    if (buf.size() - pos - kFrameHeader < len) break;     // torn payload
+    const std::string payload = buf.substr(pos + kFrameHeader, len);
+    if (crc32(payload.data(), payload.size()) != crc) break;  // bit rot
+    auto record = WalRecord::decode(payload);
+    if (!record.has_value()) break;  // framed but undecodable
+    result.records.push_back(std::move(*record));
+    pos += kFrameHeader + len;
+    result.valid_bytes = pos;
+  }
+  if (result.valid_bytes < buf.size()) {
+    result.truncated_records = 1;
+    result.truncated_bytes = buf.size() - result.valid_bytes;
+    if (repair) {
+      if (ftruncate(fd, static_cast<off_t>(result.valid_bytes)) != 0)
+        result.error = std::string("ftruncate: ") + std::strerror(errno);
+    }
+  }
+  ::close(fd);
+  return result;
+}
+
+WalReplayStats replay_wal(const std::string& path, KvStore& store,
+                          std::vector<WalRecord>* decisions,
+                          obs::MetricsRegistry* metrics, bool repair) {
+  WalReplayStats stats;
+  WalReadResult read = read_wal(path, repair);
+  if (!read.ok()) {
+    stats.error = read.error;
+    stats.clean = false;
+    return stats;
+  }
+  stats.truncated_records = read.truncated_records;
+  stats.clean = read.truncated_records == 0;
+  if (metrics != nullptr && read.truncated_records > 0)
+    metrics->counter("kv.wal_truncated_records")
+        .add(static_cast<double>(read.truncated_records));
+  for (const WalRecord& rec : read.records) {
+    ++stats.records;
+    switch (rec.type) {
+      case WalRecordType::kPut:
+        store.put(rec.key, rec.value);
+        ++stats.kv_applied;
+        break;
+      case WalRecordType::kPutWithLease:
+        store.put_with_lease(rec.key, rec.value, rec.lease_id);
+        ++stats.kv_applied;
+        break;
+      case WalRecordType::kCas:
+        store.cas(rec.key, rec.expected_version, rec.value);
+        ++stats.kv_applied;
+        break;
+      case WalRecordType::kErase:
+        store.erase(rec.key);
+        ++stats.kv_applied;
+        break;
+      case WalRecordType::kLeaseGrant:
+        store.lease_grant(rec.ttl_s);
+        ++stats.kv_applied;
+        break;
+      case WalRecordType::kLeaseKeepalive:
+        store.lease_keepalive(rec.lease_id);
+        ++stats.kv_applied;
+        break;
+      case WalRecordType::kLeaseRevoke:
+        store.lease_revoke(rec.lease_id);
+        ++stats.kv_applied;
+        break;
+      case WalRecordType::kAdvanceClock:
+        store.advance_clock(rec.dt_s);
+        ++stats.kv_applied;
+        break;
+      case WalRecordType::kDecision:
+        if (decisions != nullptr) decisions->push_back(rec);
+        ++stats.decisions;
+        break;
+    }
+  }
+  if (metrics != nullptr)
+    metrics->counter("kv.wal_replayed_records")
+        .add(static_cast<double>(stats.records));
+  return stats;
+}
+
+}  // namespace parcae

@@ -1,0 +1,215 @@
+// Durable write-ahead log for the multi-process runtime.
+//
+// The in-process KvStore survives nothing: a SIGKILL of the scheduler
+// process loses every lease, tombstone, and the logical clock — and
+// with them the coordination state the whole runtime hangs off. The
+// WAL makes that state crash-survivable: every KvStore mutation
+// (put / put_with_lease / cas / erase / lease grant / keepalive /
+// revoke / advance_clock) is appended as one CRC-framed record
+// *before* it is applied, and the scheduler additionally appends one
+// decision record per interval (the availability it observed, the
+// agent set, and the configuration it advised). A restarted scheduler
+// — or the standby taking over after the primary's silent death —
+// replays the log into a fresh store and *re-steps* the decision
+// engine over the logged observations, resuming the advised-config
+// sequence bit-identical to an uninterrupted run (KvStore is
+// deterministic: replaying the same mutation sequence reproduces
+// revisions, lease ids, expiries, and the clock exactly).
+//
+// On-disk format: an 8-byte file header ("PWAL\x01\0\0\0"), then
+// records framed as
+//     u32 payload_length | u32 crc32(payload) | payload bytes
+// (little-endian). The payload is the rpc::ByteWriter encoding of one
+// WalRecord. Recovery reads until EOF; a short frame, an oversized
+// length, or a CRC mismatch marks a *torn tail* — everything from the
+// first bad byte on is dropped (counted in kv.wal_truncated_records,
+// optionally physically truncated) instead of aborting recovery. That
+// is exactly the crash-mid-write case: a process SIGKILLed between
+// the write() of a frame's first and last byte leaves a torn record
+// that the next incarnation must skip, not choke on.
+//
+// Durability model: records are written with a single POSIX write()
+// per record, unbuffered, so they survive *process* death (SIGKILL)
+// the moment append() returns — the kernel owns the bytes. Surviving
+// machine death needs fsync; set WalWriterOptions::fsync_each or call
+// sync() at interval boundaries if that matters (tests don't pay for
+// it).
+//
+// Fault injection: the "kv.wal_write" point simulates a torn write —
+// append() writes a deliberately truncated frame, throws
+// InjectedFault (the mutation is NOT applied; callers retry), and the
+// next successful append first truncates the file back to the last
+// good record, the way a real writer repairs its tail after a failed
+// write.
+//
+// Thread-safety: WalWriter serializes appends behind its own mutex.
+// KvStore mutations additionally append while holding the store's
+// mutex (so WAL order equals application order for kv records), and
+// the scheduler thread appends decision records concurrently with
+// RPC-thread kv traffic — the writer's lock keeps frames whole.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcae {
+
+class FaultInjector;
+class KvStore;
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib one), for WAL frame
+// integrity. Exposed for tests and the trace_tool validator.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+enum class WalRecordType : std::uint8_t {
+  kPut = 1,
+  kPutWithLease = 2,
+  kCas = 3,
+  kErase = 4,
+  kLeaseGrant = 5,
+  kLeaseKeepalive = 6,
+  kLeaseRevoke = 7,
+  kAdvanceClock = 8,
+  kDecision = 9,
+};
+
+const char* wal_record_type_name(WalRecordType type);
+
+// One decoded record. Flat: only the fields of `type` are meaningful.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kPut;
+  // kv mutations
+  std::string key;
+  std::string value;
+  std::uint64_t lease_id = 0;          // kPutWithLease/kLeaseKeepalive/kLeaseRevoke
+  std::uint64_t expected_version = 0;  // kCas
+  double ttl_s = 0.0;                  // kLeaseGrant
+  double dt_s = 0.0;                   // kAdvanceClock
+  // kDecision: one scheduler interval
+  int interval = 0;
+  int available = 0;
+  int preempted = 0;
+  int allocated = 0;
+  int advised_dp = 0;
+  int advised_pp = 0;
+  double stall_s = 0.0;
+  std::vector<std::string> agents;  // agent ids observed this interval
+
+  std::string encode() const;
+  // Decodes one record payload; nullopt on a malformed payload (the
+  // reader treats that like a CRC failure: torn tail).
+  static std::optional<WalRecord> decode(const std::string& payload);
+
+  // Convenience constructors for the kv mutation records.
+  static WalRecord put(std::string key, std::string value);
+  static WalRecord put_with_lease(std::string key, std::string value,
+                                  std::uint64_t lease_id);
+  static WalRecord cas(std::string key, std::uint64_t expected_version,
+                       std::string value);
+  static WalRecord erase(std::string key);
+  static WalRecord lease_grant(double ttl_s);
+  static WalRecord lease_keepalive(std::uint64_t lease_id);
+  static WalRecord lease_revoke(std::uint64_t lease_id);
+  static WalRecord advance_clock(double dt_s);
+};
+
+struct WalWriterOptions {
+  // fsync() after every append (machine-crash durability). Process
+  // death never needs it; leave off unless you mean it.
+  bool fsync_each = false;
+};
+
+class WalWriter {
+ public:
+  WalWriter() = default;
+  explicit WalWriter(WalWriterOptions options) : options_(options) {}
+  ~WalWriter() { close(); }
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens (creating if needed) for appending. An empty/new file gets
+  // the header; an existing file is appended after its last byte —
+  // run read_wal(..., repair=true) first if its tail may be torn.
+  // Returns false (with the reason in *error) on I/O failure.
+  bool open(const std::string& path, std::string* error = nullptr);
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Appends one record frame. Throws InjectedFault at the
+  // "kv.wal_write" point (after writing a torn frame — see header
+  // comment) and std::runtime_error on real I/O failure. The next
+  // append after a torn write truncates the tail back first.
+  void append(const WalRecord& record);
+
+  // fsync the file (no-op when fsync_each already ran).
+  void sync();
+
+  long long records_appended() const { return records_appended_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+ private:
+  WalWriterOptions options_;
+  mutable std::mutex mu_;
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t end_offset_ = 0;   // bytes of valid log written so far
+  bool torn_ = false;              // a torn frame sits past end_offset_
+  long long records_appended_ = 0;
+  std::uint64_t bytes_written_ = 0;
+  FaultInjector* faults_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  // Torn-tail accounting: truncation events (0 or 1 — everything from
+  // the first bad byte is dropped) and the bytes dropped.
+  std::uint64_t truncated_records = 0;
+  std::uint64_t truncated_bytes = 0;
+  // Byte offset of the end of the last good record (the repair point).
+  std::uint64_t valid_bytes = 0;
+  bool missing_header = false;  // not a WAL file (or empty)
+  std::string error;            // unreadable file; records empty
+  bool ok() const { return error.empty(); }
+};
+
+// Reads every valid record. A torn tail (short frame / bad CRC /
+// undecodable payload) stops the scan and is reported, not thrown.
+// With repair=true the file is physically truncated back to
+// valid_bytes so subsequent appends continue a clean log. A missing
+// file yields ok() with zero records (a fresh log).
+WalReadResult read_wal(const std::string& path, bool repair = false);
+
+struct WalReplayStats {
+  std::size_t records = 0;       // total records applied/collected
+  std::size_t kv_applied = 0;    // kv mutations applied to the store
+  std::size_t decisions = 0;     // decision records collected
+  std::uint64_t truncated_records = 0;
+  bool clean = true;             // false when a tail was truncated
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+// Replays a WAL into `store` (which must be fresh and have *no*
+// WalWriter attached — replay must not re-log) and collects decision
+// records into *decisions (may be null). Counts truncations into
+// metrics as "kv.wal_truncated_records" and applied records as
+// "kv.wal_replayed_records". With repair=true the torn tail is also
+// physically truncated.
+WalReplayStats replay_wal(const std::string& path, KvStore& store,
+                          std::vector<WalRecord>* decisions,
+                          obs::MetricsRegistry* metrics = nullptr,
+                          bool repair = false);
+
+}  // namespace parcae

@@ -1,0 +1,482 @@
+// Tests for the multi-process runtime (docs/robustness.md): real
+// child processes under ProcessSupervisor, RpcClient reconnect across
+// a server restart, standby failure detection, and the load-bearing
+// crash-recovery property — a scheduler SIGKILLed at interval k and
+// restarted from its WAL re-issues an advised-config sequence
+// bit-for-bit identical to an uninterrupted run.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "fleet/election.h"
+#include "obs/metrics.h"
+#include "rpc/rpc.h"
+#include "rpc/transport.h"
+#include "runtime/process_supervisor.h"
+#include "runtime/scheduler_process.h"
+
+using namespace parcae;
+
+namespace {
+
+int port_of(const rpc::Transport& transport) {
+  const std::string address = transport.address();
+  const auto colon = address.find_last_of(':');
+  return std::stoi(address.substr(colon + 1));
+}
+
+}  // namespace
+
+// ---- ProcessSupervisor: real children, real SIGKILL -----------------
+
+TEST(ProcessSupervisor, SpawnsRunsAndReapsExitCode) {
+  ProcessSupervisor supervisor;
+  SpawnSpec spec;
+  spec.name = "exit-7";
+  spec.binary = "/bin/sh";
+  spec.args = {"-c", "exit 7"};
+  const pid_t pid = supervisor.spawn(spec);
+  ASSERT_GT(pid, 0);
+  const auto status = supervisor.wait_exit(pid, 10.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_FALSE(status->signaled);
+  EXPECT_EQ(status->exit_code, 7);
+  EXPECT_FALSE(supervisor.alive(pid));
+  EXPECT_EQ(supervisor.name_of(pid), "exit-7");
+}
+
+TEST(ProcessSupervisor, SigkillIsObservedAsSignaledDeath) {
+  ProcessSupervisor supervisor;
+  obs::MetricsRegistry metrics;
+  supervisor.set_metrics(&metrics);
+  SpawnSpec spec;
+  spec.name = "sleeper";
+  // sleep directly, no shell: /bin/sh forks the sleep as a grandchild,
+  // and SIGKILLing the shell would orphan it — it inherits our stdout
+  // pipe and ctest then waits the full 30 s for EOF.
+  spec.binary = "/bin/sleep";
+  spec.args = {"30"};
+  const pid_t pid = supervisor.spawn(spec);
+  EXPECT_TRUE(supervisor.alive(pid));
+  EXPECT_TRUE(supervisor.sigkill(pid));
+  const auto status = supervisor.wait_exit(pid, 10.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_TRUE(status->signaled);
+  EXPECT_EQ(status->term_signal, SIGKILL);
+  EXPECT_EQ(metrics.counter("proc.sigkills").value(), 1.0);
+  EXPECT_EQ(metrics.counter("proc.spawned").value(), 1.0);
+  // A reaped pid cannot be re-killed.
+  EXPECT_FALSE(supervisor.sigkill(pid));
+}
+
+TEST(ProcessSupervisor, ExecFailureSurfacesAsExit127) {
+  ProcessSupervisor supervisor;
+  SpawnSpec spec;
+  spec.name = "enoent";
+  spec.binary = "/no/such/binary";
+  const pid_t pid = supervisor.spawn(spec);
+  const auto status = supervisor.wait_exit(pid, 10.0);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_FALSE(status->signaled);
+  EXPECT_EQ(status->exit_code, 127);
+}
+
+TEST(ProcessSupervisor, SpawnFaultPointFiresBeforeFork) {
+  ProcessSupervisor supervisor;
+  FaultInjector faults(7);
+  supervisor.set_fault_injector(&faults);
+  FaultTrigger trigger;
+  trigger.nth = 1;
+  faults.arm("proc.spawn", trigger);
+  SpawnSpec spec;
+  spec.name = "never-born";
+  spec.binary = "/bin/sh";
+  spec.args = {"-c", "exit 0"};
+  EXPECT_THROW(supervisor.spawn(spec), InjectedFault);
+  EXPECT_TRUE(supervisor.running().empty());
+  // The driver's respawn path: the next attempt succeeds.
+  const pid_t pid = supervisor.spawn(spec);
+  EXPECT_TRUE(supervisor.wait_exit(pid, 10.0).has_value());
+}
+
+TEST(ProcessSupervisor, ShutdownAllTermsThenKillsStragglers) {
+  ProcessSupervisor supervisor;
+  SpawnSpec polite;
+  polite.name = "polite";
+  polite.binary = "/bin/sleep";  // dies to SIGTERM; no shell, no orphan
+  polite.args = {"30"};
+  SpawnSpec stubborn;
+  stubborn.name = "stubborn";
+  stubborn.binary = "/bin/sh";
+  // exec, not fork: an orphaned grandchild would outlive the SIGKILL and
+  // hold the test's stdout pipe open (ctest reads it to EOF). Ignored
+  // signal dispositions survive exec, so the sleep stays TERM-immune.
+  stubborn.args = {"-c", "trap '' TERM; exec sleep 30"};
+  supervisor.spawn(polite);
+  const pid_t hard = supervisor.spawn(stubborn);
+  // Give the stubborn shell a beat to install its trap; without it the
+  // SIGTERM can land first and the test degenerates to the polite case.
+  supervisor.wait_exit(hard, 0.2);
+  const int killed = supervisor.shutdown_all(2.0);
+  EXPECT_GE(killed, 1);
+  EXPECT_TRUE(supervisor.running().empty());
+}
+
+// ---- RpcClient reconnect across a server restart --------------------
+
+TEST(Reconnect, ClientRidesServerRestartOnSamePort) {
+  obs::MetricsRegistry metrics;
+  auto first = rpc::make_tcp_transport(0);
+  auto server1 = std::make_unique<rpc::RpcServer>(*first);
+  server1->register_method("echo",
+                           [](const std::string& p) { return p; });
+  server1->start();
+  const int port = port_of(*first);  // bound only once serving
+
+  auto dialer = rpc::make_tcp_dial_transport(port, 1.0);
+  rpc::RpcClientOptions options;
+  options.deadline_s = 0.5;
+  options.reconnect = true;
+  options.sleep_on_retry = true;
+  options.retry.max_attempts = 20;
+  options.retry.budget_s = 20.0;
+  rpc::RpcClient client(*dialer, "scheduler", options);
+  client.set_metrics(&metrics);
+  EXPECT_EQ(client.call("echo", "before"), "before");
+
+  // Kill the server outright and put a NEW listener on the same port
+  // (the standby-takeover shape): the client's next call rides the
+  // dead socket's failure, re-dials, and succeeds.
+  server1.reset();  // the server references the transport: die first
+  first.reset();
+  auto second = rpc::make_tcp_transport(port);
+  rpc::RpcServer server2(*second);
+  server2.register_method("echo",
+                          [](const std::string& p) { return p; });
+  server2.start();
+  EXPECT_EQ(client.call("echo", "after"), "after");
+  EXPECT_GE(metrics.counter("rpc.reconnects").value(), 1.0);
+}
+
+TEST(Reconnect, ConstructorToleratesAbsentServer) {
+  auto dialer = rpc::make_tcp_dial_transport(1, 0.2);  // nothing there
+  rpc::RpcClientOptions options;
+  options.reconnect = true;
+  options.retry.max_attempts = 1;
+  rpc::RpcClient client(*dialer, "scheduler", options);
+  EXPECT_FALSE(client.connected());
+  EXPECT_THROW(client.call("echo", "x"), std::exception);
+  // Without reconnect the constructor itself must throw.
+  rpc::RpcClientOptions strict;
+  EXPECT_THROW(rpc::RpcClient(*dialer, "scheduler", strict),
+               rpc::TransportError);
+}
+
+// ---- StandbyMonitor: failure detection semantics --------------------
+
+TEST(StandbyMonitor, RequiresBothSilenceAndConsecutiveFailures) {
+  fleet::StandbyMonitorOptions options;
+  options.takeover_after_s = 1.0;
+  options.min_failed_probes = 3;
+  fleet::StandbyMonitor monitor(options);
+  monitor.start(0.0);
+  EXPECT_FALSE(monitor.should_take_over(0.5));
+
+  // Three quick failures: count satisfied, silence not yet.
+  monitor.record_probe(false, 0.1);
+  monitor.record_probe(false, 0.2);
+  monitor.record_probe(false, 0.3);
+  EXPECT_EQ(monitor.failed_probes(), 3);
+  EXPECT_FALSE(monitor.should_take_over(0.5));
+  EXPECT_TRUE(monitor.should_take_over(1.5));
+
+  // One healthy probe resets both conditions — a slow primary is not
+  // a dead primary.
+  monitor.record_probe(true, 1.6);
+  EXPECT_EQ(monitor.failed_probes(), 0);
+  EXPECT_FALSE(monitor.should_take_over(2.5));
+  monitor.record_probe(false, 2.6);
+  monitor.record_probe(false, 2.7);
+  EXPECT_FALSE(monitor.should_take_over(3.0));  // only 2 failures
+}
+
+// ---- Crash-recovery bit-identity ------------------------------------
+//
+// Drives an in-process SchedulerProcess (port < 0) against a scripted
+// agent-churn schedule, destroying the object at chosen intervals and
+// restarting it on the same WAL. The advised-config sequence of every
+// crashed-and-recovered run must equal the uninterrupted run's,
+// record for record.
+
+namespace {
+
+constexpr int kIntervals = 14;
+constexpr double kIntervalS = 60.0;
+constexpr double kAgentTtlS = 150.0;
+
+// The churn script mirrors what real agents do to the store: grant a
+// lease, put the agent key under it, keep it alive each interval, and
+// die by revocation (graceful) — unpredicted death is just a missing
+// keepalive. Lease ids are deterministic, so the map stays valid
+// across a scheduler restart (replay reproduces the same ids).
+class ChurnScript {
+ public:
+  void apply(KvStore& kv, int interval) {
+    for (auto& [id, lease] : leases_)
+      retry([&] { kv.lease_keepalive(lease); });
+    switch (interval) {
+      case 0:
+        add(kv, "a0");
+        add(kv, "a1");
+        break;
+      case 3:
+        add(kv, "a2");
+        add(kv, "a3");
+        break;
+      case 7:
+        remove(kv, "a1");
+        break;
+      case 10:
+        add(kv, "a4");
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  // A torn-write abort (kv.wal_write injection) leaves the mutation
+  // unapplied; real agents retry through the RPC layer, the script
+  // retries here.
+  template <typename F>
+  static void retry(F&& fn) {
+    for (int i = 0; i < 16; ++i) {
+      try {
+        fn();
+        return;
+      } catch (const InjectedFault&) {
+      }
+    }
+    fn();
+  }
+  void add(KvStore& kv, const std::string& id) {
+    std::uint64_t lease = 0;
+    retry([&] { lease = kv.lease_grant(kAgentTtlS); });
+    retry([&] { kv.put_with_lease("parcae/agent/" + id, "alive", lease); });
+    leases_[id] = lease;
+  }
+  void remove(KvStore& kv, const std::string& id) {
+    retry([&] { kv.lease_revoke(leases_.at(id)); });
+    leases_.erase(id);
+  }
+  std::map<std::string, std::uint64_t> leases_;
+};
+
+SchedulerProcessOptions storeside_options(const std::string& wal_path) {
+  SchedulerProcessOptions options;
+  options.wal_path = wal_path;
+  options.port = -1;  // no server: the test drives tick() directly
+  options.intervals = kIntervals;
+  options.interval_s = kIntervalS;
+  return options;
+}
+
+// Runs to completion, destroying and restarting the scheduler after
+// each interval in `crash_after`. Returns the full advised sequence.
+std::vector<AdvisedRecord> run_with_crashes(
+    const std::string& wal_path, const std::set<int>& crash_after,
+    bool* saw_divergence = nullptr) {
+  std::remove(wal_path.c_str());
+  ChurnScript script;
+  std::vector<AdvisedRecord> advised;
+  if (saw_divergence != nullptr) *saw_divergence = false;
+  bool finished = false;
+  int incarnations = 0;
+  while (!finished && ++incarnations < 2 + static_cast<int>(
+                                               crash_after.size()) * 2) {
+    SchedulerProcess scheduler(storeside_options(wal_path));
+    std::string error;
+    EXPECT_TRUE(scheduler.init_primary(&error)) << error;
+    if (incarnations > 1) {
+      EXPECT_TRUE(scheduler.recovered());
+    }
+    while (!scheduler.done()) {
+      const int interval = scheduler.next_interval();
+      script.apply(scheduler.kv(), interval);
+      scheduler.tick();
+      if (crash_after.count(interval) != 0U) break;  // "SIGKILL"
+    }
+    finished = scheduler.done();
+    advised = scheduler.advised();
+    if (saw_divergence != nullptr)
+      *saw_divergence |= scheduler.replay_divergence();
+  }
+  EXPECT_TRUE(finished) << "run never completed";
+  return advised;
+}
+
+}  // namespace
+
+TEST(CrashRecovery, AdvisedSequenceIsBitIdenticalAcrossRestart) {
+  const std::vector<AdvisedRecord> reference =
+      run_with_crashes("multiproc_ref.wal", {});
+  ASSERT_EQ(reference.size(), static_cast<std::size_t>(kIntervals));
+  // The schedule must actually exercise reconfiguration — a constant
+  // sequence would make bit-identity vacuous.
+  bool reconfigured = false;
+  for (std::size_t i = 1; i < reference.size(); ++i)
+    reconfigured |= reference[i].dp != reference[i - 1].dp ||
+                    reference[i].pp != reference[i - 1].pp;
+  EXPECT_TRUE(reconfigured);
+
+  // Crash points: early, on the churn boundary itself, late, and a
+  // double crash. Every recovered sequence must match record-for-record.
+  const std::vector<std::set<int>> crash_schedules = {
+      {2}, {7}, {11}, {4, 9}};
+  for (const auto& crashes : crash_schedules) {
+    bool divergence = true;
+    const std::vector<AdvisedRecord> advised =
+        run_with_crashes("multiproc_crash.wal", crashes, &divergence);
+    EXPECT_FALSE(divergence);
+    ASSERT_EQ(advised.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+      EXPECT_EQ(advised[i], reference[i])
+          << "interval " << i << ": " << advised[i].to_string() << " vs "
+          << reference[i].to_string();
+  }
+  std::remove("multiproc_ref.wal");
+  std::remove("multiproc_crash.wal");
+}
+
+TEST(CrashRecovery, RestartResumesAtIntervalAfterLastCommit) {
+  const std::string wal_path = "multiproc_resume.wal";
+  std::remove(wal_path.c_str());
+  ChurnScript script;
+  {
+    SchedulerProcess scheduler(storeside_options(wal_path));
+    ASSERT_TRUE(scheduler.init_primary());
+    for (int i = 0; i < 5; ++i) {
+      script.apply(scheduler.kv(), scheduler.next_interval());
+      scheduler.tick();
+    }
+    EXPECT_EQ(scheduler.next_interval(), 5);
+  }
+  SchedulerProcess restarted(storeside_options(wal_path));
+  ASSERT_TRUE(restarted.init_primary());
+  EXPECT_TRUE(restarted.recovered());
+  EXPECT_FALSE(restarted.replay_divergence());
+  EXPECT_EQ(restarted.next_interval(), 5);
+  EXPECT_EQ(restarted.advised().size(), 5u);
+  EXPECT_EQ(restarted.report().resumed_from_interval, 5);
+  std::remove(wal_path.c_str());
+}
+
+// Torn-write chaos during a run must not break recovery: the tick
+// retries the mutation and the restarted scheduler still matches the
+// clean reference bit-for-bit.
+TEST(CrashRecovery, SurvivesTornWalWritesMidRun) {
+  const std::vector<AdvisedRecord> reference =
+      run_with_crashes("multiproc_torn_ref.wal", {});
+
+  const std::string wal_path = "multiproc_torn.wal";
+  std::remove(wal_path.c_str());
+  obs::MetricsRegistry metrics;
+  FaultInjector faults(99);
+  faults.set_metrics(&metrics);
+  FaultTrigger trigger;
+  trigger.probability = 0.05;
+  trigger.max_fires = 4;
+  faults.arm("kv.wal_write", trigger);
+
+  ChurnScript script;
+  std::vector<AdvisedRecord> advised;
+  bool finished = false;
+  for (int incarnation = 0; incarnation < 4 && !finished; ++incarnation) {
+    SchedulerProcessOptions options = storeside_options(wal_path);
+    options.faults = &faults;
+    options.metrics = &metrics;
+    SchedulerProcess scheduler(options);
+    std::string error;
+    ASSERT_TRUE(scheduler.init_primary(&error)) << error;
+    while (!scheduler.done()) {
+      const int interval = scheduler.next_interval();
+      script.apply(scheduler.kv(), interval);
+      scheduler.tick();
+      if (incarnation == 0 && interval == 6) break;  // crash once
+    }
+    finished = scheduler.done();
+    advised = scheduler.advised();
+    EXPECT_FALSE(scheduler.replay_divergence());
+  }
+  ASSERT_TRUE(finished);
+  ASSERT_EQ(advised.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i)
+    EXPECT_EQ(advised[i], reference[i]) << "interval " << i;
+  std::remove("multiproc_torn_ref.wal");
+  std::remove(wal_path.c_str());
+}
+
+// ---- Real-process smoke ---------------------------------------------
+//
+// Forks the actual tools/ binaries: one primary scheduler serving TCP
+// and two agent children registering through it, no chaos. The full
+// chaos path (SIGKILL agent + primary, standby takeover) runs in
+// examples/multiproc_e2e under CI's multiproc-chaos job; keeping the
+// in-suite smoke short keeps ctest fast.
+#if defined(PARCAE_AGENT_BIN) && defined(PARCAE_SCHEDULER_BIN)
+TEST(MultiprocSmoke, PrimaryAndRealAgentsCompleteARun) {
+  const int port = 23000 + static_cast<int>(::getpid() % 2000);
+  const std::string report_path =
+      "multiproc_smoke_" + std::to_string(::getpid()) + ".report";
+  const std::string wal_path =
+      "multiproc_smoke_" + std::to_string(::getpid()) + ".wal";
+  std::remove(report_path.c_str());
+  std::remove(wal_path.c_str());
+
+  ProcessSupervisor supervisor;
+  for (int i = 0; i < 2; ++i) {
+    SpawnSpec agent;
+    agent.name = "agent-" + std::to_string(i);
+    agent.binary = PARCAE_AGENT_BIN;
+    agent.args = {"port=" + std::to_string(port), "id=a" + std::to_string(i),
+                  "ttl=150", "max_wall_s=30"};
+    supervisor.spawn(agent);
+  }
+  SpawnSpec scheduler;
+  scheduler.name = "primary";
+  scheduler.binary = PARCAE_SCHEDULER_BIN;
+  scheduler.args = {"role=primary",         "wal=" + wal_path,
+                    "port=" + std::to_string(port),
+                    "intervals=6",          "interval_s=60",
+                    "tick_ms=80",           "agents=2",
+                    "report=" + report_path};
+  const pid_t primary = supervisor.spawn(scheduler);
+
+  const auto status = supervisor.wait_exit(primary, 30.0);
+  ASSERT_TRUE(status.has_value()) << "scheduler did not finish";
+  EXPECT_FALSE(status->signaled);
+  EXPECT_EQ(status->exit_code, 0);
+  supervisor.shutdown_all(1.0);
+
+  std::ifstream in(report_path);
+  ASSERT_TRUE(in.good()) << "no report written";
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("intervals run: 6"), std::string::npos) << text;
+  EXPECT_NE(text.find("standby takeover: no"), std::string::npos);
+  EXPECT_NE(text.find("recovered: no"), std::string::npos);
+  // Two live agents must be observed by the later intervals — the
+  // advised config reaching 2x1 proves real child processes registered
+  // over TCP and stayed leased.
+  EXPECT_NE(text.find(" 2x1 "), std::string::npos) << text;
+  std::remove(report_path.c_str());
+  std::remove(wal_path.c_str());
+}
+#endif  // PARCAE_AGENT_BIN && PARCAE_SCHEDULER_BIN

@@ -1,0 +1,341 @@
+// Tests for the durable scheduler WAL (src/runtime/wal.h): frame
+// round-trips, torn-tail recovery, the kv.wal_write torn-write fault
+// with writer self-heal, and bit-identical KvStore replay — the
+// properties the crash-survivable runtime in docs/robustness.md
+// stands on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "runtime/kv_store.h"
+#include "runtime/wal.h"
+
+using namespace parcae;
+
+namespace {
+
+// A unique-ish per-test scratch path, removed on destruction.
+class TempWal {
+ public:
+  explicit TempWal(const std::string& tag)
+      : path_("wal_test_" + tag + ".wal") {
+    std::remove(path_.c_str());
+  }
+  ~TempWal() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(WalRecord, EveryTypeRoundTrips) {
+  std::vector<WalRecord> records = {
+      WalRecord::put("k", "v"),
+      WalRecord::put_with_lease("a", "b", 7),
+      WalRecord::cas("c", 3, "new"),
+      WalRecord::erase("gone"),
+      WalRecord::lease_grant(2.5),
+      WalRecord::lease_keepalive(9),
+      WalRecord::lease_revoke(11),
+      WalRecord::advance_clock(60.0),
+  };
+  WalRecord decision;
+  decision.type = WalRecordType::kDecision;
+  decision.interval = 4;
+  decision.available = 3;
+  decision.preempted = 1;
+  decision.allocated = 0;
+  decision.advised_dp = 3;
+  decision.advised_pp = 1;
+  decision.stall_s = 8.44;
+  decision.agents = {"a0", "a2", "a3"};
+  records.push_back(decision);
+
+  for (const WalRecord& r : records) {
+    const auto back = WalRecord::decode(r.encode());
+    ASSERT_TRUE(back.has_value()) << wal_record_type_name(r.type);
+    EXPECT_EQ(back->type, r.type);
+    EXPECT_EQ(back->key, r.key);
+    EXPECT_EQ(back->value, r.value);
+    EXPECT_EQ(back->lease_id, r.lease_id);
+    EXPECT_EQ(back->expected_version, r.expected_version);
+    EXPECT_EQ(back->ttl_s, r.ttl_s);
+    EXPECT_EQ(back->dt_s, r.dt_s);
+    EXPECT_EQ(back->interval, r.interval);
+    EXPECT_EQ(back->available, r.available);
+    EXPECT_EQ(back->preempted, r.preempted);
+    EXPECT_EQ(back->allocated, r.allocated);
+    EXPECT_EQ(back->advised_dp, r.advised_dp);
+    EXPECT_EQ(back->advised_pp, r.advised_pp);
+    EXPECT_EQ(back->stall_s, r.stall_s);
+    EXPECT_EQ(back->agents, r.agents);
+  }
+  EXPECT_FALSE(WalRecord::decode("garbage").has_value());
+}
+
+TEST(WalWriter, WritesFramesReadWalReadsThemBack) {
+  TempWal wal("roundtrip");
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(wal.path()));
+    writer.append(WalRecord::put("x", "1"));
+    writer.append(WalRecord::lease_grant(5.0));
+    writer.append(WalRecord::advance_clock(2.0));
+    EXPECT_EQ(writer.records_appended(), 3);
+  }
+  const WalReadResult result = read_wal(wal.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.missing_header);
+  EXPECT_EQ(result.truncated_records, 0u);
+  ASSERT_EQ(result.records.size(), 3u);
+  EXPECT_EQ(result.records[0].type, WalRecordType::kPut);
+  EXPECT_EQ(result.records[0].key, "x");
+  EXPECT_EQ(result.records[1].type, WalRecordType::kLeaseGrant);
+  EXPECT_EQ(result.records[2].dt_s, 2.0);
+}
+
+TEST(WalWriter, MissingFileIsAFreshLog) {
+  const WalReadResult result = read_wal("wal_test_never_created.wal");
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.truncated_records, 0u);
+}
+
+TEST(WalWriter, ReopenAppendsAfterExistingRecords) {
+  TempWal wal("reopen");
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(wal.path()));
+    writer.append(WalRecord::put("first", "1"));
+  }
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(wal.path()));
+    writer.append(WalRecord::put("second", "2"));
+  }
+  const WalReadResult result = read_wal(wal.path());
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].key, "first");
+  EXPECT_EQ(result.records[1].key, "second");
+}
+
+// Flipping one payload byte of the middle record must drop it AND
+// everything after it — recovery trusts nothing past the first bad
+// byte — while keeping the prefix.
+TEST(WalRecovery, CrcMismatchTruncatesFromCorruptionOnward) {
+  TempWal wal("crc");
+  std::uint64_t first_record_end = 0;
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(wal.path()));
+    writer.append(WalRecord::put("keep", "ok"));
+    first_record_end = 8 + writer.bytes_written();
+    writer.append(WalRecord::put("corrupt-me", "victim"));
+    writer.append(WalRecord::put("dropped-too", "tail"));
+  }
+  std::string bytes = read_file(wal.path());
+  // Flip a byte inside the second record's payload (past its 8-byte
+  // frame header).
+  bytes[first_record_end + 10] ^= 0xff;
+  write_file(wal.path(), bytes);
+
+  const WalReadResult result = read_wal(wal.path());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.truncated_records, 1u);
+  EXPECT_GT(result.truncated_bytes, 0u);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].key, "keep");
+  EXPECT_EQ(result.valid_bytes, first_record_end);
+}
+
+// A frame cut off mid-payload (the SIGKILL-mid-write shape) is a torn
+// tail; repair=true truncates the file so a new writer appends a
+// clean log.
+TEST(WalRecovery, TornTailIsRepairedAndAppendable) {
+  TempWal wal("torn");
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(wal.path()));
+    writer.append(WalRecord::put("whole", "1"));
+    writer.append(WalRecord::put("torn", "2"));
+  }
+  std::string bytes = read_file(wal.path());
+  write_file(wal.path(), bytes.substr(0, bytes.size() - 3));
+
+  const WalReadResult torn = read_wal(wal.path(), /*repair=*/true);
+  EXPECT_EQ(torn.truncated_records, 1u);
+  ASSERT_EQ(torn.records.size(), 1u);
+  EXPECT_EQ(read_file(wal.path()).size(), torn.valid_bytes);
+
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(wal.path()));
+    writer.append(WalRecord::put("after-repair", "3"));
+  }
+  const WalReadResult healed = read_wal(wal.path());
+  EXPECT_EQ(healed.truncated_records, 0u);
+  ASSERT_EQ(healed.records.size(), 2u);
+  EXPECT_EQ(healed.records[1].key, "after-repair");
+}
+
+// The kv.wal_write fault leaves a deliberately torn frame and throws;
+// the next successful append must first truncate that tail so the log
+// never carries the failed record.
+TEST(WalFaults, TornWriteInjectionSelfHealsOnNextAppend) {
+  TempWal wal("fault");
+  obs::MetricsRegistry metrics;
+  FaultInjector faults(42);
+  faults.set_metrics(&metrics);
+  FaultTrigger trigger;
+  trigger.nth = 2;
+  faults.arm("kv.wal_write", trigger);
+
+  WalWriter writer;
+  writer.set_fault_injector(&faults);
+  writer.set_metrics(&metrics);
+  ASSERT_TRUE(writer.open(wal.path()));
+  writer.append(WalRecord::put("good", "1"));
+  EXPECT_THROW(writer.append(WalRecord::put("torn", "2")), InjectedFault);
+  // Mid-crash view: the file holds a torn frame after record 1.
+  {
+    const WalReadResult mid = read_wal(wal.path());
+    EXPECT_EQ(mid.truncated_records, 1u);
+    EXPECT_EQ(mid.records.size(), 1u);
+  }
+  writer.append(WalRecord::put("healed", "3"));
+  const WalReadResult result = read_wal(wal.path());
+  EXPECT_EQ(result.truncated_records, 0u);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].key, "good");
+  EXPECT_EQ(result.records[1].key, "healed");
+  EXPECT_EQ(faults.fired("kv.wal_write"), 1u);
+}
+
+// The load-bearing property: replaying a logged mutation sequence
+// into a fresh store reproduces revisions, lease ids, the logical
+// clock, and lease expiries exactly — and the replayed store continues
+// taking writes as if the crash never happened.
+TEST(WalReplay, KvStoreStateIsBitIdenticalAfterReplay) {
+  TempWal wal("replay");
+  WalWriter writer;
+  ASSERT_TRUE(writer.open(wal.path()));
+
+  KvStore original;
+  original.set_wal(&writer);
+  original.put("config", "2x1");
+  const std::uint64_t lease_a = original.lease_grant(5.0);
+  const std::uint64_t lease_b = original.lease_grant(100.0);
+  original.put_with_lease("agent/a0", "alive", lease_a);
+  original.put_with_lease("agent/a1", "alive", lease_b);
+  ASSERT_TRUE(original.cas("config", 1, "4x1"));
+  EXPECT_FALSE(original.cas("config", 1, "stale"));  // no-op: not logged
+  original.put("doomed", "x");
+  original.erase("doomed");
+  original.lease_keepalive(lease_a);
+  original.advance_clock(60.0);  // expires lease_a -> agent/a0 gone
+  writer.close();
+  original.set_wal(nullptr);  // the log is final; `original` lives on
+
+  KvStore replayed;
+  obs::MetricsRegistry metrics;
+  std::vector<WalRecord> decisions;
+  const WalReplayStats stats =
+      replay_wal(wal.path(), replayed, &decisions, &metrics);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_TRUE(stats.clean);
+  EXPECT_EQ(stats.kv_applied, stats.records);
+  EXPECT_TRUE(decisions.empty());
+
+  EXPECT_EQ(replayed.revision(), original.revision());
+  EXPECT_EQ(replayed.now(), original.now());
+  EXPECT_EQ(replayed.leases_expired(), original.leases_expired());
+  EXPECT_FALSE(replayed.get("agent/a0").has_value());
+  ASSERT_TRUE(replayed.get("agent/a1").has_value());
+  EXPECT_EQ(replayed.get("agent/a1")->lease, lease_b);
+  ASSERT_TRUE(replayed.get("config").has_value());
+  EXPECT_EQ(replayed.get("config")->value, "4x1");
+  EXPECT_EQ(replayed.get("config")->version,
+            original.get("config")->version);
+  EXPECT_FALSE(replayed.get("doomed").has_value());
+  EXPECT_TRUE(replayed.lease_alive(lease_b));
+  EXPECT_FALSE(replayed.lease_alive(lease_a));
+
+  // Continued operation: the next lease id and revision pick up where
+  // the original left off, so post-recovery writes stay deterministic.
+  EXPECT_EQ(replayed.lease_grant(1.0), original.lease_grant(1.0));
+  EXPECT_EQ(replayed.put("post", "1"), original.put("post", "1"));
+
+  EXPECT_GT(metrics.counter("kv.wal_replayed_records").value(), 0.0);
+  EXPECT_EQ(metrics.counter("kv.wal_truncated_records").value(), 0.0);
+}
+
+TEST(WalReplay, DecisionRecordsAreCollectedNotApplied) {
+  TempWal wal("decisions");
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(wal.path()));
+    writer.append(WalRecord::put("k", "v"));
+    WalRecord d;
+    d.type = WalRecordType::kDecision;
+    d.interval = 0;
+    d.available = 2;
+    d.advised_dp = 2;
+    d.advised_pp = 1;
+    d.agents = {"a0", "a1"};
+    writer.append(d);
+    d.interval = 1;
+    d.available = 4;
+    d.advised_dp = 4;
+    writer.append(d);
+  }
+  KvStore store;
+  std::vector<WalRecord> decisions;
+  const WalReplayStats stats = replay_wal(wal.path(), store, &decisions);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_EQ(stats.decisions, 2u);
+  EXPECT_EQ(stats.kv_applied, 1u);
+  ASSERT_EQ(decisions.size(), 2u);
+  EXPECT_EQ(decisions[0].interval, 0);
+  EXPECT_EQ(decisions[1].advised_dp, 4);
+  EXPECT_EQ(decisions[1].agents, (std::vector<std::string>{"a0", "a1"}));
+}
+
+TEST(WalReplay, TruncatedTailCountsIntoMetrics) {
+  TempWal wal("truncmetrics");
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.open(wal.path()));
+    writer.append(WalRecord::put("a", "1"));
+    writer.append(WalRecord::put("b", "2"));
+  }
+  std::string bytes = read_file(wal.path());
+  write_file(wal.path(), bytes.substr(0, bytes.size() - 2));
+
+  KvStore store;
+  obs::MetricsRegistry metrics;
+  const WalReplayStats stats =
+      replay_wal(wal.path(), store, nullptr, &metrics, /*repair=*/true);
+  ASSERT_TRUE(stats.ok()) << stats.error;
+  EXPECT_FALSE(stats.clean);
+  EXPECT_EQ(stats.truncated_records, 1u);
+  EXPECT_EQ(metrics.counter("kv.wal_truncated_records").value(), 1.0);
+  EXPECT_EQ(stats.kv_applied, 1u);
+}

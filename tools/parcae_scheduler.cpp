@@ -1,0 +1,123 @@
+// ParcaeScheduler as a real operating-system process: primary or
+// standby (docs/robustness.md, "multi-process runtime").
+//
+// Usage:
+//   parcae_scheduler wal=<path> port=<int> [key=value ...]
+//
+//   role=primary|standby  (default primary) — a standby probes the
+//                         primary's endpoint and takes over from the
+//                         shared WAL when it goes silent
+//   wal=<path>            append-only WAL file, shared between the
+//                         primary and the standby (required)
+//   port=<int>            TCP port for the KV service (required; the
+//                         standby takes this same port over)
+//   intervals=<int>       decision intervals in the run (default 16)
+//   interval_s=<float>    logical seconds per interval (2.0)
+//   tick_ms=<int>         wall ms between ticks (100)
+//   seat_ttl=<float>      scheduler/primary seat TTL, logical s (6.0)
+//   takeover_s=<float>    probe silence before takeover, wall s (0.75)
+//   probe_ms=<int>        standby probe period, wall ms (50)
+//   agents=<int>          expected agent count (loss scale; 4)
+//   ns=<prefix>           KV namespace (default "parcae/")
+//   name=<str>            seat candidate / report label
+//   seed=<int>            decision-core seed (123)
+//   report=<path>         also write the run report to this file
+//   faults=<spec>         fault-injection spec (docs/robustness.md),
+//                         e.g. faults=kv.wal_write:nth=5 — the
+//                         PARCAE_FAULTS env var is the fallback
+//   faults_seed=<int>     injector seed (default 0xfa017)
+//
+// Exit codes: 0 run completed (or, for a standby, primary completed
+// without dying), 1 WAL/port failure, 2 bad arguments.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/fault.h"
+#include "runtime/scheduler_process.h"
+
+namespace {
+
+std::map<std::string, std::string> parse_args(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Accept GNU-style spellings (--wal=run.wal) for every key.
+    arg.erase(0, arg.find_first_not_of('-'));
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) continue;
+    args[arg.substr(0, eq)] = arg.substr(eq + 1);
+  }
+  return args;
+}
+
+std::string get(const std::map<std::string, std::string>& args,
+                const std::string& key, const std::string& fallback) {
+  const auto it = args.find(key);
+  return it == args.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace parcae;
+  const auto args = parse_args(argc, argv);
+  if (args.find("wal") == args.end() || args.find("port") == args.end()) {
+    std::fprintf(stderr,
+                 "usage: parcae_scheduler wal=<path> port=<int> "
+                 "[role=primary|standby intervals= interval_s= tick_ms= "
+                 "seat_ttl= takeover_s= probe_ms= agents= ns= name= seed= "
+                 "report= faults=]\n");
+    return 2;
+  }
+  const std::string role = get(args, "role", "primary");
+  if (role != "primary" && role != "standby") {
+    std::fprintf(stderr, "parcae_scheduler: unknown role '%s'\n",
+                 role.c_str());
+    return 2;
+  }
+
+  SchedulerProcessOptions options;
+  options.wal_path = args.at("wal");
+  options.port = std::stoi(args.at("port"));
+  options.intervals = std::stoi(get(args, "intervals", "16"));
+  options.interval_s = std::stod(get(args, "interval_s", "2.0"));
+  options.tick_wall_ms = std::stoi(get(args, "tick_ms", "100"));
+  options.seat_ttl_s = std::stod(get(args, "seat_ttl", "6.0"));
+  options.takeover_after_s = std::stod(get(args, "takeover_s", "0.75"));
+  options.probe_interval_ms = std::stoi(get(args, "probe_ms", "50"));
+  options.requested_instances = std::stoi(get(args, "agents", "4"));
+  options.kv_namespace = get(args, "ns", "parcae/");
+  options.name = get(args, "name", role);
+  options.seed = std::stoull(get(args, "seed", "123"));
+  options.report_path = get(args, "report", "");
+
+  // Fault spec: the explicit key wins; PARCAE_FAULTS is the fallback
+  // (same contract as the in-process drivers).
+  std::string spec = get(args, "faults", "");
+  if (spec.empty()) {
+    if (const char* env = std::getenv("PARCAE_FAULTS");
+        env != nullptr && *env != '\0')
+      spec = env;
+  }
+  std::unique_ptr<FaultInjector> faults;
+  if (!spec.empty()) {
+    faults = std::make_unique<FaultInjector>(
+        std::stoull(get(args, "faults_seed", "1024023")));
+    std::string error;
+    if (!faults->arm_from_spec(spec, &error)) {
+      std::fprintf(stderr, "parcae_scheduler: bad faults spec: %s\n",
+                   error.c_str());
+      return 2;
+    }
+    options.faults = faults.get();
+  }
+
+  SchedulerProcess scheduler(options);
+  const int rc =
+      role == "standby" ? scheduler.run_standby() : scheduler.run_primary();
+  std::fputs(scheduler.report().to_text().c_str(), stdout);
+  return rc;
+}
