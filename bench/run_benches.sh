@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Bench-regression harness: the liveput decision path (Figure 18b),
 # the RPC transport layer (serializer / inproc / tcp round-trips), the
-# fleet arbitration pass (10/50/100-job rebalance) and the
-# observability tax (instrumented vs bare simulate, Prometheus render,
-# obs.metrics scrape, ProfileSpan).
+# fleet arbitration pass (10/50/100-job rebalance), the observability
+# tax (instrumented vs bare simulate, Prometheus render, obs.metrics
+# scrape, ProfileSpan) and the serving decision path (serve_goodput:
+# proactive-vs-reactive-vs-static gate + goodput-DP solve latency).
 #
 #   bench/run_benches.sh               run + compare against the
 #                                      committed baseline (fails on a
@@ -14,11 +15,14 @@
 #                                      change lands)
 #
 # Emits BENCH_optimizer_time.json, BENCH_rpc_roundtrip.json,
-# BENCH_fleet_arbiter.json and BENCH_obs_overhead.json
-# (google-benchmark JSON) at the repo root; the committed references
-# live in bench/baselines/. The obs bench additionally runs
-# bench/obs_gate.py, a machine-independent check that the fully
-# instrumented run stays within 5% of the bare one. Builds the
+# BENCH_fleet_arbiter.json, BENCH_obs_overhead.json and
+# BENCH_serve_goodput.json (google-benchmark JSON) at the repo root;
+# the committed references live in bench/baselines/. The obs bench
+# additionally runs bench/obs_gate.py, a machine-independent check
+# that the fully instrumented run stays within 5% of the bare one.
+# serve_goodput exits non-zero (failing the harness) unless proactive
+# serving beats both the reactive and static baselines on at least two
+# of the three availability traces. Builds the
 # `release-bench` CMake preset (pure Release) so numbers are not
 # polluted by RelWithDebInfo assertions in dependencies.
 set -euo pipefail
@@ -33,8 +37,8 @@ THRESHOLD="${THRESHOLD:-2.0}"
 INCR_THRESHOLD="${INCR_THRESHOLD:-1.5}"
 INCR_PATTERN='_N(256|1024)_(WarmOneChange|Incr)'
 MIN_TIME="${MIN_TIME:-0.1}"
-BENCHES=(fig18b_optimizer_time rpc_roundtrip fleet_arbiter obs_overhead)
-OUTS=(BENCH_optimizer_time.json BENCH_rpc_roundtrip.json BENCH_fleet_arbiter.json BENCH_obs_overhead.json)
+BENCHES=(fig18b_optimizer_time rpc_roundtrip fleet_arbiter obs_overhead serve_goodput)
+OUTS=(BENCH_optimizer_time.json BENCH_rpc_roundtrip.json BENCH_fleet_arbiter.json BENCH_obs_overhead.json BENCH_serve_goodput.json)
 
 cmake --preset release-bench >/dev/null
 cmake --build --preset release-bench --target "${BENCHES[@]}"

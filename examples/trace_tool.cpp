@@ -8,6 +8,7 @@
 //   trace_tool events <file.csv | segment> <out.jsonl>
 //   trace_tool merge  <out.trace.json> <in.trace.json>...
 //   trace_tool wal    <file.wal>
+//   trace_tool requests <file.jsonl>
 //
 // `plot` prints a terminal sparkline of the availability series.
 // `wal` dumps and validates a scheduler write-ahead log
@@ -21,9 +22,16 @@
 // the hub side of a run) into one Perfetto timeline with cross-process
 // flow arrows recovered from the distributed-trace ids (see
 // docs/observability.md).
+// `requests` summarizes a per-request latency JSONL written by
+// `serve_sim_cli requests_jsonl=` (docs/serving.md): request count,
+// latency percentiles, SLO violations, and drops.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "obs/trace_merge.h"
 #include "runtime/parcae_policy.h"
@@ -99,7 +107,8 @@ int usage() {
                "  trace_tool plot <file|segment>\n"
                "  trace_tool events <file|segment> <out.jsonl>\n"
                "  trace_tool merge <out.trace.json> <in.trace.json>...\n"
-               "  trace_tool wal <file.wal>\n");
+               "  trace_tool wal <file.wal>\n"
+               "  trace_tool requests <file.jsonl>\n");
   return 2;
 }
 
@@ -224,6 +233,67 @@ int dump_events(const SpotTrace& trace, const char* path) {
   return 0;
 }
 
+int summarize_requests(const char* path) {
+  // The serving simulator writes one line per completion
+  // {"t":..,"latency_ms":..,"ok":0|1} or drop {"t":..,"dropped":1}.
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  std::vector<double> latencies_ms;
+  std::uint64_t completed = 0, ok = 0, dropped = 0, unparsed = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.find("\"dropped\":1") != std::string::npos) {
+      ++dropped;
+      continue;
+    }
+    const auto lat = line.find("\"latency_ms\":");
+    if (lat == std::string::npos) {
+      ++unparsed;
+      continue;
+    }
+    latencies_ms.push_back(
+        std::strtod(line.c_str() + lat + std::strlen("\"latency_ms\":"),
+                    nullptr));
+    ++completed;
+    if (line.find("\"ok\":1") != std::string::npos) ++ok;
+  }
+  const auto pct = [&latencies_ms](double q) {
+    if (latencies_ms.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(std::min<double>(
+        static_cast<double>(latencies_ms.size()) - 1.0,
+        q * static_cast<double>(latencies_ms.size())));
+    std::nth_element(latencies_ms.begin(),
+                     latencies_ms.begin() + static_cast<std::ptrdiff_t>(rank),
+                     latencies_ms.end());
+    return latencies_ms[rank];
+  };
+  const std::uint64_t late = completed - ok;
+  std::printf("requests:        %llu (%llu completed, %llu dropped)\n",
+              static_cast<unsigned long long>(completed + dropped),
+              static_cast<unsigned long long>(completed),
+              static_cast<unsigned long long>(dropped));
+  std::printf("within SLO:      %llu (%.2f%% of arrivals)\n",
+              static_cast<unsigned long long>(ok),
+              completed + dropped > 0
+                  ? 100.0 * static_cast<double>(ok) /
+                        static_cast<double>(completed + dropped)
+                  : 0.0);
+  std::printf("SLO violations:  %llu (%llu late + %llu dropped)\n",
+              static_cast<unsigned long long>(late + dropped),
+              static_cast<unsigned long long>(late),
+              static_cast<unsigned long long>(dropped));
+  std::printf("latency:         p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+              pct(0.50), pct(0.95), pct(0.99));
+  if (unparsed > 0)
+    std::printf("unparsed lines:  %llu\n",
+                static_cast<unsigned long long>(unparsed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -245,6 +315,9 @@ int main(int argc, char** argv) {
   }
   if (command == "wal") {
     return dump_wal(argv[2]);
+  }
+  if (command == "requests") {
+    return summarize_requests(argv[2]);
   }
   if (command == "events") {
     if (argc < 4) return usage();

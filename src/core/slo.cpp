@@ -106,6 +106,18 @@ std::vector<SloRule> SloEngine::default_rules() {
       "paused:rate:driver.paused_intervals:>0");
 }
 
+std::vector<SloRule> SloEngine::default_serving_rules() {
+  // Latency-first failure patterns for the serving subsystem
+  // (docs/serving.md): tail-latency breach, violation surges, queue
+  // growth, admission drops, and goodput collapse after a preemption.
+  return parse_rules(
+      "serve-p99-breach:gauge:serve.p99_latency_ms:>4000:for=2;"
+      "serve-violation-surge:rate:serve.slo_violations:>50;"
+      "serve-queue-growth:gauge:serve.queue_depth:>32:for=3;"
+      "serve-drops:rate:serve.dropped:>0;"
+      "serve-goodput-drop:drop:goodput_rps:>50:for=2");
+}
+
 std::vector<SloEngine::RuleState> SloEngine::init(
     const std::vector<SloRule>& rules) {
   std::vector<RuleState> states;

@@ -83,6 +83,14 @@ class SloEngine {
   // expiries detected in one interval), rpc-retry-storm (>8 transport
   // retries in one interval), paused (driver.paused_intervals grows).
   static std::vector<SloRule> default_rules();
+  // The built-in latency-signal set for the serving workload
+  // (docs/serving.md): serve-p99-breach (p99 gauge above 4 s, 2
+  // intervals), serve-violation-surge (>50 SLO violations in one
+  // interval), serve-queue-growth (admission queues >32 deep, 3
+  // intervals), serve-drops (any admission drop), serve-goodput-drop
+  // (series column "goodput_rps" falls >50% from its trailing max,
+  // 2 intervals). Prefix-aware sims should pass explicit specs.
+  static std::vector<SloRule> default_serving_rules();
 
   // Observation sources and sinks, all non-owning and optional;
   // absent sources make their rules evaluate as not-breached.

@@ -23,10 +23,13 @@ struct MigrationCostTerms {
   double build_model_s = 0.0;
   double comm_groups_s = 0.0;
   double state_transfer_s = 0.0;
+  // Serving only: in-flight/queued requests the outgoing replicas must
+  // finish before retiring (src/serve/). Always 0 for training plans.
+  double drain_s = 0.0;
 
   double total() const {
     return start_process_s + rendezvous_s + cuda_init_s + load_data_s +
-           build_model_s + comm_groups_s + state_transfer_s;
+           build_model_s + comm_groups_s + state_transfer_s + drain_s;
   }
 };
 

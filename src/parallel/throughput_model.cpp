@@ -81,6 +81,24 @@ std::vector<ParallelConfig> ThroughputModel::enumerate_configs(
   return out;
 }
 
+ServeBatchTime ThroughputModel::serve_batch_time(int pipeline_depth, int batch,
+                                                 double generation_factor) const {
+  ServeBatchTime out;
+  if (pipeline_depth < 1 || batch < 1 || generation_factor <= 0.0) return out;
+  const double total_compute = model_.fwd_flops_per_sample *
+                               generation_factor * batch /
+                               model_.effective_flops;
+  double t_p2p = 0.0;
+  if (pipeline_depth > 1) {
+    const bool same_node = options_.gpus_per_instance >= pipeline_depth;
+    t_p2p = options_.network.p2p_time(model_.boundary_activation_bytes * batch,
+                                      same_node);
+  }
+  out.occupancy_s = total_compute / pipeline_depth + t_p2p;
+  out.latency_s = total_compute + (pipeline_depth - 1.0) * t_p2p;
+  return out;
+}
+
 ParallelConfig ThroughputModel::best_config(int instances) const {
   ParallelConfig best = kIdleConfig;
   double best_tp = 0.0;

@@ -39,6 +39,16 @@ struct ThroughputModelOptions {
   int gpus_per_instance = 1;
 };
 
+// Forward-only execution of one request batch through a P-stage
+// serving replica (src/serve/): with stages pipelined, consecutive
+// batches overlap, so the replica's sustainable rate is governed by the
+// bottleneck-stage busy time (occupancy) while a single request
+// experiences the full end-to-end latency.
+struct ServeBatchTime {
+  double occupancy_s = 0.0;  // bottleneck-stage busy time per batch
+  double latency_s = 0.0;    // end-to-end execution time of one batch
+};
+
 class ThroughputModel {
  public:
   ThroughputModel(ModelProfile model, ThroughputModelOptions options = {});
@@ -70,6 +80,15 @@ class ThroughputModel {
 
   // Smallest feasible pipeline depth under this system's memory spec.
   int min_pipeline_depth() const { return min_depth_; }
+
+  // Inference timing for a batch of `batch` requests on one P-stage
+  // serving replica: forward pass only (no backward, no recompute, no
+  // gradient all-reduce), scaled by `generation_factor` for workloads
+  // that run multiple decode steps per request. Zeroes if batch or
+  // depth is non-positive; feasibility (depth vs. partition units and
+  // memory) is the caller's concern.
+  ServeBatchTime serve_batch_time(int pipeline_depth, int batch,
+                                  double generation_factor = 1.0) const;
 
  private:
   ModelProfile model_;

@@ -1,0 +1,124 @@
+#include "serve/arrival.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parcae::serve {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// SplitMix64 finalizer: decorrelates (seed, interval) into a fresh
+// stream key, same construction the preemption sampler uses for
+// per-point forks.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t interval) {
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ULL * (interval + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kMmpp:
+      return "mmpp";
+    case ArrivalKind::kReplay:
+      return "replay";
+  }
+  return "?";
+}
+
+ArrivalGenerator::ArrivalGenerator(ArrivalOptions options)
+    : options_(std::move(options)) {
+  if (options_.interval_s <= 0.0) options_.interval_s = 60.0;
+  if (options_.base_rps < 0.0) options_.base_rps = 0.0;
+  if (options_.burst_multiplier < 1.0) options_.burst_multiplier = 1.0;
+  options_.p_enter_burst = std::clamp(options_.p_enter_burst, 0.0, 1.0);
+  options_.p_exit_burst = std::clamp(options_.p_exit_burst, 0.0, 1.0);
+  const double denom = options_.p_enter_burst + options_.p_exit_burst;
+  stationary_burst_ = denom > 0.0 ? options_.p_enter_burst / denom : 0.0;
+}
+
+void ArrivalGenerator::prepare(int intervals) {
+  if (options_.kind != ArrivalKind::kMmpp) return;
+  if (intervals <= static_cast<int>(burst_.size())) return;
+  // One chain, one dedicated stream; extending re-draws nothing.
+  Rng chain(mix(options_.seed, 0xbc57ULL));
+  std::vector<std::uint8_t> fresh;
+  fresh.reserve(static_cast<std::size_t>(intervals));
+  std::uint8_t state = 0;
+  for (int i = 0; i < intervals; ++i) {
+    const double p = state ? options_.p_exit_burst : options_.p_enter_burst;
+    if (chain.uniform() < p) state ^= 1;
+    fresh.push_back(state);
+  }
+  // The chain is replayed from interval 0 every time, so an extension
+  // agrees with the existing prefix bit-for-bit.
+  burst_ = std::move(fresh);
+}
+
+double ArrivalGenerator::envelope(int interval) const {
+  if (options_.diurnal_amplitude == 0.0) return 1.0;
+  const double t = (interval + 0.5) * options_.interval_s;
+  const double phase =
+      2.0 * kPi * (t - options_.diurnal_phase_s) / options_.diurnal_period_s;
+  const double e = 1.0 + options_.diurnal_amplitude * std::sin(phase);
+  return e > 0.0 ? e : 0.0;
+}
+
+double ArrivalGenerator::expected_rps(int interval) const {
+  if (options_.kind == ArrivalKind::kReplay) {
+    if (options_.replay_rps.empty()) return 0.0;
+    const int idx = std::min<int>(interval,
+                                  static_cast<int>(options_.replay_rps.size()) - 1);
+    return std::max(0.0, options_.replay_rps[static_cast<std::size_t>(idx)]);
+  }
+  double rate = options_.base_rps * envelope(interval);
+  if (options_.kind == ArrivalKind::kMmpp) {
+    rate *= 1.0 + stationary_burst_ * (options_.burst_multiplier - 1.0);
+  }
+  return rate;
+}
+
+double ArrivalGenerator::realized_rps(int interval) const {
+  if (options_.kind == ArrivalKind::kReplay) return expected_rps(interval);
+  double rate = options_.base_rps * envelope(interval);
+  if (options_.kind == ArrivalKind::kMmpp) {
+    const std::size_t i = static_cast<std::size_t>(interval);
+    const bool bursting = i < burst_.size() && burst_[i];
+    if (bursting) rate *= options_.burst_multiplier;
+  }
+  return rate;
+}
+
+int ArrivalGenerator::count(int interval) const {
+  const double lambda = realized_rps(interval) * options_.interval_s;
+  if (lambda <= 0.0) return 0;
+  Rng rng(mix(options_.seed, static_cast<std::uint64_t>(interval) + 1));
+  return static_cast<int>(rng.poisson(lambda));
+}
+
+void ArrivalGenerator::arrivals(int interval, std::vector<double>& out) const {
+  out.clear();
+  const double lambda = realized_rps(interval) * options_.interval_s;
+  if (lambda <= 0.0) return;
+  Rng rng(mix(options_.seed, static_cast<std::uint64_t>(interval) + 1));
+  const int n = static_cast<int>(rng.poisson(lambda));
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(rng.uniform() * options_.interval_s);
+  std::sort(out.begin(), out.end());
+}
+
+std::uint64_t ArrivalGenerator::total_requests(int intervals) const {
+  std::uint64_t total = 0;
+  for (int i = 0; i < intervals; ++i) {
+    total += static_cast<std::uint64_t>(count(i));
+  }
+  return total;
+}
+
+}  // namespace parcae::serve

@@ -1,0 +1,312 @@
+#include "serve/goodput_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace parcae::serve {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+LiveputOptimizerOptions migration_options(const GoodputOptimizerOptions& o) {
+  LiveputOptimizerOptions m;
+  m.interval_s = o.interval_s;
+  m.mc_trials = o.mc_trials;
+  m.seed = o.seed;
+  m.metrics = o.metrics;
+  // The inner optimizer only serves expected_migration_cost here; its
+  // own DP never runs, so keep it serial and let this class own the
+  // thread pool.
+  m.threads = 1;
+  m.metric_prefix = o.metric_prefix;
+  return m;
+}
+
+}  // namespace
+
+GoodputOptimizer::GoodputOptimizer(const ReplicaQueueModel* queue,
+                                   CostEstimator estimator,
+                                   GoodputOptimizerOptions options)
+    : queue_(queue),
+      options_(options),
+      name_runs_(options.metric_prefix + "serve_dp.runs"),
+      name_states_reused_(options.metric_prefix + "serve_dp.states_reused"),
+      name_states_re_expanded_(options.metric_prefix +
+                               "serve_dp.states_re_expanded"),
+      name_tasks_(options.metric_prefix + "threadpool.tasks"),
+      migration_(&queue->throughput(), std::move(estimator),
+                 migration_options(options)),
+      threads_(options.threads == 1 ? 1 : ThreadPool::resolve(options.threads)) {
+}
+
+GoodputOptimizer::~GoodputOptimizer() = default;
+
+void GoodputOptimizer::invalidate() {
+  warm_ = WarmState{};
+  migration_.invalidate();
+}
+
+double GoodputOptimizer::edge_cost(ParallelConfig from, int n_from,
+                                   ParallelConfig to, int preemptions,
+                                   double offered_rps) {
+  double cost = migration_.expected_migration_cost(from, n_from, to,
+                                                   preemptions);
+  if (from.valid() && to.valid() && to != from)
+    cost += queue_->drain_cost_s(from, offered_rps);
+  return cost;
+}
+
+std::shared_ptr<const GoodputOptimizer::ServingSpace>
+GoodputOptimizer::resolve_space(int n) {
+  const auto it = space_cache_.find(n);
+  if (it != space_cache_.end()) {
+    space_lru_.splice(space_lru_.begin(), space_lru_, it->second.lru);
+    return it->second.space;
+  }
+  auto space = std::make_shared<ServingSpace>();
+  space->configs = queue_->enumerate_serving_configs(n);
+  space->configs.push_back(kIdleConfig);
+  space_lru_.push_front(n);
+  space_cache_.emplace(n, SpaceEntry{space, space_lru_.begin()});
+  const std::size_t cap =
+      std::max<std::size_t>(1, options_.space_cache_capacity);
+  while (space_cache_.size() > cap) {
+    space_cache_.erase(space_lru_.back());
+    space_lru_.pop_back();
+  }
+  return space;
+}
+
+void GoodputOptimizer::compute_column(
+    std::size_t i, ParallelConfig current, int n_now,
+    const std::vector<int>& predicted_n,
+    const std::vector<double>& predicted_rps, const ServingSpace* prev_space,
+    const std::vector<double>* best_prev, const ServingSpace& cur_space,
+    std::vector<double>& best_out, std::vector<int>& parent_out) {
+  const double T = options_.interval_s;
+  const int n_prev = i == 0 ? n_now : predicted_n[i - 1];
+  const int k = std::max(0, n_prev - predicted_n[i]);
+  const double rps = predicted_rps[i];
+  const std::size_t C = cur_space.configs.size();
+  best_out.assign(C, kNegInf);
+  parent_out.assign(C, -1);
+
+  // Per-candidate goodput at this interval's offered rate: closed-form
+  // and RNG-free, safe to fill up front.
+  goodput_row_.resize(C);
+  for (std::size_t j = 0; j < C; ++j)
+    goodput_row_[j] = queue_->goodput(cur_space.configs[j], rps);
+
+  const bool parallel = threads_ > 1 && C > 1;
+  if (parallel && !pool_) pool_ = std::make_unique<ThreadPool>(threads_);
+
+  if (i == 0) {
+    // One transition per candidate, from the live config. Serial fill
+    // keeps the MC sampler's first-touch order fixed regardless of the
+    // thread count.
+    slab_.resize(C);
+    for (std::size_t j = 0; j < C; ++j)
+      slab_[j] = migration_.expected_migration_cost(
+          current, n_now, cur_space.configs[j], k);
+    const double drain =
+        current.valid() ? queue_->drain_cost_s(current, rps) : 0.0;
+    auto eval = [&](std::size_t j) {
+      double cost = slab_[j];
+      if (current.valid() && cur_space.configs[j].valid() &&
+          cur_space.configs[j] != current)
+        cost += drain;
+      best_out[j] = goodput_row_[j] * std::max(0.0, T - cost);
+    };
+    if (parallel)
+      pool_->parallel_for(C, eval);
+    else
+      for (std::size_t j = 0; j < C; ++j) eval(j);
+    return;
+  }
+
+  // Migration-cost slab [candidate j][predecessor jj], filled
+  // predecessor-major so the MC sampler is first-touched in the same
+  // order as a serial scan; drain depends only on the predecessor and
+  // this interval's rate, one entry per jj.
+  const std::size_t P = prev_space->configs.size();
+  slab_.resize(C * P);
+  drain_row_.resize(P);
+  const double* bp = best_prev->data();
+  for (std::size_t jj = 0; jj < P; ++jj) {
+    if (bp[jj] == kNegInf) continue;
+    const ParallelConfig from = prev_space->configs[jj];
+    drain_row_[jj] = from.valid() ? queue_->drain_cost_s(from, rps) : 0.0;
+    for (std::size_t j = 0; j < C; ++j)
+      slab_[j * P + jj] = migration_.expected_migration_cost(
+          from, n_prev, cur_space.configs[j], k);
+  }
+
+  auto eval = [&](std::size_t j) {
+    const ParallelConfig to = cur_space.configs[j];
+    const double g = goodput_row_[j];
+    const double* cost_row = slab_.data() + j * P;
+    double best = kNegInf;
+    int arg = -1;
+    for (std::size_t jj = 0; jj < P; ++jj) {
+      if (bp[jj] == kNegInf) continue;
+      double cost = cost_row[jj];
+      if (to.valid() && prev_space->configs[jj].valid() &&
+          to != prev_space->configs[jj])
+        cost += drain_row_[jj];
+      const double value = bp[jj] + g * std::max(0.0, T - cost);
+      if (value > best) {
+        best = value;
+        arg = static_cast<int>(jj);
+      }
+    }
+    best_out[j] = best;
+    parent_out[j] = arg;
+  };
+  if (parallel)
+    pool_->parallel_for(C, eval);
+  else
+    for (std::size_t j = 0; j < C; ++j) eval(j);
+}
+
+GoodputPlan GoodputOptimizer::backtrack(
+    const std::vector<std::shared_ptr<const ServingSpace>>& spaces,
+    const std::vector<std::vector<double>>& best,
+    const std::vector<std::vector<int>>& parent) const {
+  GoodputPlan plan;
+  const std::size_t I = spaces.size();
+  std::size_t arg = 0;
+  for (std::size_t j = 1; j < spaces[I - 1]->configs.size(); ++j)
+    if (best[I - 1][j] > best[I - 1][arg]) arg = j;
+  plan.expected_good_requests = std::max(0.0, best[I - 1][arg]);
+  plan.configs.assign(I, kIdleConfig);
+  int cursor = static_cast<int>(arg);
+  for (std::size_t i = I; i-- > 0;) {
+    plan.configs[i] = spaces[i]->configs[static_cast<std::size_t>(cursor)];
+    cursor = i > 0 ? parent[i][static_cast<std::size_t>(cursor)] : -1;
+  }
+  return plan;
+}
+
+GoodputPlan GoodputOptimizer::optimize(
+    ParallelConfig current, int n_now,
+    const std::vector<int>& predicted_instances,
+    const std::vector<double>& predicted_rps) {
+  const std::size_t I = predicted_instances.size();
+  if (I == 0 || predicted_rps.size() != I) return GoodputPlan{};
+  if (options_.metrics) options_.metrics->counter(name_runs_).inc();
+
+  std::vector<std::shared_ptr<const ServingSpace>> spaces(I);
+  for (std::size_t i = 0; i < I; ++i)
+    spaces[i] = resolve_space(predicted_instances[i]);
+
+  // Warm start, mirroring the training DP: reuse column i iff its
+  // direct inputs (N_i, rps_i; for i = 0 also the live config) are
+  // unchanged AND the predecessor column's values are unchanged.
+  const bool warm_ok =
+      !options_.full_resolve && warm_.valid && warm_.predicted_n.size() == I;
+  if (!warm_ok) {
+    warm_.best.assign(I, {});
+    warm_.parent.assign(I, {});
+  }
+
+  std::uint64_t reused = 0, re_expanded = 0;
+  std::size_t reused_columns = 0;
+  bool prev_changed = false;
+  for (std::size_t i = 0; i < I; ++i) {
+    const bool inputs_same =
+        warm_ok && predicted_instances[i] == warm_.predicted_n[i] &&
+        predicted_rps[i] == warm_.predicted_rps[i] &&
+        (i == 0
+             ? (current == warm_.current && n_now == warm_.n_now)
+             : predicted_instances[i - 1] == warm_.predicted_n[i - 1]);
+    if (inputs_same && !prev_changed) {
+      reused += spaces[i]->configs.size();
+      ++reused_columns;
+      continue;
+    }
+    const bool comparable = warm_ok &&
+                            predicted_instances[i] == warm_.predicted_n[i] &&
+                            warm_.best[i].size() == spaces[i]->configs.size();
+    if (comparable) old_column_ = warm_.best[i];
+    compute_column(i, current, n_now, predicted_instances, predicted_rps,
+                   i == 0 ? nullptr : spaces[i - 1].get(),
+                   i == 0 ? nullptr : &warm_.best[i - 1], *spaces[i],
+                   warm_.best[i], warm_.parent[i]);
+    re_expanded += spaces[i]->configs.size();
+    prev_changed = !comparable || warm_.best[i] != old_column_;
+  }
+
+  warm_.valid = true;
+  warm_.current = current;
+  warm_.n_now = n_now;
+  warm_.predicted_n = predicted_instances;
+  warm_.predicted_rps = predicted_rps;
+  warm_.spaces = spaces;
+
+  GoodputPlan plan = backtrack(spaces, warm_.best, warm_.parent);
+
+  states_reused_ += reused;
+  states_re_expanded_ += re_expanded;
+  last_states_reused_ = reused;
+  last_states_re_expanded_ = re_expanded;
+
+  if (options_.verify_incremental && reused_columns > 0) {
+    // Full re-solve must agree bit-for-bit; the MC summaries it needs
+    // are already cached, so it consumes no RNG.
+    std::vector<std::vector<double>> vbest(I);
+    std::vector<std::vector<int>> vparent(I);
+    for (std::size_t i = 0; i < I; ++i)
+      compute_column(i, current, n_now, predicted_instances, predicted_rps,
+                     i == 0 ? nullptr : spaces[i - 1].get(),
+                     i == 0 ? nullptr : &vbest[i - 1], *spaces[i], vbest[i],
+                     vparent[i]);
+    for (std::size_t i = 0; i < I; ++i) {
+      if (vbest[i] != warm_.best[i] || vparent[i] != warm_.parent[i]) {
+        std::fprintf(stderr,
+                     "goodput incremental DP diverged from full re-solve at "
+                     "column %zu/%zu (N=%d)\n",
+                     i, I, predicted_instances[i]);
+        std::abort();
+      }
+    }
+    const GoodputPlan full = backtrack(spaces, vbest, vparent);
+    if (full.configs != plan.configs ||
+        full.expected_good_requests != plan.expected_good_requests) {
+      std::fprintf(stderr,
+                   "goodput incremental DP plan diverged from full re-solve\n");
+      std::abort();
+    }
+  }
+
+  flush_metrics();
+  return plan;
+}
+
+void GoodputOptimizer::flush_metrics() {
+  if (options_.metrics == nullptr) return;
+  auto flush_delta = [this](const std::string& name, std::uint64_t now,
+                            std::uint64_t& flushed) {
+    if (now != flushed)
+      options_.metrics->counter(name).add(static_cast<double>(now - flushed));
+    flushed = now;
+  };
+  flush_delta(name_states_reused_, states_reused_, flushed_states_reused_);
+  flush_delta(name_states_re_expanded_, states_re_expanded_,
+              flushed_states_re_expanded_);
+  if (pool_) flush_delta(name_tasks_, pool_->tasks_run(), flushed_tasks_);
+}
+
+ParallelConfig GoodputOptimizer::advise(
+    ParallelConfig current, int n_now,
+    const std::vector<int>& predicted_instances,
+    const std::vector<double>& predicted_rps) {
+  return optimize(current, n_now, predicted_instances, predicted_rps).next();
+}
+
+}  // namespace parcae::serve

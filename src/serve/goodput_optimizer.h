@@ -1,0 +1,186 @@
+// Goodput optimizer: the liveput DP (§7) with the serving objective
+// (SpotServe direction; docs/serving.md).
+//
+// Same decision problem as training — pick a parallel configuration
+// per look-ahead interval under a predicted availability sequence —
+// but the per-interval reward is expected *goodput* (requests served
+// within the latency SLO, from the M/G/1 estimator in queue_model.h)
+// instead of training throughput, and reconfigurations additionally
+// pay a drain charge for the in-flight requests of the outgoing
+// replicas:
+//
+//   F(i+1, c') = max_{c} F(i, c)
+//                + GOODPUT(c', rps_{i+1})
+//                  * max(0, T - E_v[T_mig(c -> c' | v)] - drain(c))
+//
+// The expectation over preemption mappings v is *exactly* the
+// training one: this optimizer owns a LiveputOptimizer purely for its
+// memoized expected_migration_cost (MC preemption summaries, mixture
+// arithmetic, edge memo — reused untouched), so serving decisions
+// marginalize over the same availability samples as training ones.
+//
+// The incremental warm-start discipline mirrors the training DP (PR 8)
+// exactly: a column is reused iff its direct inputs (N_i, rps_i, and
+// for i = 0 the live config) are unchanged AND the predecessor
+// column's values are unchanged, with a convergence cutoff, and
+// full_resolve / verify_incremental escape hatches. Bit-identity of
+// incremental vs. full solves and across thread counts is pinned by
+// tests/serve_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/liveput_optimizer.h"
+#include "serve/queue_model.h"
+
+namespace parcae {
+class ThreadPool;
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+}  // namespace parcae
+
+namespace parcae::serve {
+
+struct GoodputOptimizerOptions {
+  double interval_s = 60.0;
+  int mc_trials = 256;
+  std::uint64_t seed = 7;
+  obs::MetricsRegistry* metrics = nullptr;
+  // DP candidate-loop worker threads; same semantics as the liveput
+  // optimizer (1 = serial, 0 = resolve from env/hardware). Plans are
+  // bit-identical at any thread count.
+  int threads = 1;
+  std::string metric_prefix;
+  bool full_resolve = false;
+  bool verify_incremental = false;
+  std::size_t space_cache_capacity = 64;
+};
+
+struct GoodputPlan {
+  // Configurations chosen per predicted interval. config.dp = serving
+  // replicas, config.pp = pipeline depth per replica.
+  std::vector<ParallelConfig> configs;
+  // Expected requests served within the SLO over the window.
+  double expected_good_requests = 0.0;
+
+  ParallelConfig next() const {
+    return configs.empty() ? kIdleConfig : configs.front();
+  }
+};
+
+class GoodputOptimizer {
+ public:
+  // `queue` and the throughput model behind it must outlive the
+  // optimizer.
+  GoodputOptimizer(const ReplicaQueueModel* queue,
+                   CostEstimator estimator,
+                   GoodputOptimizerOptions options = {});
+  ~GoodputOptimizer();
+  GoodputOptimizer(const GoodputOptimizer&) = delete;
+  GoodputOptimizer& operator=(const GoodputOptimizer&) = delete;
+
+  // `predicted_instances` and `predicted_rps` are parallel arrays,
+  // one entry per future interval.
+  GoodputPlan optimize(ParallelConfig current, int n_now,
+                       const std::vector<int>& predicted_instances,
+                       const std::vector<double>& predicted_rps);
+
+  ParallelConfig advise(ParallelConfig current, int n_now,
+                        const std::vector<int>& predicted_instances,
+                        const std::vector<double>& predicted_rps);
+
+  // Expected reconfiguration stall (migration + drain) used on the DP
+  // edges; exposed for tests and the serving scheduler.
+  double edge_cost(ParallelConfig from, int n_from, ParallelConfig to,
+                   int preemptions, double offered_rps);
+
+  const ReplicaQueueModel& queue_model() const { return *queue_; }
+
+  // Drop the warm-started value table (scheduler reset).
+  void invalidate();
+
+  int threads() const { return threads_; }
+
+  // Incremental-DP telemetry (serve_dp.states_reused /
+  // serve_dp.states_re_expanded), cumulative and most-recent-solve.
+  std::uint64_t states_reused() const { return states_reused_; }
+  std::uint64_t states_re_expanded() const { return states_re_expanded_; }
+  std::uint64_t last_states_reused() const { return last_states_reused_; }
+  std::uint64_t last_states_re_expanded() const {
+    return last_states_re_expanded_;
+  }
+
+ private:
+  struct ServingSpace {
+    std::vector<ParallelConfig> configs;  // idle sentinel always last
+  };
+
+  struct WarmState {
+    bool valid = false;
+    ParallelConfig current = kIdleConfig;
+    int n_now = 0;
+    std::vector<int> predicted_n;
+    std::vector<double> predicted_rps;
+    std::vector<std::shared_ptr<const ServingSpace>> spaces;
+    std::vector<std::vector<double>> best;
+    std::vector<std::vector<int>> parent;
+  };
+
+  std::shared_ptr<const ServingSpace> resolve_space(int n);
+  void compute_column(std::size_t i, ParallelConfig current, int n_now,
+                      const std::vector<int>& predicted_n,
+                      const std::vector<double>& predicted_rps,
+                      const ServingSpace* prev_space,
+                      const std::vector<double>* best_prev,
+                      const ServingSpace& cur_space,
+                      std::vector<double>& best_out,
+                      std::vector<int>& parent_out);
+  GoodputPlan backtrack(
+      const std::vector<std::shared_ptr<const ServingSpace>>& spaces,
+      const std::vector<std::vector<double>>& best,
+      const std::vector<std::vector<int>>& parent) const;
+  void flush_metrics();
+
+  const ReplicaQueueModel* queue_;
+  GoodputOptimizerOptions options_;
+  std::string name_runs_, name_states_reused_, name_states_re_expanded_,
+      name_tasks_;
+  // The training optimizer, owned solely for its memoized
+  // expected_migration_cost (MC summaries + edge memo).
+  LiveputOptimizer migration_;
+  int threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;
+
+  struct SpaceEntry {
+    std::shared_ptr<const ServingSpace> space;
+    std::list<int>::iterator lru;
+  };
+  std::unordered_map<int, SpaceEntry> space_cache_;
+  std::list<int> space_lru_;
+
+  WarmState warm_;
+  // Scratch reused across solves: migration-cost slab
+  // [candidate][predecessor], per-predecessor drain row, per-candidate
+  // goodput row, and the previous column copy for the convergence
+  // cutoff.
+  std::vector<double> slab_;
+  std::vector<double> drain_row_;
+  std::vector<double> goodput_row_;
+  std::vector<double> old_column_;
+
+  std::uint64_t states_reused_ = 0;
+  std::uint64_t states_re_expanded_ = 0;
+  std::uint64_t last_states_reused_ = 0;
+  std::uint64_t last_states_re_expanded_ = 0;
+  std::uint64_t flushed_states_reused_ = 0;
+  std::uint64_t flushed_states_re_expanded_ = 0;
+  std::uint64_t flushed_tasks_ = 0;
+};
+
+}  // namespace parcae::serve

@@ -1,0 +1,154 @@
+// ServingScheduler: the Algorithm-1 decision loop with the serving
+// objective (SpotServe direction; docs/serving.md).
+//
+// Each interval it
+//   1. adapts the previously planned serving configuration to the
+//      actual availability (§8 adaptation, unchanged), holding the
+//      pipeline depth through noisy forecasts unless the goodput gain
+//      clearly beats the hysteresis margin,
+//   2. plans the live replica reconfiguration with the training
+//      MigrationPlanner (§6) and adds the in-flight request drain to
+//      the stall,
+//   3. forecasts availability (§5) and the request rate (from the
+//      arrival generator's envelope) and runs the goodput DP to pick
+//      the next interval's configuration.
+//
+// Four modes span the bench baselines:
+//   kProactive — goodput DP over guarded-ARIMA availability forecasts
+//   kOracle    — goodput DP over the true future availability
+//   kReactive  — chases availability: goodput-best config for what is
+//                available right now, no look-ahead (what a SpotServe-
+//                less autoscaler does)
+//   kStatic    — fixed provisioning chosen once, only damage-adapted
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheduler_core.h"
+#include "migration/planner.h"
+#include "model/model_profile.h"
+#include "obs/metrics.h"
+#include "predict/predictor.h"
+#include "serve/arrival.h"
+#include "serve/goodput_optimizer.h"
+#include "serve/queue_model.h"
+#include "trace/spot_trace.h"
+
+namespace parcae::serve {
+
+enum class ServingMode { kProactive, kOracle, kReactive, kStatic };
+
+const char* serving_mode_name(ServingMode mode);
+
+struct ServingSchedulerOptions {
+  ServingMode mode = ServingMode::kProactive;
+  int lookahead = 12;
+  int history = 12;
+  int reoptimize_every = 1;
+  // Event-driven re-optimization (mode=event in serve_sim_cli): same
+  // semantics as SchedulerCoreOptions — re-solve on pending events
+  // (preemptions/allocations) instead of every tick, with debounce
+  // coalescing; interval 0 always solves.
+  bool event_driven = false;
+  double debounce_ms = 250.0;
+  bool optimizer_full_resolve = false;
+  bool optimizer_verify_incremental = false;
+  int mc_trials = 256;
+  std::uint64_t seed = 123;
+  double interval_s = 60.0;
+  int threads = 1;
+  int preemption_chunk = 1;
+  // Voluntary depth changes must improve estimated goodput by at
+  // least this fraction (same thrash guard as training).
+  double depth_change_hysteresis = 0.15;
+  int max_instances = 32;
+  // kStatic: the fixed provisioning. Invalid = choose the goodput-best
+  // config for max_instances at the interval-0 expected rate once at
+  // reset.
+  ParallelConfig static_config = kIdleConfig;
+  ServingModelOptions serving;
+  ThroughputModelOptions throughput;
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metric_prefix;
+};
+
+struct ServingDecision {
+  ParallelConfig config;     // serving configuration for this interval
+  MigrationPlan plan;        // reconfiguration realizing it
+  double stall_s = 0.0;      // migration + drain stall
+  double drain_s = 0.0;      // the drain component of stall_s
+  ParallelConfig planned_next;
+  std::vector<int> forecast;       // availability forecast (when re-solved)
+  std::vector<double> rps_forecast;  // request-rate forecast (aligned)
+};
+
+class ServingScheduler {
+ public:
+  // `arrivals` supplies the rate envelope forecasts and must outlive
+  // the scheduler; `oracle` is required for kOracle.
+  ServingScheduler(ModelProfile model, ServingSchedulerOptions options,
+                   const ArrivalGenerator* arrivals,
+                   const SpotTrace* oracle = nullptr);
+
+  void reset();
+
+  ServingDecision step(int interval_index,
+                       const AvailabilityObservation& observed,
+                       double interval_s);
+
+  // Event-driven mode: enqueue a re-optimization event (same contract
+  // as SchedulerCore::notify_event).
+  void notify_event(double now_s);
+  int pending_events() const { return pending_events_; }
+
+  const ServingSchedulerOptions& options() const { return options_; }
+  const ModelProfile& model() const { return model_; }
+  const ReplicaQueueModel& queue_model() const { return queue_; }
+  GoodputOptimizer& optimizer() { return optimizer_; }
+  ParallelConfig current() const { return current_; }
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+ private:
+  std::vector<int> predict_instances(int interval_index) const;
+  std::vector<double> predict_rps(int interval_index) const;
+  ClusterSnapshot observe_damage(const AvailabilityObservation& observed,
+                                 int prev_available);
+  int min_depth() const;
+  int max_depth() const;
+
+  struct MetricNames {
+    std::string intervals, available, preemptions_seen, allocations_seen,
+        hysteresis_suppressions, config_changes, migrations_planned,
+        migration_stall_s, drain_s, reoptimizations, event_reoptimizations,
+        events_enqueued, events_coalesced, expected_good_requests;
+  };
+  static MetricNames make_names(const std::string& prefix);
+
+  ModelProfile model_;
+  ServingSchedulerOptions options_;
+  const ArrivalGenerator* arrivals_;
+  obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* metrics_;
+  MetricNames names_;
+  ThroughputModel throughput_;
+  ReplicaQueueModel queue_;
+  MigrationPlanner planner_;
+  GoodputOptimizer optimizer_;
+  std::unique_ptr<AvailabilityPredictor> predictor_;
+  // Oracle availability series (empty unless kOracle with a trace).
+  std::vector<int> oracle_series_;
+
+  Rng rng_{0};
+  std::vector<double> history_;
+  ParallelConfig current_ = kIdleConfig;
+  ParallelConfig planned_next_ = kIdleConfig;
+  ParallelConfig static_choice_ = kIdleConfig;
+  int prev_available_ = 0;
+  int pending_events_ = 0;
+  double last_event_s_ = -1.0e18;
+};
+
+}  // namespace parcae::serve

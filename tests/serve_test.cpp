@@ -1,0 +1,514 @@
+// The serving subsystem's contracts: the arrival generator is a pure
+// function of (seed, interval) — bit-identical across threads and
+// replays; the closed-form M/G/1 estimator agrees with the event-level
+// simulator at moderate load; request accounting balances exactly,
+// including under injected preemptions mid-burst; the goodput DP's
+// warm-started incremental re-solve is bit-identical to a full one at
+// any thread count; and the serving metrics roll up through the fleet
+// aggregator and Prometheus exporter like any other job's.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/ondemand_policy.h"
+#include "common/fault.h"
+#include "common/rng.h"
+#include "core/slo.h"
+#include "migration/cost_model.h"
+#include "model/model_profile.h"
+#include "obs/exporter.h"
+#include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "parallel/throughput_model.h"
+#include "serve/arrival.h"
+#include "serve/goodput_optimizer.h"
+#include "serve/queue_model.h"
+#include "serve/serving_scheduler.h"
+#include "serve/serving_sim.h"
+#include "trace/spot_trace.h"
+
+namespace parcae::serve {
+namespace {
+
+ArrivalOptions mmpp_options(std::uint64_t seed) {
+  ArrivalOptions a;
+  a.kind = ArrivalKind::kMmpp;
+  a.seed = seed;
+  a.base_rps = 30.0;
+  a.burst_multiplier = 3.0;
+  return a;
+}
+
+// ---------------------------------------------------------------------
+// Arrival generator
+
+TEST(ArrivalTest, CountMatchesArrivalsAndReplays) {
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kMmpp}) {
+    ArrivalOptions a = mmpp_options(77);
+    a.kind = kind;
+    ArrivalGenerator gen(a);
+    gen.prepare(64);
+    std::vector<double> out;
+    for (int i = 0; i < 64; ++i) {
+      gen.arrivals(i, out);
+      EXPECT_EQ(gen.count(i), static_cast<int>(out.size())) << i;
+      EXPECT_TRUE(std::is_sorted(out.begin(), out.end())) << i;
+      for (double t : out) {
+        EXPECT_GE(t, 0.0);
+        EXPECT_LT(t, a.interval_s);
+      }
+    }
+    // A second generator with the same seed replays bit-identically.
+    ArrivalGenerator replay(a);
+    replay.prepare(64);
+    std::vector<double> out2;
+    for (int i = 0; i < 64; ++i) {
+      gen.arrivals(i, out);
+      replay.arrivals(i, out2);
+      EXPECT_EQ(out, out2) << i;
+      EXPECT_EQ(gen.realized_rps(i), replay.realized_rps(i)) << i;
+    }
+  }
+}
+
+TEST(ArrivalTest, ThreadsBitIdentical) {
+  // Any thread may generate any interval in any order; counts and
+  // offsets must be bit-identical to a serial sweep.
+  for (ArrivalKind kind : {ArrivalKind::kPoisson, ArrivalKind::kMmpp}) {
+    ArrivalOptions a = mmpp_options(2024);
+    a.kind = kind;
+    ArrivalGenerator gen(a);
+    const int intervals = 96;
+    gen.prepare(intervals);
+
+    std::vector<std::vector<double>> serial(intervals);
+    for (int i = 0; i < intervals; ++i) gen.arrivals(i, serial[i]);
+
+    for (int threads : {4, 8}) {
+      std::vector<std::vector<double>> parallel(intervals);
+      std::vector<std::thread> workers;
+      for (int w = 0; w < threads; ++w)
+        workers.emplace_back([&, w] {
+          // Strided, deliberately out of order.
+          for (int i = intervals - 1 - w; i >= 0; i -= threads)
+            gen.arrivals(i, parallel[static_cast<std::size_t>(i)]);
+        });
+      for (auto& t : workers) t.join();
+      for (int i = 0; i < intervals; ++i)
+        EXPECT_EQ(serial[i], parallel[i])
+            << arrival_kind_name(kind) << " interval " << i;
+    }
+  }
+}
+
+TEST(ArrivalTest, PrepareExtensionKeepsPrefix) {
+  ArrivalGenerator gen(mmpp_options(5));
+  gen.prepare(16);
+  std::vector<double> rates;
+  for (int i = 0; i < 16; ++i) rates.push_back(gen.realized_rps(i));
+  gen.prepare(64);  // extending must not disturb the prefix
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rates[i], gen.realized_rps(i)) << i;
+}
+
+TEST(ArrivalTest, DiurnalEnvelopeShapesTheRate) {
+  ArrivalOptions a;
+  a.kind = ArrivalKind::kPoisson;
+  a.base_rps = 50.0;
+  a.diurnal_amplitude = 0.5;
+  a.diurnal_period_s = 240.0;  // 4 intervals per cycle
+  // The envelope samples interval midpoints (30, 90, 150, 210 s);
+  // phase them so interval 1 peaks and interval 3 troughs.
+  a.diurnal_phase_s = 30.0;
+  ArrivalGenerator gen(a);
+  EXPECT_NEAR(gen.expected_rps(1), 75.0, 1e-9);
+  EXPECT_NEAR(gen.expected_rps(3), 25.0, 1e-9);
+  EXPECT_NEAR(gen.expected_rps(0), 50.0, 1e-9);
+}
+
+TEST(ArrivalTest, MmppStationaryMeanInExpectedRps) {
+  const ArrivalOptions a = mmpp_options(9);
+  ArrivalGenerator gen(a);
+  const double pi_burst = a.p_enter_burst / (a.p_enter_burst + a.p_exit_burst);
+  EXPECT_NEAR(gen.expected_rps(0),
+              a.base_rps * (1.0 + pi_burst * (a.burst_multiplier - 1.0)),
+              1e-9);
+}
+
+TEST(ArrivalTest, ReplayFollowsSeries) {
+  ArrivalOptions a;
+  a.kind = ArrivalKind::kReplay;
+  a.replay_rps = {10.0, 40.0, 20.0};
+  ArrivalGenerator gen(a);
+  gen.prepare(8);
+  EXPECT_EQ(gen.expected_rps(1), 40.0);
+  EXPECT_EQ(gen.expected_rps(7), 20.0);  // repeats the last entry
+  // Counts follow the series scale.
+  EXPECT_GT(gen.count(1), gen.count(0));
+}
+
+// ---------------------------------------------------------------------
+// Queue model vs event-level simulator
+
+TEST(QueueModelTest, EstimatorBasics) {
+  const ModelProfile model = model_by_name("GPT-2");
+  ThroughputModel tp(model, ThroughputModelOptions{});
+  ReplicaQueueModel qm(&tp, ServingModelOptions{});
+
+  // GPT-2's training memory model needs at least two stages, so the
+  // shallowest serving replica is pp = 2.
+  const ParallelConfig c{4, 2};
+  ASSERT_TRUE(qm.serving_feasible(c));
+  EXPECT_FALSE(qm.serving_feasible(ParallelConfig{4, 1}));
+  const double cap = qm.replica_capacity_rps(2);
+  ASSERT_GT(cap, 0.0);
+
+  // Goodput rises with offered load below capacity and saturates at it.
+  const ServingEstimate low = qm.estimate(c, cap);
+  const ServingEstimate mid = qm.estimate(c, 2.0 * cap);
+  const ServingEstimate over = qm.estimate(c, 20.0 * cap);
+  EXPECT_GT(mid.goodput_rps, low.goodput_rps);
+  EXPECT_LE(over.served_rps, over.capacity_rps + 1e-9);
+  EXPECT_LT(over.slo_hit_prob, 1.0);
+
+  // Infeasible depth yields zero.
+  EXPECT_EQ(qm.goodput(ParallelConfig{1, model.partition_units + 1}, 10.0),
+            0.0);
+  // best_serving_config right-sizes: at a tiny load it does not take
+  // all instances.
+  const ParallelConfig best = qm.best_serving_config(32, 1.0);
+  ASSERT_TRUE(best.valid());
+  EXPECT_LT(best.instances(), 32);
+}
+
+TEST(QueueModelTest, EstimatorAgreesWithEventSimulator) {
+  // Flat availability, pinned static config, moderate load: the
+  // closed-form goodput must track the event-level simulator within
+  // 15%.
+  const ModelProfile model = model_by_name("GPT-2");
+  ThroughputModel tp(model, ThroughputModelOptions{});
+  ReplicaQueueModel qm(&tp, ServingModelOptions{});
+  const ParallelConfig pinned{8, 2};
+  const double capacity = qm.replica_capacity_rps(2) * pinned.dp;
+
+  ArrivalOptions a;
+  a.kind = ArrivalKind::kPoisson;
+  a.seed = 31;
+  a.base_rps = 0.6 * capacity;  // rho ~ 0.6
+  ArrivalGenerator arrivals(a);
+
+  ServingSchedulerOptions sopt;
+  sopt.mode = ServingMode::kStatic;
+  sopt.static_config = pinned;
+  ServingScheduler scheduler(model, sopt, &arrivals);
+
+  const SpotTrace trace = flat_trace(16, 60 * 60.0);
+  ServingSimOptions sim;
+  sim.record_timeline = false;
+  const ServingSimResult r =
+      simulate_serving(scheduler, arrivals, trace, 60, sim);
+  ASSERT_EQ(r.advised.size(), 60u);
+
+  for (const ParallelConfig& c : r.advised) EXPECT_EQ(c, pinned);
+  const double estimated = qm.goodput(pinned, a.base_rps);
+  ASSERT_GT(r.goodput_rps, 0.0);
+  EXPECT_NEAR(r.goodput_rps, estimated, 0.15 * estimated);
+  // At rho 0.6 with a seconds-scale SLO nearly everything lands.
+  EXPECT_GT(r.slo_attainment, 0.85);
+}
+
+TEST(QueueModelTest, DrainCostBoundedAndMonotoneInLoad) {
+  const ModelProfile model = model_by_name("GPT-2");
+  ThroughputModel tp(model, ThroughputModelOptions{});
+  ServingModelOptions so;
+  ReplicaQueueModel qm(&tp, so);
+  const ParallelConfig c{4, 2};
+  const double light = qm.drain_cost_s(c, 1.0);
+  const double heavy = qm.drain_cost_s(c, 1000.0);
+  EXPECT_GT(light, 0.0);
+  EXPECT_GE(heavy, light);
+  EXPECT_LE(heavy, so.drain_cap_s);
+  // Drain is a serving-only term that flows through the shared
+  // migration cost total.
+  MigrationCostTerms terms;
+  terms.drain_s = 3.0;
+  EXPECT_EQ(terms.total(), 3.0);
+}
+
+// ---------------------------------------------------------------------
+// Goodput DP
+
+std::vector<double> flat_rps(int n, double rps) {
+  return std::vector<double>(static_cast<std::size_t>(n), rps);
+}
+
+TEST(GoodputOptimizerTest, IncrementalMatchesFullAcrossChurnAndThreads) {
+  const ModelProfile model = model_by_name("GPT-2");
+  ThroughputModel tp(model, ThroughputModelOptions{});
+  ReplicaQueueModel qm(&tp, ServingModelOptions{});
+
+  const auto run = [&](int threads) {
+    GoodputOptimizerOptions opt;
+    opt.mc_trials = 64;
+    opt.seed = 11;
+    opt.threads = threads;
+    // verify_incremental aborts the process if a warm-started column
+    // ever diverges from the full re-solve.
+    opt.verify_incremental = true;
+    GoodputOptimizer dp(&qm, CostEstimator(model), opt);
+
+    Rng rng(404);
+    std::vector<int> n(8, 12);
+    std::vector<double> rps = flat_rps(8, 25.0);
+    ParallelConfig current = kIdleConfig;
+    std::vector<GoodputPlan> plans;
+    for (int step = 0; step < 24; ++step) {
+      switch (rng.uniform_int(4)) {
+        case 0:  // quiet
+          break;
+        case 1:  // preemption cliff
+          for (std::size_t i = 4; i < n.size(); ++i)
+            n[i] = std::max(2, n[i] - 3);
+          break;
+        case 2:  // allocation ramp
+          for (std::size_t i = 2; i < n.size(); ++i)
+            n[i] = std::min(16, n[i] + 2);
+          break;
+        default:  // rate swing (burst arriving in the forecast)
+          for (std::size_t i = 0; i < rps.size(); ++i)
+            rps[i] = 25.0 * (1.0 + 2.0 * ((step + static_cast<int>(i)) % 3 == 0));
+          break;
+      }
+      GoodputPlan plan = dp.optimize(current, n[0], n, rps);
+      current = plan.next();
+      plans.push_back(std::move(plan));
+    }
+    EXPECT_GT(dp.states_reused(), 0u);
+    return plans;
+  };
+
+  const std::vector<GoodputPlan> serial = run(1);
+  for (int threads : {4, 8}) {
+    const std::vector<GoodputPlan> parallel = run(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+      EXPECT_EQ(serial[s].configs, parallel[s].configs) << s;
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(serial[s].expected_good_requests,
+                parallel[s].expected_good_requests)
+          << s;
+    }
+  }
+}
+
+TEST(GoodputOptimizerTest, ChargesDrainOnConfigChangeOnly) {
+  const ModelProfile model = model_by_name("GPT-2");
+  ThroughputModel tp(model, ThroughputModelOptions{});
+  ReplicaQueueModel qm(&tp, ServingModelOptions{});
+  GoodputOptimizerOptions opt;
+  opt.mc_trials = 32;
+  GoodputOptimizer dp(&qm, CostEstimator(model), opt);
+
+  const ParallelConfig c{4, 1};
+  const double stay = dp.edge_cost(c, 8, c, 0, 30.0);
+  const double move = dp.edge_cost(c, 8, ParallelConfig{8, 1}, 0, 30.0);
+  EXPECT_GT(move, stay);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end serving simulation
+
+ServingSimResult run_sim(ServingMode mode, int threads, std::uint64_t seed,
+                         const std::string& faults = "",
+                         obs::MetricsRegistry* metrics = nullptr,
+                         const std::string& prefix = "") {
+  const ModelProfile model = model_by_name("GPT-2");
+  ArrivalOptions a = mmpp_options(seed ^ 0xa221ull);
+  ArrivalGenerator arrivals(a);
+
+  ServingSchedulerOptions sopt;
+  sopt.mode = mode;
+  sopt.seed = seed;
+  sopt.mc_trials = 64;
+  sopt.threads = threads;
+  sopt.metrics = metrics;
+  sopt.metric_prefix = prefix;
+  ServingScheduler scheduler(model, sopt, &arrivals);
+
+  ServingSimOptions sim;
+  sim.metrics = metrics;
+  sim.metric_prefix = prefix;
+  FaultInjector injector(seed ^ 0xfa017ull);
+  if (!faults.empty()) {
+    std::string error;
+    EXPECT_TRUE(injector.arm_from_spec(faults, &error)) << error;
+    sim.faults = &injector;
+  }
+  const SpotTrace trace = canonical_segment(TraceSegment::kLowAvailSparse);
+  return simulate_serving(scheduler, arrivals, trace, 60, sim);
+}
+
+void expect_results_identical(const ServingSimResult& a,
+                              const ServingSimResult& b, const char* what) {
+  EXPECT_EQ(a.advised, b.advised) << what;
+  EXPECT_EQ(a.requests_arrived, b.requests_arrived) << what;
+  EXPECT_EQ(a.requests_served, b.requests_served) << what;
+  EXPECT_EQ(a.requests_good, b.requests_good) << what;
+  EXPECT_EQ(a.requests_dropped, b.requests_dropped) << what;
+  EXPECT_EQ(a.requests_carried, b.requests_carried) << what;
+  EXPECT_EQ(a.slo_violations, b.slo_violations) << what;
+  EXPECT_EQ(a.p99_ms, b.p99_ms) << what;
+  EXPECT_EQ(a.spot_cost_usd, b.spot_cost_usd) << what;
+}
+
+TEST(ServingSimTest, AccountingBalances) {
+  const ServingSimResult r = run_sim(ServingMode::kProactive, 1, 123);
+  EXPECT_GT(r.requests_arrived, 0u);
+  EXPECT_GT(r.requests_good, 0u);
+  EXPECT_EQ(r.requests_arrived,
+            r.requests_served + r.requests_dropped + r.requests_carried);
+  EXPECT_GE(r.requests_served, r.requests_good);
+  EXPECT_EQ(r.slo_violations,
+            (r.requests_served - r.requests_good) + r.requests_dropped);
+  EXPECT_GT(r.slo_attainment, 0.0);
+  EXPECT_LE(r.slo_attainment, 1.0);
+  EXPECT_GT(r.spot_cost_usd, 0.0);
+}
+
+TEST(ServingSimTest, DeterministicAcrossRerunsAndThreads) {
+  for (ServingMode mode : {ServingMode::kProactive, ServingMode::kReactive}) {
+    const ServingSimResult serial = run_sim(mode, 1, 123);
+    const ServingSimResult rerun = run_sim(mode, 1, 123);
+    expect_results_identical(serial, rerun, "rerun");
+    for (int threads : {4, 8}) {
+      const ServingSimResult parallel = run_sim(mode, threads, 123);
+      expect_results_identical(serial, parallel, "threads");
+    }
+  }
+}
+
+TEST(ServingSimTest, AccountingBalancesUnderInjectedPreemptionMidBurst) {
+  // An unpredicted preemption in the middle of the MMPP burst window:
+  // accounting must still balance exactly and replays must be
+  // bit-identical, faults included.
+  const std::string spec = "sim.unpredicted_preempt:prob=0.2";
+  const ServingSimResult r = run_sim(ServingMode::kProactive, 1, 9, spec);
+  EXPECT_EQ(r.requests_arrived,
+            r.requests_served + r.requests_dropped + r.requests_carried);
+  const ServingSimResult again = run_sim(ServingMode::kProactive, 1, 9, spec);
+  expect_results_identical(r, again, "fault rerun");
+  const ServingSimResult threaded =
+      run_sim(ServingMode::kProactive, 8, 9, spec);
+  expect_results_identical(r, threaded, "fault threads");
+}
+
+TEST(ServingSimTest, AdmissionFaultDropsExactlyTheNthRequest) {
+  // Light load on a flat trace: nothing drops organically, so the
+  // armed serve.admission point's forced drop is the only one.
+  const ModelProfile model = model_by_name("GPT-2");
+  const auto run = [&](const std::string& faults) {
+    ArrivalOptions a;
+    a.kind = ArrivalKind::kPoisson;
+    a.seed = 13;
+    a.base_rps = 8.0;
+    ArrivalGenerator arrivals(a);
+    ServingSchedulerOptions sopt;
+    sopt.mode = ServingMode::kStatic;
+    sopt.static_config = ParallelConfig{4, 2};
+    ServingScheduler scheduler(model, sopt, &arrivals);
+    ServingSimOptions sim;
+    sim.record_timeline = false;
+    FaultInjector injector(99);
+    if (!faults.empty()) {
+      std::string error;
+      EXPECT_TRUE(injector.arm_from_spec(faults, &error)) << error;
+      sim.faults = &injector;
+    }
+    const SpotTrace trace = flat_trace(8, 20 * 60.0);
+    return simulate_serving(scheduler, arrivals, trace, 20, sim);
+  };
+  const ServingSimResult clean = run("");
+  const ServingSimResult faulty = run("serve.admission:nth=5,max=1");
+  EXPECT_EQ(clean.requests_dropped, 0u);
+  EXPECT_EQ(faulty.requests_dropped, 1u);
+  EXPECT_EQ(faulty.requests_arrived, clean.requests_arrived);
+  EXPECT_EQ(faulty.requests_served + 1, clean.requests_served);
+}
+
+TEST(ServingSimTest, ProactiveBeatsStaticOnChurnyTrace) {
+  const ServingSimResult proactive = run_sim(ServingMode::kProactive, 1, 123);
+  const ServingSimResult fixed = run_sim(ServingMode::kStatic, 1, 123);
+  EXPECT_GT(proactive.slo_attainment, fixed.slo_attainment);
+}
+
+// ---------------------------------------------------------------------
+// Observability
+
+TEST(ServeObsTest, MetricsRollUpThroughFleetAggregatorAndExporter) {
+  obs::MetricsRegistry registry;
+  const ServingSimResult r = run_sim(ServingMode::kProactive, 1, 123, "",
+                                     &registry, "job7.");
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counters.at("job7.serve.requests"),
+            static_cast<double>(r.requests_arrived));
+  EXPECT_EQ(snapshot.counters.at("job7.serve.slo_violations"),
+            static_cast<double>(r.slo_violations));
+  ASSERT_TRUE(snapshot.gauges.count("job7.serve.goodput"));
+  ASSERT_TRUE(snapshot.gauges.count("job7.serve.p99_latency_ms"));
+  ASSERT_TRUE(snapshot.gauges.count("job7.serve.queue_depth"));
+
+  obs::FleetAggregator fleet;
+  fleet.fold(snapshot);
+  const obs::MetricsSnapshot rolled = fleet.rollup();
+  EXPECT_EQ(rolled.counters.at("fleet.serve.requests"),
+            static_cast<double>(r.requests_arrived));
+  ASSERT_TRUE(rolled.gauges.count("fleet.serve.goodput"));
+
+  const std::string prom = obs::to_prometheus(snapshot);
+  EXPECT_NE(prom.find("parcae_serve_requests_total{job=\"7\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("parcae_serve_goodput{job=\"7\"}"), std::string::npos);
+}
+
+TEST(ServeObsTest, ServingSloRulesFireOnLatencyBreach) {
+  // Overload a tiny static deployment so p99 breaches for consecutive
+  // intervals; the built-in serving rules must fire.
+  const ModelProfile model = model_by_name("GPT-2");
+  ArrivalOptions a;
+  a.kind = ArrivalKind::kPoisson;
+  a.seed = 3;
+  a.base_rps = 60.0;  // far beyond a 2x1 deployment's capacity
+  ArrivalGenerator arrivals(a);
+
+  ServingSchedulerOptions sopt;
+  sopt.mode = ServingMode::kStatic;
+  sopt.static_config = ParallelConfig{2, 2};
+  // A deep admission queue lets queued wait grow well past the SLO, so
+  // the p99 gauge breaches on every interval (not just the first).
+  sopt.serving.admission_queue_cap = 128;
+  ServingScheduler scheduler(model, sopt, &arrivals);
+
+  obs::MetricsRegistry registry;
+  obs::TimeSeriesRecorder series;
+  SloEngine slo(SloEngine::default_serving_rules());
+  ServingSimOptions sim;
+  sim.metrics = &registry;
+  sim.timeseries = &series;
+  sim.slo = &slo;
+  const SpotTrace trace = flat_trace(8, 20 * 60.0);
+  simulate_serving(scheduler, arrivals, trace, 20, sim);
+
+  bool p99_fired = false, violation_fired = false;
+  for (const SloAlert& alert : slo.alerts()) {
+    if (alert.rule == "serve-p99-breach") p99_fired = true;
+    if (alert.rule == "serve-violation-surge") violation_fired = true;
+  }
+  EXPECT_TRUE(p99_fired);
+  EXPECT_TRUE(violation_fired);
+}
+
+}  // namespace
+}  // namespace parcae::serve
